@@ -1,0 +1,89 @@
+// Shared configuration for the figure/table reproduction benches.
+//
+// Scales are reduced relative to the paper (single-core reproduction — see
+// DESIGN.md); the FLOCK_BENCH_SCALE environment variable multiplies flow
+// counts for users with more time. Every bench prints the series/rows of the
+// corresponding paper figure so results can be compared shape-for-shape.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baselines/netbouncer.h"
+#include "baselines/sherlock.h"
+#include "baselines/zero07.h"
+#include "calibration/calibrate_schemes.h"
+#include "common/table.h"
+#include "core/flock_localizer.h"
+#include "eval/runner.h"
+
+namespace flock::bench {
+
+inline double scale_factor() {
+  if (const char* s = std::getenv("FLOCK_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+// The default simulated datacenter: a 6-pod three-tier Clos, 54 hosts, 216
+// links, 45 switches — the same shape as the paper's 2500-link Clos, scaled
+// down for single-core runs.
+inline ThreeTierClosConfig default_clos() {
+  ThreeTierClosConfig cfg;
+  cfg.pods = 6;
+  cfg.tors_per_pod = 3;
+  cfg.aggs_per_pod = 3;
+  cfg.cores = 9;
+  cfg.hosts_per_tor = 3;
+  return cfg;
+}
+
+inline std::int64_t scaled_flows(std::int64_t base) {
+  return static_cast<std::int64_t>(static_cast<double>(base) * scale_factor());
+}
+
+// Compact calibration grids so each bench stays in the ~1 minute range; the
+// full §5.2 grids live in calibration/calibrate_schemes.cpp and can be swept
+// by passing FLOCK_BENCH_SCALE and editing the bench.
+// The p_b axis must extend well above the per-packet drop rates: with
+// flagged-only telemetry (A2) a large p_b is what makes a single
+// retransmission in a small flow count as *negative* evidence, which is the
+// calibrated antidote to A2's selection bias.
+inline ParamGrid compact_flock_grid() {
+  ParamGrid grid;
+  grid.names = {"p_g", "p_b", "rho"};
+  grid.values = {{1e-4, 7e-4, 2e-3}, {2e-3, 6e-3, 2e-2, 6e-2, 2e-1}, {1e-4, 1e-3}};
+  return grid;
+}
+
+inline ParamGrid compact_netbouncer_grid() {
+  ParamGrid grid;
+  grid.names = {"lambda", "drop_threshold", "device_link_fraction"};
+  grid.values = {{4.0}, {1e-3, 2e-3, 5e-3}, {0.6}};
+  return grid;
+}
+
+inline ParamGrid compact_zero07_grid() {
+  ParamGrid grid;
+  grid.names = {"score_threshold"};
+  grid.values = {{0.3, 0.5, 0.7, 0.9}};
+  return grid;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref << ")\n"
+            << "==============================================================\n";
+}
+
+inline std::string fmt_acc(const Accuracy& a) {
+  return "p=" + Table::num(a.precision, 3) + " r=" + Table::num(a.recall, 3) +
+         " f=" + Table::num(a.fscore(), 3);
+}
+
+}  // namespace flock::bench

@@ -1,0 +1,105 @@
+// Fig 2c: accuracy on silent device failures. Up to 2 devices fail, with
+// 25%-100% of each faulty device's links dropping packets (a partial
+// fraction resembles a faulty line card, §7.2). Parameters are the Fig 2
+// calibration (the paper reuses §7.1 parameters here).
+//
+// Expected shape (paper): Flock beats NetBouncer and 007 on every input
+// type; Flock(INT) reaches ~100% recall vs NetBouncer(INT)'s ~80%;
+// Flock(A2) reduces error ~8x vs 007.
+#include "bench_common.h"
+
+#include <iostream>
+#include <map>
+
+namespace flock {
+namespace {
+
+using bench::default_clos;
+using bench::scaled_flows;
+
+EnvConfig device_config(std::int64_t flows, double link_fraction, std::uint64_t seed) {
+  EnvConfig cfg;
+  cfg.clos = default_clos();
+  cfg.num_traces = 4;
+  cfg.failure = FailureKind::kDeviceFailures;
+  cfg.device_link_fraction = link_fraction;
+  cfg.rates.bad_min = 1e-3;
+  cfg.rates.bad_max = 1e-2;
+  cfg.traffic.num_app_flows = flows;
+  cfg.probes.packets_per_probe = 100;
+  cfg.seed = seed;
+  return cfg;
+}
+
+int run() {
+  bench::print_header("Silent device failures", "Fig 2c");
+
+  // Calibrate on link-drop traces (§6.1: parameters come from random packet
+  // drop simulations; only NetBouncer's device threshold would be retuned).
+  EnvConfig train_cfg = device_config(scaled_flows(40000), 0.5, 1001);
+  train_cfg.failure = FailureKind::kSilentLinkDrops;
+  train_cfg.min_failures = 1;
+  train_cfg.max_failures = 8;
+  const auto train = make_env(train_cfg);
+
+  ViewOptions int_view;
+  int_view.telemetry = kTelemetryInt;
+  ViewOptions a2_view;
+  a2_view.telemetry = kTelemetryA2;
+  const auto flock_cal = calibrate_flock(*train, int_view, bench::compact_flock_grid());
+  const auto nb_cal = calibrate_netbouncer(*train, int_view, bench::compact_netbouncer_grid());
+  const auto z_cal = calibrate_zero07(*train, a2_view, bench::compact_zero07_grid());
+  const FlockParams fp = flock_params_from(flock_cal.chosen.params);
+  const NetBouncerOptions nbo = netbouncer_options_from(nb_cal.chosen.params);
+  const Zero07Options zo = zero07_options_from(z_cal.chosen.params);
+
+  Table table({"scheme", "input", "link-fraction", "precision", "recall", "fscore"});
+  std::map<std::string, std::vector<double>> mean_err;
+  for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+    const auto test =
+        make_env(device_config(scaled_flows(40000), fraction, 3000 + static_cast<std::uint64_t>(fraction * 100)));
+    auto run_one = [&](const char* scheme, const char* input, const Localizer& loc,
+                       std::uint32_t telemetry) {
+      ViewOptions view;
+      view.telemetry = telemetry;
+      const Accuracy acc = run_scheme_mean(loc, *test, view);
+      table.add_row({scheme, input, Table::num(fraction, 2), Table::num(acc.precision),
+                     Table::num(acc.recall), Table::num(acc.fscore())});
+      mean_err[std::string(scheme) + "(" + input + ")"].push_back(acc.error());
+    };
+    FlockOptions fopt;
+    fopt.params = fp;
+    const FlockLocalizer flock(fopt);
+    run_one("Flock", "INT", flock, kTelemetryInt);
+    run_one("Flock", "A1+P", flock, kTelemetryA1 | kTelemetryP);
+    run_one("Flock", "A2", flock, kTelemetryA2);
+    const NetBouncerLocalizer nb(nbo);
+    run_one("NetBouncer", "INT", nb, kTelemetryInt);
+    const Zero07Localizer z(zo);
+    run_one("007", "A2", z, kTelemetryA2);
+  }
+  table.print(std::cout);
+
+  auto avg = [&](const std::string& key) {
+    const auto& v = mean_err[key];
+    double total = 0;
+    for (double e : v) total += e;
+    return v.empty() ? 0.0 : total / static_cast<double>(v.size());
+  };
+  std::cout << "\nmean error (1 - fscore) across fractions:\n";
+  for (const char* key : {"Flock(INT)", "Flock(A1+P)", "Flock(A2)", "NetBouncer(INT)",
+                          "007(A2)"}) {
+    std::cout << "  " << key << ": " << Table::num(avg(key), 3) << "\n";
+  }
+  const double flock_a2 = avg("Flock(A2)");
+  if (flock_a2 > 0) {
+    std::cout << "Flock(A2) vs 007(A2) error reduction: "
+              << Table::num(avg("007(A2)") / flock_a2, 2) << "x (paper: 8x)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flock
+
+int main() { return flock::run(); }

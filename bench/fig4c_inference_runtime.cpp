@@ -1,0 +1,115 @@
+// Fig 4c: inference runtime vs topology size — Flock against Sherlock's
+// PGM search, plus the ablation of Flock's two accelerations:
+//   * "Flock"            = greedy + JLE
+//   * "Flock greedy-only" = greedy search, each neighbor evaluated from
+//                           scratch (no JLE)
+//   * "Flock JLE-only"    = exhaustive bounded-K search accelerated by JLE
+//                           (Sherlock + JLE, Algorithm 3)
+//   * "Sherlock"          = exhaustive bounded-K search, no JLE
+//
+// Sherlock's full runtimes are estimated by extrapolating a budgeted
+// partial run, exactly how the paper extrapolates its 19-day figure.
+//
+// Expected shape (paper): each optimization alone buys ~100x; together
+// >10^4x. Flock stays in seconds while Sherlock grows superlinearly.
+#include "bench_common.h"
+
+#include <cmath>
+#include <iostream>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace flock {
+namespace {
+
+struct SizePoint {
+  std::int32_t fat_tree_k;
+  std::int64_t flows;
+};
+
+int run() {
+  bench::print_header("Inference runtime: Flock vs Sherlock, greedy/JLE ablation", "Fig 4c");
+
+  FlockParams params;
+  params.p_g = 1e-4;
+  params.p_b = 6e-3;
+  params.rho = 1e-3;
+
+  const std::vector<SizePoint> sizes = {{4, 4000}, {6, 12000}, {8, 30000}, {10, 60000}};
+  Table table({"servers", "components", "flows", "Flock", "greedy-only", "JLE-only(K=2)",
+               "Sherlock(K=2)", "speedup"});
+
+  for (const SizePoint& size : sizes) {
+    Topology topo = make_fat_tree(size.fat_tree_k);
+    EcmpRouter router(topo);
+    Rng rng(7000 + static_cast<std::uint64_t>(size.fat_tree_k));
+    DropRateConfig rates;
+    rates.bad_min = 5e-3;
+    GroundTruth truth = make_silent_link_drops(topo, 2, rates, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = bench::scaled_flows(size.flows);
+    ProbeConfig probes;
+    probes.packets_per_probe = 100;
+    const Trace trace = simulate(topo, router, std::move(truth), traffic, probes, rng);
+    ViewOptions view;
+    view.telemetry = kTelemetryA1 | kTelemetryA2 | kTelemetryP;
+    const InferenceInput input = make_view(topo, router, trace, view);
+
+    FlockOptions with_jle;
+    with_jle.params = params;
+    const auto flock = FlockLocalizer(with_jle).localize(input);
+
+    FlockOptions no_jle = with_jle;
+    no_jle.use_jle = false;
+    const auto greedy_only = FlockLocalizer(no_jle).localize(input);
+
+    // Exhaustive searches with a node budget; extrapolate to the full tree.
+    const auto n = static_cast<double>(topo.num_components());
+    const double full_nodes = 1.0 + n + n * (n - 1) / 2.0;  // |H| <= 2
+    auto extrapolate = [&](const SherlockResult& partial) {
+      if (partial.completed) return partial.seconds;
+      return partial.seconds * full_nodes / static_cast<double>(partial.nodes_visited);
+    };
+    SherlockOptions jle_only;
+    jle_only.params = params;
+    jle_only.max_failures = 2;
+    jle_only.use_jle = true;
+    jle_only.node_budget = 20000;
+    const auto jle_partial = SherlockLocalizer(jle_only).localize_detailed(input);
+    // JLE scores a whole frontier per flipped node, so its effective node
+    // count is the interior tree (depth <= K-1) at O(D*T) per node plus O(1)
+    // per frontier read; extrapolation uses the same visited-node scaling.
+    const double jle_time = extrapolate(jle_partial);
+
+    SherlockOptions plain = jle_only;
+    plain.use_jle = false;
+    plain.node_budget = 2000;
+    const auto plain_partial = SherlockLocalizer(plain).localize_detailed(input);
+    const double sherlock_time = extrapolate(plain_partial);
+
+    const double speedup = flock.seconds > 0 ? sherlock_time / flock.seconds : 0;
+    table.add_row({Table::integer(static_cast<long long>(topo.hosts().size())),
+                   Table::integer(topo.num_components()),
+                   Table::integer(static_cast<long long>(input.num_flows())),
+                   Table::num(flock.seconds, 3) + "s",
+                   Table::num(greedy_only.seconds, 3) + "s",
+                   Table::num(jle_time, 2) + "s" + (jle_partial.completed ? "" : "*"),
+                   Table::num(sherlock_time, 1) + "s" + (plain_partial.completed ? "" : "*"),
+                   human_count(speedup) + "x"});
+    if (flock.predicted != greedy_only.predicted) {
+      std::cout << "WARNING: JLE and non-JLE greedy disagreed (bug!)\n";
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n* extrapolated from a budgeted partial run (the paper extrapolates\n"
+               "  Sherlock's 19-day estimate the same way). Flock scans the same\n"
+               "  hypothesis space as greedy-only; JLE-only (Algorithm 3) accelerates\n"
+               "  Sherlock's exhaustive K=2 search by ~n.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace flock
+
+int main() { return flock::run(); }

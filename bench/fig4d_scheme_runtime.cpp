@@ -1,0 +1,83 @@
+// Fig 4d: end-to-end inference runtime of every scheme across topology
+// sizes, on the same input telemetry. Also reports Flock's hypotheses/sec
+// (the §7.8 headline is ~3.5M hypotheses in 17s on 88K links; scaled down
+// here).
+//
+// Expected shape (paper): 007 fastest (<1s), Flock faster than NetBouncer
+// on the same input, all growing roughly linearly with topology/flow count.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "common/strings.h"
+
+namespace flock {
+namespace {
+
+int run() {
+  bench::print_header("Scheme runtime vs topology size", "Fig 4d");
+
+  FlockParams params;
+  params.p_g = 1e-4;
+  params.p_b = 6e-3;
+  params.rho = 1e-3;
+  NetBouncerOptions nbo;
+  Zero07Options zo;
+
+  Table table({"servers", "links", "flows", "Flock(A1+A2+P)", "Flock(INT)",
+               "NetBouncer(INT)", "007(A2)", "Flock hyp/s"});
+  struct SizePoint {
+    std::int32_t k;
+    std::int64_t flows;
+  };
+  for (const SizePoint size : {SizePoint{4, 4000}, SizePoint{6, 12000}, SizePoint{8, 30000},
+                               SizePoint{10, 60000}, SizePoint{12, 100000}}) {
+    Topology topo = make_fat_tree(size.k);
+    EcmpRouter router(topo);
+    Rng rng(7100 + static_cast<std::uint64_t>(size.k));
+    DropRateConfig rates;
+    rates.bad_min = 5e-3;
+    GroundTruth truth = make_silent_link_drops(topo, 3, rates, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = bench::scaled_flows(size.flows);
+    ProbeConfig probes;
+    const Trace trace = simulate(topo, router, std::move(truth), traffic, probes, rng);
+
+    auto timed = [&](const Localizer& loc, std::uint32_t telemetry,
+                     LocalizationResult* out = nullptr) {
+      ViewOptions view;
+      view.telemetry = telemetry;
+      const InferenceInput input = make_view(topo, router, trace, view);
+      const auto result = loc.localize(input);
+      if (out != nullptr) *out = result;
+      return result.seconds;
+    };
+
+    FlockOptions fopt;
+    fopt.params = params;
+    const FlockLocalizer flock(fopt);
+    LocalizationResult flock_result;
+    const double flock_mixed = timed(flock, kTelemetryA1 | kTelemetryA2 | kTelemetryP,
+                                     &flock_result);
+    const double flock_int = timed(flock, kTelemetryInt);
+    const double nb_int = timed(NetBouncerLocalizer(nbo), kTelemetryInt);
+    const double z_a2 = timed(Zero07Localizer(zo), kTelemetryA2);
+    const double hyp_rate = flock_mixed > 0
+                                ? static_cast<double>(flock_result.hypotheses_scanned) /
+                                      flock_mixed
+                                : 0;
+    table.add_row({Table::integer(static_cast<long long>(topo.hosts().size())),
+                   Table::integer(topo.num_links()),
+                   Table::integer(static_cast<long long>(trace.flows.size())),
+                   Table::num(flock_mixed, 3) + "s", Table::num(flock_int, 3) + "s",
+                   Table::num(nb_int, 3) + "s", Table::num(z_a2, 3) + "s",
+                   human_count(hyp_rate)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace flock
+
+int main() { return flock::run(); }

@@ -1,0 +1,109 @@
+// Fig 7 (appendix): scalability of the telemetry pipeline. The paper
+// measures agent CPU at increasing data rates / flow counts and collector
+// throughput in connections/sec (100 flow reports per connection). Here we
+// measure the same pipeline stages as throughput on one core:
+//   * agent: flow observation + aggregation rate,
+//   * agent: IPFIX encode rate,
+//   * collector: IPFIX decode + ingest rate in batches of 100 records,
+//   * collector: drain into an InferenceInput (routing join for passive
+//     records).
+//
+// Expected shape (paper): per-flow agent cost independent of the number of
+// concurrent flows; collector handles thousands of 100-record connections
+// per second on a few cores.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "telemetry/agent.h"
+#include "telemetry/collector.h"
+
+namespace flock {
+namespace {
+
+int run() {
+  bench::print_header("Agent / collector scalability", "Fig 7 (appendix)");
+
+  Topology topo = make_fat_tree(8);
+  EcmpRouter router(topo);
+  Rng rng(4242);
+  GroundTruth truth = make_silent_link_drops(topo, 2, DropRateConfig{}, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = bench::scaled_flows(100000);
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+
+  Table table({"stage", "items", "seconds", "rate"});
+
+  // --- agent observe + aggregate -------------------------------------------
+  {
+    AgentConfig cfg;
+    Agent agent(topo, cfg);
+    Stopwatch watch;
+    for (const SimFlow& f : trace.flows) {
+      SimFlow passive = f;
+      passive.taken_path = -1;
+      agent.observe(passive);
+    }
+    const double secs = watch.seconds();
+    table.add_row({"agent observe/aggregate", human_count(static_cast<double>(trace.flows.size())),
+                   Table::num(secs, 3), human_count(static_cast<double>(trace.flows.size()) / secs) + "/s"});
+
+    // --- agent encode -------------------------------------------------------
+    Stopwatch encode_watch;
+    const auto messages = agent.flush(1);
+    const double enc_secs = encode_watch.seconds();
+    std::size_t bytes = 0;
+    for (const auto& m : messages) bytes += m.size();
+    table.add_row({"agent IPFIX encode", human_count(static_cast<double>(messages.size())) + " msgs",
+                   Table::num(enc_secs, 3),
+                   human_count(static_cast<double>(bytes) / enc_secs) + " B/s"});
+
+    // --- collector ingest in 100-record "connections" ----------------------
+    Collector collector(topo, router);
+    Stopwatch ingest_watch;
+    for (const auto& m : messages) {
+      if (!collector.ingest(m)) {
+        std::cout << "collector rejected a message (bug)\n";
+        return 1;
+      }
+    }
+    const double ing_secs = ingest_watch.seconds();
+    const double connections =
+        static_cast<double>(collector.pending_records()) / 100.0;  // 100 reports/conn (paper)
+    table.add_row({"collector decode+ingest", human_count(connections) + " conns",
+                   Table::num(ing_secs, 3),
+                   human_count(connections / ing_secs) + " conns/s"});
+
+    // --- collector drain (routing join) ------------------------------------
+    Stopwatch drain_watch;
+    const InferenceInput input = collector.drain_into_input();
+    const double drain_secs = drain_watch.seconds();
+    table.add_row({"collector routing join",
+                   human_count(static_cast<double>(input.num_flows())) + " flows",
+                   Table::num(drain_secs, 3),
+                   human_count(static_cast<double>(input.num_flows()) / drain_secs) + "/s"});
+  }
+  table.print(std::cout);
+
+  // --- per-flow agent cost vs concurrent flow count (Fig 7c's shape) -------
+  std::cout << "\nagent cost per flow vs number of concurrent flows (expected: flat):\n";
+  Table per_flow({"concurrent flows", "ns/flow"});
+  for (std::size_t n : {1000u, 10000u, 50000u, 100000u}) {
+    const std::size_t count = std::min(n, trace.flows.size());
+    AgentConfig cfg;
+    Agent agent(topo, cfg);
+    Stopwatch watch;
+    for (std::size_t i = 0; i < count; ++i) agent.observe(trace.flows[i]);
+    per_flow.add_row({human_count(static_cast<double>(count)),
+                      Table::num(watch.seconds() * 1e9 / static_cast<double>(count), 0)});
+  }
+  per_flow.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace flock
+
+int main() { return flock::run(); }

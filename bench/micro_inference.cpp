@@ -1,0 +1,104 @@
+// Google-benchmark micro-kernels for the inference engine: the §7.8
+// "hypotheses scanned per second" numbers decompose into these primitives.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/flock_localizer.h"
+#include "core/likelihood_engine.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+struct MicroEnv {
+  Topology topo;
+  EcmpRouter router;
+  Trace trace;
+  std::unique_ptr<InferenceInput> input;
+
+  MicroEnv(std::int32_t k, std::int64_t flows) : topo(make_fat_tree(k)), router(topo) {
+    Rng rng(99);
+    DropRateConfig rates;
+    rates.bad_min = 5e-3;
+    GroundTruth truth = make_silent_link_drops(topo, 2, rates, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = flows;
+    trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+    ViewOptions view;
+    view.telemetry = kTelemetryA2 | kTelemetryP;
+    input = std::make_unique<InferenceInput>(make_view(topo, router, trace, view));
+  }
+};
+
+MicroEnv& env() {
+  static MicroEnv instance(6, 20000);
+  return instance;
+}
+
+FlockParams micro_params() {
+  FlockParams p;
+  p.p_g = 1e-4;
+  p.p_b = 6e-3;
+  return p;
+}
+
+void BM_EngineConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    LikelihoodEngine engine(*env().input, micro_params(), /*maintain_delta=*/true);
+    benchmark::DoNotOptimize(engine.log_likelihood());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(env().input->num_flows()));
+}
+BENCHMARK(BM_EngineConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_BestAddition(benchmark::State& state) {
+  LikelihoodEngine engine(*env().input, micro_params());
+  for (auto _ : state) benchmark::DoNotOptimize(engine.best_addition());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          engine.num_components());
+}
+BENCHMARK(BM_BestAddition);
+
+void BM_FlipWithJle(benchmark::State& state) {
+  LikelihoodEngine engine(*env().input, micro_params());
+  const ComponentId c = engine.best_addition().first;
+  for (auto _ : state) {
+    engine.flip(c);
+    engine.flip(c);
+  }
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlipWithJle)->Unit(benchmark::kMicrosecond);
+
+void BM_SingleNeighborEvaluation(benchmark::State& state) {
+  LikelihoodEngine engine(*env().input, micro_params(), /*maintain_delta=*/false);
+  const ComponentId c = static_cast<ComponentId>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(engine.compute_flip_delta_ll(c));
+}
+BENCHMARK(BM_SingleNeighborEvaluation)->Arg(0)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void BM_FullGreedyLocalize(benchmark::State& state) {
+  FlockOptions opt;
+  opt.params = micro_params();
+  opt.use_jle = state.range(0) != 0;
+  const FlockLocalizer localizer(opt);
+  std::int64_t hypotheses = 0;
+  for (auto _ : state) {
+    const auto result = localizer.localize(*env().input);
+    hypotheses += result.hypotheses_scanned;
+    benchmark::DoNotOptimize(result.predicted.data());
+  }
+  state.SetItemsProcessed(hypotheses);  // "hypotheses scanned" per second (§7.8)
+}
+BENCHMARK(BM_FullGreedyLocalize)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace flock
+
+BENCHMARK_MAIN();

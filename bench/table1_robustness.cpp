@@ -1,0 +1,179 @@
+// Table 1: robustness of each scheme's calibration when the training
+// environment differs from the test environment along four axes:
+//   (a) different topology        — calibrate on the simulated Clos with
+//       random drops, test on the ~20x-smaller testbed with misconfigured
+//       WRED queues (this is also the paper's "different failure scenario"
+//       pairing for the D row of that column),
+//   (b) different failure rate    — train failed links drop 5-10%, test 0.1-1%,
+//   (c) different monitoring interval — train on 4x fewer flows,
+//   (d) different failure type    — train on link drops, test on device
+//       failures.
+// For every axis we report D (calibrated on the different environment) and
+// S (calibrated on the same environment), plus the aggregate mean F-score.
+//
+// Expected shape (paper): Flock loses <2% aggregate accuracy from D
+// calibration; 007 ~6%; NetBouncer ~31%.
+#include "bench_common.h"
+
+#include <iostream>
+#include <map>
+
+namespace flock {
+namespace {
+
+using bench::default_clos;
+using bench::scaled_flows;
+
+EnvConfig clos_config(std::int64_t flows, std::uint64_t seed) {
+  EnvConfig cfg;
+  cfg.clos = default_clos();
+  cfg.num_traces = 4;
+  cfg.min_failures = 1;
+  cfg.max_failures = 6;
+  cfg.rates.bad_min = 1e-3;
+  cfg.rates.bad_max = 1e-2;
+  cfg.traffic.num_app_flows = flows;
+  cfg.probes.packets_per_probe = 100;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct Scheme {
+  std::string name;
+  std::uint32_t telemetry;
+};
+
+struct Cell {
+  Accuracy d;
+  Accuracy s;
+};
+
+int run() {
+  bench::print_header("Parameter-calibration robustness (D vs S)", "Table 1");
+
+  const std::vector<Scheme> schemes = {
+      {"Flock(A1+A2+P)", kTelemetryA1 | kTelemetryA2 | kTelemetryP},
+      {"Flock(A2)", kTelemetryA2},
+      {"Flock(INT)", kTelemetryInt},
+      {"007(A2)", kTelemetryA2},
+      {"NetBouncer(INT)", kTelemetryInt},
+  };
+
+  auto calibrate = [&](const Scheme& scheme, const ExperimentEnv& train)
+      -> std::vector<double> {
+    ViewOptions view;
+    view.telemetry = scheme.telemetry;
+    if (scheme.name.rfind("Flock", 0) == 0) {
+      return calibrate_flock(train, view, bench::compact_flock_grid()).chosen.params;
+    }
+    if (scheme.name.rfind("NetBouncer", 0) == 0) {
+      return calibrate_netbouncer(train, view, bench::compact_netbouncer_grid()).chosen.params;
+    }
+    return calibrate_zero07(train, view, bench::compact_zero07_grid()).chosen.params;
+  };
+  auto evaluate = [&](const Scheme& scheme, const std::vector<double>& params,
+                      const ExperimentEnv& test) {
+    ViewOptions view;
+    view.telemetry = scheme.telemetry;
+    std::unique_ptr<Localizer> loc;
+    if (scheme.name.rfind("Flock", 0) == 0) {
+      FlockOptions opt;
+      opt.params = flock_params_from(params);
+      loc = std::make_unique<FlockLocalizer>(opt);
+    } else if (scheme.name.rfind("NetBouncer", 0) == 0) {
+      loc = std::make_unique<NetBouncerLocalizer>(netbouncer_options_from(params));
+    } else {
+      loc = std::make_unique<Zero07Localizer>(zero07_options_from(params));
+    }
+    return run_scheme_mean(*loc, test, view);
+  };
+
+  // Reference training environment (the default §5.2 training set).
+  const auto base_train = make_env(clos_config(scaled_flows(30000), 9001));
+
+  // Axis environments: {different-train, test} pairs.
+  struct Axis {
+    std::string name;
+    std::unique_ptr<ExperimentEnv> diff_train;
+    std::unique_ptr<ExperimentEnv> test;
+    const ExperimentEnv* same_train;  // if null, test itself with another seed
+    std::unique_ptr<ExperimentEnv> same_train_storage;
+  };
+  std::vector<Axis> axes;
+
+  {  // (a) different topology + failure scenario: Clos-sim -> testbed queue.
+    Axis axis;
+    axis.name = "topology";
+    TestbedEnvConfig tb;
+    tb.num_traces = 4;
+    tb.sim.num_app_flows = scaled_flows(1800);
+    tb.seed = 9101;
+    axis.same_train_storage = make_testbed_env(tb);
+    tb.seed = 9102;
+    axis.test = make_testbed_env(tb);
+    axis.same_train = axis.same_train_storage.get();
+    axes.push_back(std::move(axis));
+  }
+  {  // (b) different failure rate.
+    Axis axis;
+    axis.name = "failure rate";
+    EnvConfig hot = clos_config(scaled_flows(30000), 9201);
+    hot.rates.bad_min = 5e-3;  // train on significantly harder failures (5x)
+    hot.rates.bad_max = 5e-2;
+    axis.diff_train = make_env(hot);
+    axis.test = make_env(clos_config(scaled_flows(30000), 9202));
+    axis.same_train = base_train.get();
+    axes.push_back(std::move(axis));
+  }
+  {  // (c) different monitoring interval (4x fewer flows in training).
+    Axis axis;
+    axis.name = "monitoring";
+    axis.diff_train = make_env(clos_config(scaled_flows(30000) / 4, 9301));
+    axis.test = make_env(clos_config(scaled_flows(30000), 9302));
+    axis.same_train = base_train.get();
+    axes.push_back(std::move(axis));
+  }
+  {  // (d) different failure type (train: link drops, test: device failures).
+    Axis axis;
+    axis.name = "failure type";
+    EnvConfig dev = clos_config(scaled_flows(30000), 9401);
+    dev.failure = FailureKind::kDeviceFailures;
+    dev.device_link_fraction = 0.5;
+    axis.test = make_env(dev);
+    dev.seed = 9402;
+    axis.same_train_storage = make_env(dev);
+    axis.same_train = axis.same_train_storage.get();
+    axes.push_back(std::move(axis));
+  }
+
+  Table table({"scheme", "cal", "topology p/r", "fail-rate p/r", "monitoring p/r",
+               "fail-type p/r", "aggregate F"});
+  for (const Scheme& scheme : schemes) {
+    std::map<std::string, Cell> cells;
+    for (Axis& axis : axes) {
+      const ExperimentEnv& diff_train = axis.diff_train ? *axis.diff_train : *base_train;
+      const auto d_params = calibrate(scheme, diff_train);
+      const auto s_params = calibrate(scheme, *axis.same_train);
+      cells[axis.name].d = evaluate(scheme, d_params, *axis.test);
+      cells[axis.name].s = evaluate(scheme, s_params, *axis.test);
+    }
+    for (const bool same : {false, true}) {
+      std::vector<std::string> row{scheme.name, same ? "S" : "D"};
+      double fsum = 0;
+      for (const char* axis : {"topology", "failure rate", "monitoring", "failure type"}) {
+        const Accuracy& acc = same ? cells[axis].s : cells[axis].d;
+        row.push_back(Table::num(acc.precision, 2) + "/" + Table::num(acc.recall, 2));
+        fsum += acc.fscore();
+      }
+      row.push_back(Table::num(fsum / 4.0));
+      table.add_row(row);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace flock
+
+int main() { return flock::run(); }

@@ -1,0 +1,56 @@
+// Device-failure triage: a line-card-style fault silently drops packets on
+// half of one switch's links. Flock models devices as first-class
+// components (with a 5x-stronger prior on the log scale), so the output
+// names the switch itself when the evidence supports it, or the individual
+// links when it does not.
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/flock_localizer.h"
+#include "eval/metrics.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "topology/topology.h"
+
+int main() {
+  using namespace flock;
+
+  Topology topo = make_fat_tree(6);
+  EcmpRouter router(topo);
+  Rng rng(7);
+
+  DropRateConfig rates;
+  rates.bad_min = 5e-3;
+  rates.bad_max = 1e-2;
+  GroundTruth truth = make_device_failures(topo, /*num_devices=*/1, /*link_fraction=*/1.0,
+                                           rates, rng);
+  const ComponentId faulty_device = truth.failed.front();
+  std::cout << "injected: " << topo.component_name(faulty_device) << " fails "
+            << truth.device_failed_links.at(faulty_device).size() << " of its "
+            << topo.device_links(topo.device_node(faulty_device)).size() << " links\n";
+
+  TrafficConfig traffic;
+  traffic.num_app_flows = 30000;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+
+  ViewOptions view;
+  view.telemetry = kTelemetryInt;
+  const InferenceInput input = make_view(topo, router, trace, view);
+
+  FlockOptions options;
+  options.params.p_g = 1e-4;
+  options.params.p_b = 6e-3;
+  options.params.rho = 1e-3;
+  const auto result = FlockLocalizer(options).localize(input);
+
+  std::cout << "\nFlock's diagnosis:\n";
+  for (ComponentId c : result.predicted) {
+    std::cout << "  -> " << topo.component_name(c)
+              << (topo.is_device_component(c) ? "   [device-level root cause]" : "") << "\n";
+  }
+  const Accuracy acc = evaluate_accuracy(topo, trace.truth, result.predicted);
+  std::cout << "precision " << acc.precision << ", recall " << acc.recall
+            << " (device recall credits the device itself or its failed links)\n";
+  return acc.recall > 0.5 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Passive-only localization (§7.6, Fig 5c): no probes, no INT — only
+// NetFlow/IPFIX-style records whose paths are known up to the ECMP
+// candidate set. Baselines cannot run on this input at all. Flock narrows
+// the fault down to its ECMP equivalence class and reports the whole
+// ambiguity set; topology irregularity shrinks those classes.
+#include <algorithm>
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/flock_localizer.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "topology/degrade.h"
+#include "topology/topology.h"
+
+int main() {
+  using namespace flock;
+
+  Rng rng(21);
+  Topology full = make_fat_tree(6);
+  // A mildly irregular datacenter: 3% of switch links are out for upgrades.
+  Topology topo = degrade_topology(full, 0.03, rng);
+  EcmpRouter router(topo);
+
+  DropRateConfig rates;
+  GroundTruth truth = make_silent_link_drops_fixed(topo, 1, /*drop=*/8e-3, rates, rng);
+  const ComponentId culprit = truth.failed.front();
+  std::cout << "injected failure: " << topo.component_name(culprit) << "\n";
+
+  // The ECMP equivalence class of the culprit — the information-theoretic
+  // limit of passive localization.
+  EcmpRouter class_router(topo);
+  const auto classes = ecmp_equivalence_classes(class_router);
+  for (const auto& cls : classes) {
+    if (std::find(cls.begin(), cls.end(), culprit) == cls.end()) continue;
+    std::cout << "its equivalence class has " << cls.size() << " member(s):\n";
+    for (ComponentId c : cls) std::cout << "   " << topo.component_name(c) << "\n";
+  }
+
+  TrafficConfig traffic;
+  traffic.num_app_flows = 40000;
+  ProbeConfig probes;
+  probes.enabled = false;  // strictly passive
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, probes, rng);
+  ViewOptions view;
+  view.telemetry = kTelemetryP;
+  const InferenceInput input = make_view(topo, router, trace, view);
+
+  FlockOptions options;
+  options.params.p_g = 1e-4;
+  options.params.p_b = 6e-3;
+  options.params.rho = 1e-4;
+  options.equivalence_epsilon = 1e-6;  // report the whole ambiguity set
+  const auto result = FlockLocalizer(options).localize(input);
+
+  std::cout << "\nFlock (passive only) narrows the fault to " << result.predicted.size()
+            << " candidate(s):\n";
+  bool hit = false;
+  for (ComponentId c : result.predicted) {
+    const bool is_culprit = c == culprit;
+    hit |= is_culprit;
+    std::cout << "  -> " << topo.component_name(c) << (is_culprit ? "   <== the culprit" : "")
+              << "\n";
+  }
+  std::cout << (hit ? "\nThe true failure is in the reported set — a 2-3 link starting point\n"
+                      "for operators where every other scheme reports nothing.\n"
+                    : "\nMissed in this run.\n");
+  return hit ? 0 : 1;
+}

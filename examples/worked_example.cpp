@@ -1,0 +1,85 @@
+// The paper's worked example (Fig 6 in the appendix): five links, five
+// monitored flows, one failed link. 007's voting and NetBouncer's
+// rate-solving both mis-localize; Flock's PGM inference finds the culprit.
+//
+// Network (hosts S1,S2,D1,D2; switches I1,I2):
+//     S1 --\            /-- D1
+//           I1 ---- I2
+//     S2 --/            \-- D2   <- link I2-D2 silently drops ~5% of packets
+//
+// Flows (drops/sent): S1->D2 543/10K, S2->D2 461/10K, S1->D1 2/10K,
+// S2->D1 0/10K, S2->D1 0/10K.
+#include <iostream>
+
+#include "baselines/netbouncer.h"
+#include "baselines/zero07.h"
+#include "core/flock_localizer.h"
+#include "topology/topology.h"
+
+int main() {
+  using namespace flock;
+
+  Topology topo;
+  const NodeId i1 = topo.add_node(NodeKind::kAgg, 0, 1);
+  const NodeId i2 = topo.add_node(NodeKind::kAgg, 0, 2);
+  const NodeId s1 = topo.add_node(NodeKind::kHost, 0, 1);
+  const NodeId s2 = topo.add_node(NodeKind::kHost, 0, 2);
+  const NodeId d1 = topo.add_node(NodeKind::kHost, 1, 1);
+  const NodeId d2 = topo.add_node(NodeKind::kHost, 1, 2);
+  topo.add_link(s1, i1);
+  topo.add_link(s2, i1);
+  const LinkId i1_i2 = topo.add_link(i1, i2);
+  const LinkId i2_d1 = topo.add_link(i2, d1);
+  const LinkId i2_d2 = topo.add_link(i2, d2);
+  (void)i1_i2;
+  (void)i2_d1;
+
+  EcmpRouter router(topo);
+  InferenceInput input(topo, router);
+  auto add_flow = [&](NodeId src, NodeId dst, std::uint32_t bad, std::uint32_t sent) {
+    FlowObservation obs;
+    obs.src_link = topo.link_component(topo.host_access_link(src));
+    obs.dst_link = topo.link_component(topo.host_access_link(dst));
+    obs.path_set = router.host_pair_path_set(src, dst);
+    obs.taken_path = 0;  // single path in this topology; known to all schemes
+    obs.packets_sent = sent;
+    obs.bad_packets = bad;
+    input.add(obs);
+  };
+  add_flow(s1, d2, 543, 10000);
+  add_flow(s2, d2, 461, 10000);
+  add_flow(s1, d1, 2, 10000);
+  add_flow(s2, d1, 0, 10000);
+  add_flow(s2, d1, 0, 10000);
+
+  auto show = [&](const char* name, const LocalizationResult& result) {
+    std::cout << name << " predicts:";
+    if (result.predicted.empty()) std::cout << " (nothing)";
+    for (ComponentId c : result.predicted) std::cout << " " << topo.component_name(c);
+    std::cout << "\n";
+  };
+
+  Zero07Options z;
+  z.score_threshold = 0.9;
+  show("007       ", Zero07Localizer(z).localize(input));
+
+  NetBouncerOptions nb;
+  nb.drop_threshold = 2e-2;
+  show("NetBouncer", NetBouncerLocalizer(nb).localize(input));
+
+  FlockOptions f;
+  f.params.p_g = 1e-3;
+  f.params.p_b = 4e-2;
+  f.params.rho = 1e-3;
+  const auto flock = FlockLocalizer(f).localize(input);
+  show("Flock     ", flock);
+
+  const ComponentId truth = topo.link_component(i2_d2);
+  const bool correct = flock.predicted == std::vector<ComponentId>{truth};
+  std::cout << "\nground truth: " << topo.component_name(truth) << " -> Flock is "
+            << (correct ? "correct" : "NOT correct") << "\n"
+            << "Both flows to D2 are lossy while traffic to D1 is clean; the MLE\n"
+            << "explanation is the single link I2-D2, not the shared upstream links\n"
+            << "that voting/rate-thresholding schemes gravitate to.\n";
+  return correct ? 0 : 1;
+}

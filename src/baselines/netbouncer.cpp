@@ -1,0 +1,173 @@
+#include "baselines/netbouncer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace flock {
+namespace {
+
+struct PathAgg {
+  std::vector<LinkId> links;
+  double sent = 0;
+  double good = 0;
+};
+
+// FNV-1a over the link sequence, for grouping observations by concrete path.
+std::uint64_t hash_links(const std::vector<LinkId>& links) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (LinkId l : links) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(l));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Problem {
+  std::vector<PathAgg> paths;
+  std::vector<LinkId> observed_links;
+  std::vector<std::vector<std::int32_t>> paths_of_link;  // indexed by link id
+};
+
+Problem build_problem(const InferenceInput& input) {
+  const Topology& topo = input.topology();
+  Problem prob;
+  prob.paths_of_link.resize(static_cast<std::size_t>(topo.num_links()));
+  std::unordered_map<std::uint64_t, std::int32_t> index;
+
+  for (const FlowObservation& obs : input.flows()) {
+    if (!obs.path_known() || obs.packets_sent == 0) continue;
+    std::vector<LinkId> links;
+    for (ComponentId c : input.known_path_components(obs)) {
+      if (topo.is_link_component(c)) links.push_back(topo.component_link(c));
+    }
+    const std::uint64_t h = hash_links(links);
+    auto it = index.find(h);
+    std::int32_t pi;
+    if (it == index.end() ||
+        prob.paths[static_cast<std::size_t>(it->second)].links != links) {
+      pi = static_cast<std::int32_t>(prob.paths.size());
+      index.emplace(h, pi);
+      PathAgg agg;
+      agg.links = links;
+      prob.paths.push_back(std::move(agg));
+      for (LinkId l : prob.paths.back().links) {
+        auto& list = prob.paths_of_link[static_cast<std::size_t>(l)];
+        if (list.empty() || list.back() != pi) list.push_back(pi);
+      }
+    } else {
+      pi = it->second;
+    }
+    auto& agg = prob.paths[static_cast<std::size_t>(pi)];
+    agg.sent += obs.packets_sent;
+    agg.good += static_cast<double>(obs.packets_sent - obs.bad_packets);
+  }
+
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    if (!prob.paths_of_link[static_cast<std::size_t>(l)].empty()) prob.observed_links.push_back(l);
+  }
+  return prob;
+}
+
+}  // namespace
+
+std::vector<double> NetBouncerLocalizer::solve_link_success(const InferenceInput& input) const {
+  const Topology& topo = input.topology();
+  Problem prob = build_problem(input);
+  std::vector<double> x(static_cast<std::size_t>(topo.num_links()), 1.0);
+  if (prob.paths.empty()) return x;
+
+  std::vector<double> y(prob.paths.size());
+  for (std::size_t p = 0; p < prob.paths.size(); ++p) {
+    y[p] = prob.paths[p].sent > 0 ? prob.paths[p].good / prob.paths[p].sent : 1.0;
+  }
+
+  for (std::int32_t iter = 0; iter < options_.max_iterations; ++iter) {
+    double max_change = 0.0;
+    for (LinkId l : prob.observed_links) {
+      // Closed-form coordinate update: the objective restricted to x_l is
+      //   A x^2 - B x + const, with
+      //   A = sum_p n_p a_p^2 - lambda,  B = 2 sum_p n_p a_p y_p - lambda,
+      // where a_p is the product of the other links' success on path p.
+      double sum_a2 = 0.0;
+      double sum_ay = 0.0;
+      for (std::int32_t pi : prob.paths_of_link[static_cast<std::size_t>(l)]) {
+        const PathAgg& agg = prob.paths[static_cast<std::size_t>(pi)];
+        double a = 1.0;
+        for (LinkId other : agg.links) {
+          if (other != l) a *= x[static_cast<std::size_t>(other)];
+        }
+        sum_a2 += agg.sent * a * a;
+        sum_ay += agg.sent * a * y[static_cast<std::size_t>(pi)];
+      }
+      const double a_coef = sum_a2 - options_.lambda;
+      const double b_coef = 2.0 * sum_ay - options_.lambda;
+      double nx;
+      if (a_coef > 1e-12) {
+        nx = std::clamp(b_coef / (2.0 * a_coef), 0.0, 1.0);
+      } else {
+        // Concave (or degenerate) restriction: the minimum is at an endpoint.
+        nx = (a_coef - b_coef < 0.0) ? 1.0 : 0.0;
+      }
+      max_change = std::max(max_change, std::abs(nx - x[static_cast<std::size_t>(l)]));
+      x[static_cast<std::size_t>(l)] = nx;
+    }
+    if (max_change < options_.convergence_eps) break;
+  }
+  return x;
+}
+
+LocalizationResult NetBouncerLocalizer::localize(const InferenceInput& input) const {
+  Stopwatch watch;
+  const Topology& topo = input.topology();
+  const std::vector<double> x = solve_link_success(input);
+
+  // Which links were observed at all (unobserved links stay at prior 1.0 and
+  // must not be blamed).
+  Problem prob = build_problem(input);
+  std::vector<char> observed(static_cast<std::size_t>(topo.num_links()), 0);
+  for (LinkId l : prob.observed_links) observed[static_cast<std::size_t>(l)] = 1;
+
+  std::vector<char> blamed(static_cast<std::size_t>(topo.num_links()), 0);
+  for (LinkId l : prob.observed_links) {
+    if (1.0 - x[static_cast<std::size_t>(l)] > options_.drop_threshold) {
+      blamed[static_cast<std::size_t>(l)] = 1;
+    }
+  }
+
+  LocalizationResult result;
+  // Device aggregation: when most observed links of a switch look bad, the
+  // switch itself is the more parsimonious root cause.
+  std::vector<char> device_blamed(static_cast<std::size_t>(topo.num_nodes()), 0);
+  for (NodeId sw : topo.switches()) {
+    std::int32_t seen = 0;
+    std::int32_t bad = 0;
+    for (LinkId l : topo.device_links(sw)) {
+      if (!observed[static_cast<std::size_t>(l)]) continue;
+      ++seen;
+      bad += blamed[static_cast<std::size_t>(l)];
+    }
+    if (seen >= 2 &&
+        static_cast<double>(bad) >= options_.device_link_fraction * static_cast<double>(seen)) {
+      device_blamed[static_cast<std::size_t>(sw)] = 1;
+      result.predicted.push_back(topo.device_component(sw));
+    }
+  }
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    if (!blamed[static_cast<std::size_t>(l)]) continue;
+    const Link& lk = topo.link(l);
+    const bool covered =
+        (topo.is_switch(lk.a) && device_blamed[static_cast<std::size_t>(lk.a)]) ||
+        (topo.is_switch(lk.b) && device_blamed[static_cast<std::size_t>(lk.b)]);
+    if (!covered) result.predicted.push_back(topo.link_component(l));
+  }
+  std::sort(result.predicted.begin(), result.predicted.end());
+  result.hypotheses_scanned = static_cast<std::int64_t>(prob.paths.size());
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace flock

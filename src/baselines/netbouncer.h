@@ -1,0 +1,51 @@
+// NetBouncer [Tan et al., NSDI'19], Figure 5: latent-factor estimation of
+// per-link success probabilities.
+//
+// Known-path observations are aggregated per concrete link-level path into
+// success ratios y_p. NetBouncer then minimizes
+//     sum_p n_p * (y_p - prod_{l in p} x_l)^2  +  lambda * sum_l x_l (1 - x_l)
+// over per-link success probabilities x_l in [0,1] by cyclic coordinate
+// descent with the closed-form per-link update (the regularizer pushes x_l
+// toward {0,1}, resolving the product ambiguity on under-constrained links).
+// Links whose estimated drop rate 1 - x_l exceeds `drop_threshold` are
+// blamed; a device is blamed (replacing its links) when at least
+// `device_link_fraction` of its observed links are blamed.
+//
+// Hyper-parameters (3, as in §5.2): lambda, drop_threshold,
+// device_link_fraction.
+#pragma once
+
+#include <cstdint>
+
+#include "core/inference_input.h"
+
+namespace flock {
+
+struct NetBouncerOptions {
+  double lambda = 4.0;
+  double drop_threshold = 5e-3;
+  double device_link_fraction = 0.6;
+  std::int32_t max_iterations = 50;
+  double convergence_eps = 1e-9;
+};
+
+class NetBouncerLocalizer final : public Localizer {
+ public:
+  explicit NetBouncerLocalizer(NetBouncerOptions options) : options_(options) {}
+
+  LocalizationResult localize(const InferenceInput& input) const override;
+  const char* name() const override { return "NetBouncer"; }
+
+  const NetBouncerOptions& options() const { return options_; }
+  NetBouncerOptions& options() { return options_; }
+
+  // Exposed for tests: the estimated per-link success probabilities from the
+  // last localize() call would be stateful; instead tests use this pure
+  // helper that returns the solved x vector.
+  std::vector<double> solve_link_success(const InferenceInput& input) const;
+
+ private:
+  NetBouncerOptions options_;
+};
+
+}  // namespace flock

@@ -1,0 +1,105 @@
+#include "baselines/sherlock.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/likelihood_engine.h"
+
+namespace flock {
+namespace {
+
+struct SearchState {
+  LikelihoodEngine* engine;
+  std::int32_t max_failures;
+  bool use_jle;
+  std::int64_t node_budget;
+  std::int64_t nodes_visited = 0;
+  bool budget_exhausted = false;
+  double best_posterior = 0.0;  // empty hypothesis is the baseline
+  std::vector<ComponentId> best_hypothesis;
+  std::vector<ComponentId> current;
+};
+
+bool charge_node(SearchState& st) {
+  ++st.nodes_visited;
+  if (st.node_budget > 0 && st.nodes_visited > st.node_budget) {
+    st.budget_exhausted = true;
+    return false;
+  }
+  return true;
+}
+
+// Depth-first enumeration of all hypotheses of size <= K. Components are
+// added in increasing id order so each subset is visited exactly once.
+//
+// This is where Algorithm 3's speedup materializes: with JLE the entire
+// last level of the tree (the children of a size K-1 hypothesis) is scored
+// straight off the maintained Delta array, one O(1) read per child, instead
+// of one O(D·T) evaluation per child.
+void explore(SearchState& st, ComponentId first_candidate) {
+  if (st.budget_exhausted) return;
+  if (!charge_node(st)) return;
+  const double posterior = st.engine->log_posterior();
+  if (posterior > st.best_posterior) {
+    st.best_posterior = posterior;
+    st.best_hypothesis = st.current;
+  }
+  const auto depth = static_cast<std::int32_t>(st.current.size());
+  if (depth >= st.max_failures) return;
+  const std::int32_t n = st.engine->num_components();
+
+  if (st.use_jle && depth == st.max_failures - 1) {
+    // Joint frontier: all remaining children scored from the Delta array.
+    for (ComponentId c = first_candidate; c < n; ++c) {
+      if (st.engine->failed(c)) continue;
+      if (!charge_node(st)) return;
+      st.engine->note_scan(1);
+      const double child = posterior + st.engine->flip_score(c);
+      if (child > st.best_posterior) {
+        st.best_posterior = child;
+        st.best_hypothesis = st.current;
+        st.best_hypothesis.push_back(c);
+      }
+    }
+    return;
+  }
+
+  for (ComponentId c = first_candidate; c < n; ++c) {
+    st.engine->note_scan(1);
+    st.engine->flip(c);
+    st.current.push_back(c);
+    explore(st, c + 1);
+    st.current.pop_back();
+    st.engine->flip(c);
+    if (st.budget_exhausted) return;
+  }
+}
+
+}  // namespace
+
+SherlockResult SherlockLocalizer::localize_detailed(const InferenceInput& input) const {
+  Stopwatch watch;
+  LikelihoodEngine engine(input, options_.params, options_.use_jle);
+  SearchState st;
+  st.engine = &engine;
+  st.max_failures = options_.max_failures;
+  st.use_jle = options_.use_jle;
+  st.node_budget = options_.node_budget;
+  explore(st, 0);
+
+  SherlockResult result;
+  result.predicted = st.best_hypothesis;
+  result.log_likelihood = st.best_posterior;
+  result.hypotheses_scanned = engine.hypotheses_scanned();
+  result.seconds = watch.seconds();
+  result.completed = !st.budget_exhausted;
+  result.nodes_visited = st.nodes_visited;
+  return result;
+}
+
+LocalizationResult SherlockLocalizer::localize(const InferenceInput& input) const {
+  return localize_detailed(input);
+}
+
+}  // namespace flock

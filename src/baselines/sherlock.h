@@ -1,0 +1,52 @@
+// Sherlock's "Ferret" inference [Bahl et al., SIGCOMM'07], run on the same
+// PGM as Flock for a fair comparison (§6.1): exhaustive search over all
+// hypotheses with at most K concurrent failures, picking the maximum
+// posterior. Without JLE each explored hypothesis is evaluated by updating
+// the flows that intersect the flipped component (O(D·T)), for O(n^K · D·T)
+// total. With JLE (Algorithm 3 in the paper's appendix) a whole frontier of
+// n neighbors is read off the Delta array at once, improving the runtime by
+// a factor of n to O(n^{K-1} · D·T).
+//
+// Because the full search is intractable at datacenter scale (the whole
+// point of the paper), the search accepts a node budget; when exhausted the
+// traversal stops and `completed` is false, letting benchmarks extrapolate
+// full runtimes the way §7.8 extrapolates Sherlock's 19-day estimate.
+#pragma once
+
+#include <cstdint>
+
+#include "core/inference_input.h"
+#include "core/params.h"
+
+namespace flock {
+
+struct SherlockOptions {
+  FlockParams params;
+  std::int32_t max_failures = 2;  // K
+  bool use_jle = false;
+  // Stop after visiting this many search-tree nodes (0 = unlimited).
+  std::int64_t node_budget = 0;
+};
+
+struct SherlockResult : LocalizationResult {
+  bool completed = true;
+  std::int64_t nodes_visited = 0;
+};
+
+class SherlockLocalizer final : public Localizer {
+ public:
+  explicit SherlockLocalizer(SherlockOptions options) : options_(options) {}
+
+  LocalizationResult localize(const InferenceInput& input) const override;
+  // Full-fidelity entry point exposing completion state.
+  SherlockResult localize_detailed(const InferenceInput& input) const;
+
+  const char* name() const override {
+    return options_.use_jle ? "Sherlock(JLE)" : "Sherlock";
+  }
+
+ private:
+  SherlockOptions options_;
+};
+
+}  // namespace flock

@@ -1,0 +1,49 @@
+#include "baselines/zero07.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace flock {
+
+LocalizationResult Zero07Localizer::localize(const InferenceInput& input) const {
+  Stopwatch watch;
+  const Topology& topo = input.topology();
+  // 007 ranks *links*; device failures surface as several of the device's
+  // links ranking high (the App A.1 metric then grants partial credit).
+  std::vector<double> score(static_cast<std::size_t>(topo.num_links()), 0.0);
+  std::int64_t flagged = 0;
+
+  for (const FlowObservation& obs : input.flows()) {
+    if (!obs.path_known() || obs.bad_packets == 0) continue;
+    ++flagged;
+    const auto comps = input.known_path_components(obs);
+    std::int64_t links_on_path = 0;
+    for (ComponentId c : comps) {
+      if (topo.is_link_component(c)) ++links_on_path;
+    }
+    if (links_on_path == 0) continue;
+    const double vote = 1.0 / static_cast<double>(links_on_path);
+    for (ComponentId c : comps) {
+      if (topo.is_link_component(c)) score[static_cast<std::size_t>(c)] += vote;
+    }
+  }
+
+  LocalizationResult result;
+  result.hypotheses_scanned = flagged;
+  const double max_score =
+      score.empty() ? 0.0 : *std::max_element(score.begin(), score.end());
+  if (max_score > 0.0) {
+    const double cut = options_.score_threshold * max_score;
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      if (score[static_cast<std::size_t>(l)] >= cut) {
+        result.predicted.push_back(topo.link_component(l));
+      }
+    }
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace flock

@@ -1,0 +1,36 @@
+// 007 [Arzani et al., NSDI'18], Algorithm 1: voting-based ranking.
+//
+// Every flow that experienced at least one retransmission contributes a vote
+// of 1/h to each component on its (traceroute'd, hence known) path, where h
+// is the number of links on the path. Components whose accumulated score is
+// at least `score_threshold` times the maximum score are blamed. Flows with
+// unknown paths are ignored — 007 has no notion of path uncertainty, which
+// is exactly why it cannot ingest passive telemetry (§6.2).
+//
+// The single hyper-parameter is the blame threshold (§5.2 calibrates it).
+#pragma once
+
+#include "core/inference_input.h"
+
+namespace flock {
+
+struct Zero07Options {
+  // Blame every component scoring >= score_threshold * max_score.
+  double score_threshold = 0.8;
+};
+
+class Zero07Localizer final : public Localizer {
+ public:
+  explicit Zero07Localizer(Zero07Options options) : options_(options) {}
+
+  LocalizationResult localize(const InferenceInput& input) const override;
+  const char* name() const override { return "007"; }
+
+  const Zero07Options& options() const { return options_; }
+  Zero07Options& options() { return options_; }
+
+ private:
+  Zero07Options options_;
+};
+
+}  // namespace flock

@@ -1,0 +1,88 @@
+#include "calibration/calibrate_schemes.h"
+
+#include <stdexcept>
+
+#include "core/flock_localizer.h"
+
+namespace flock {
+
+FlockParams flock_params_from(const std::vector<double>& p) {
+  if (p.size() != 3) throw std::invalid_argument("flock_params_from: want (p_g, p_b, rho)");
+  FlockParams params;
+  params.p_g = p[0];
+  params.p_b = p[1];
+  params.rho = p[2];
+  return params;
+}
+
+NetBouncerOptions netbouncer_options_from(const std::vector<double>& p) {
+  if (p.size() != 3) {
+    throw std::invalid_argument("netbouncer_options_from: want (lambda, threshold, dev_frac)");
+  }
+  NetBouncerOptions opt;
+  opt.lambda = p[0];
+  opt.drop_threshold = p[1];
+  opt.device_link_fraction = p[2];
+  return opt;
+}
+
+Zero07Options zero07_options_from(const std::vector<double>& p) {
+  if (p.size() != 1) throw std::invalid_argument("zero07_options_from: want (threshold)");
+  Zero07Options opt;
+  opt.score_threshold = p[0];
+  return opt;
+}
+
+ParamGrid default_flock_grid() {
+  ParamGrid grid;
+  grid.names = {"p_g", "p_b", "rho"};
+  grid.values = {
+      {1e-4, 3e-4, 5e-4, 7e-4},          // the Fig 8a sweep values
+      {2e-3, 6e-3, 2e-2, 6e-2, 2e-1},
+      {1e-4, 1e-3, 1e-2},
+  };
+  return grid;
+}
+
+ParamGrid default_netbouncer_grid() {
+  ParamGrid grid;
+  grid.names = {"lambda", "drop_threshold", "device_link_fraction"};
+  grid.values = {
+      {1.0, 4.0, 16.0},
+      {5e-4, 1e-3, 2e-3, 5e-3, 1e-2},
+      {0.5, 0.75},
+  };
+  return grid;
+}
+
+ParamGrid default_zero07_grid() {
+  ParamGrid grid;
+  grid.names = {"score_threshold"};
+  grid.values = {{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}};
+  return grid;
+}
+
+CalibrationOutcome calibrate_flock(const ExperimentEnv& train, const ViewOptions& view,
+                                   const ParamGrid& grid) {
+  return calibrate_grid(grid, [&](const std::vector<double>& p) {
+    FlockOptions opt;
+    opt.params = flock_params_from(p);
+    return run_scheme_mean(FlockLocalizer(opt), train, view);
+  });
+}
+
+CalibrationOutcome calibrate_netbouncer(const ExperimentEnv& train, const ViewOptions& view,
+                                        const ParamGrid& grid) {
+  return calibrate_grid(grid, [&](const std::vector<double>& p) {
+    return run_scheme_mean(NetBouncerLocalizer(netbouncer_options_from(p)), train, view);
+  });
+}
+
+CalibrationOutcome calibrate_zero07(const ExperimentEnv& train, const ViewOptions& view,
+                                    const ParamGrid& grid) {
+  return calibrate_grid(grid, [&](const std::vector<double>& p) {
+    return run_scheme_mean(Zero07Localizer(zero07_options_from(p)), train, view);
+  });
+}
+
+}  // namespace flock

@@ -1,0 +1,38 @@
+// Per-scheme calibration glue: default grids, parameter-vector decoding, and
+// one-call calibration of Flock, NetBouncer and 007 on a training
+// environment under a given telemetry view (§5.2, §6.1).
+#pragma once
+
+#include "baselines/netbouncer.h"
+#include "baselines/zero07.h"
+#include "calibration/grid.h"
+#include "core/params.h"
+#include "eval/runner.h"
+
+namespace flock {
+
+// --- parameter vector <-> options ------------------------------------------
+
+// Flock: params = (p_g, p_b, rho).
+FlockParams flock_params_from(const std::vector<double>& p);
+// NetBouncer: params = (lambda, drop_threshold, device_link_fraction).
+NetBouncerOptions netbouncer_options_from(const std::vector<double>& p);
+// 007: params = (score_threshold).
+Zero07Options zero07_options_from(const std::vector<double>& p);
+
+// --- default grids (equally spaced in a reasonable range, §5.2) -------------
+
+ParamGrid default_flock_grid();
+ParamGrid default_netbouncer_grid();
+ParamGrid default_zero07_grid();
+
+// --- calibration -------------------------------------------------------------
+
+CalibrationOutcome calibrate_flock(const ExperimentEnv& train, const ViewOptions& view,
+                                   const ParamGrid& grid = default_flock_grid());
+CalibrationOutcome calibrate_netbouncer(const ExperimentEnv& train, const ViewOptions& view,
+                                        const ParamGrid& grid = default_netbouncer_grid());
+CalibrationOutcome calibrate_zero07(const ExperimentEnv& train, const ViewOptions& view,
+                                    const ParamGrid& grid = default_zero07_grid());
+
+}  // namespace flock

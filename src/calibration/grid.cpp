@@ -1,0 +1,82 @@
+#include "calibration/grid.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flock {
+
+std::vector<CalibrationPoint> sweep_grid(const ParamGrid& grid, const GridEvalFn& eval) {
+  if (grid.values.empty() || grid.names.size() != grid.values.size()) {
+    throw std::invalid_argument("sweep_grid: malformed grid");
+  }
+  for (const auto& axis : grid.values) {
+    if (axis.empty()) throw std::invalid_argument("sweep_grid: empty axis");
+  }
+  std::vector<CalibrationPoint> out;
+  std::vector<std::size_t> idx(grid.values.size(), 0);
+  while (true) {
+    CalibrationPoint point;
+    point.params.reserve(idx.size());
+    for (std::size_t a = 0; a < idx.size(); ++a) point.params.push_back(grid.values[a][idx[a]]);
+    point.accuracy = eval(point.params);
+    out.push_back(std::move(point));
+    // Odometer increment.
+    std::size_t a = 0;
+    for (; a < idx.size(); ++a) {
+      if (++idx[a] < grid.values[a].size()) break;
+      idx[a] = 0;
+    }
+    if (a == idx.size()) break;
+  }
+  return out;
+}
+
+std::vector<CalibrationPoint> pareto_frontier(std::vector<CalibrationPoint> points) {
+  std::vector<CalibrationPoint> frontier;
+  for (const CalibrationPoint& p : points) {
+    bool dominated = false;
+    for (const CalibrationPoint& q : points) {
+      if (q.accuracy.precision >= p.accuracy.precision &&
+          q.accuracy.recall >= p.accuracy.recall &&
+          (q.accuracy.precision > p.accuracy.precision ||
+           q.accuracy.recall > p.accuracy.recall)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(p);
+  }
+  std::sort(frontier.begin(), frontier.end(), [](const auto& a, const auto& b) {
+    return a.accuracy.precision < b.accuracy.precision;
+  });
+  return frontier;
+}
+
+CalibrationPoint select_operating_point(const std::vector<CalibrationPoint>& points,
+                                        double initial_precision, double min_recall,
+                                        double precision_step) {
+  if (points.empty()) throw std::invalid_argument("select_operating_point: no points");
+  for (double floor = initial_precision; floor > 0.0; floor -= precision_step) {
+    const CalibrationPoint* best = nullptr;
+    for (const CalibrationPoint& p : points) {
+      if (p.accuracy.precision < floor) continue;
+      if (best == nullptr || p.accuracy.recall > best->accuracy.recall) best = &p;
+    }
+    if (best != nullptr && best->accuracy.recall >= min_recall) return *best;
+  }
+  // Nothing clears the recall bar at any precision floor: fall back to the
+  // highest-recall point overall.
+  return *std::max_element(points.begin(), points.end(), [](const auto& a, const auto& b) {
+    return a.accuracy.recall < b.accuracy.recall;
+  });
+}
+
+CalibrationOutcome calibrate_grid(const ParamGrid& grid, const GridEvalFn& eval) {
+  CalibrationOutcome outcome;
+  outcome.evaluated = sweep_grid(grid, eval);
+  outcome.frontier = pareto_frontier(outcome.evaluated);
+  outcome.chosen = select_operating_point(outcome.evaluated);
+  return outcome;
+}
+
+}  // namespace flock

@@ -1,0 +1,52 @@
+// Automated hyper-parameter calibration (§5.2).
+//
+// Every scheme's parameters are chosen the same way: evaluate a grid of
+// equally-spaced settings on a labeled training set, keep the Pareto
+// frontier of (precision, recall), and pick the operating point by the
+// paper's rule — require precision >= 98% and maximize recall; if no
+// setting qualifies (or the best recall is below 25%), relax the precision
+// floor by 5% and retry.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace flock {
+
+struct ParamGrid {
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> values;  // one axis per name
+};
+
+struct CalibrationPoint {
+  std::vector<double> params;
+  Accuracy accuracy;
+};
+
+struct CalibrationOutcome {
+  CalibrationPoint chosen;
+  std::vector<CalibrationPoint> frontier;  // Pareto-optimal in (precision, recall)
+  std::vector<CalibrationPoint> evaluated;
+};
+
+using GridEvalFn = std::function<Accuracy(const std::vector<double>&)>;
+
+// Exhaustive sweep of the cartesian product of the grid axes.
+std::vector<CalibrationPoint> sweep_grid(const ParamGrid& grid, const GridEvalFn& eval);
+
+// Pareto frontier: points not dominated in both precision and recall.
+std::vector<CalibrationPoint> pareto_frontier(std::vector<CalibrationPoint> points);
+
+// The §5.2 selection rule.
+CalibrationPoint select_operating_point(const std::vector<CalibrationPoint>& points,
+                                        double initial_precision = 0.98,
+                                        double min_recall = 0.25,
+                                        double precision_step = 0.05);
+
+// Convenience: sweep + frontier + selection in one call.
+CalibrationOutcome calibrate_grid(const ParamGrid& grid, const GridEvalFn& eval);
+
+}  // namespace flock

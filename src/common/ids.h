@@ -1,0 +1,26 @@
+// Strong-ish id typedefs shared across the whole code base.
+//
+// Components are the unknowns of fault localization: links and devices
+// (switches). They live in a single contiguous id space per topology so that
+// inference can use flat arrays: links occupy [0, num_links) and devices
+// occupy [num_links, num_links + num_devices).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace flock {
+
+using NodeId = std::int32_t;       // any vertex: host or switch
+using LinkId = std::int32_t;       // undirected link index
+using ComponentId = std::int32_t;  // link or device in the unified space
+using PathId = std::int32_t;       // interned path
+using PathSetId = std::int32_t;    // interned set of ECMP paths
+using FlowId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr ComponentId kInvalidComponent = -1;
+inline constexpr PathId kInvalidPath = -1;
+inline constexpr PathSetId kInvalidPathSet = -1;
+
+}  // namespace flock

@@ -1,0 +1,58 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flock {
+
+double log_sum_exp(double a, double b) {
+  if (a < b) std::swap(a, b);
+  if (b == -INFINITY) return a;
+  return a + std::log1p(std::exp(b - a));
+}
+
+double bad_path_log_evidence(std::uint64_t bad, std::uint64_t sent, double p_g, double p_b) {
+  if (bad > sent) throw std::invalid_argument("bad_path_log_evidence: bad > sent");
+  const double r = static_cast<double>(bad);
+  const double good = static_cast<double>(sent - bad);
+  return r * std::log(p_b / p_g) + good * (std::log1p(-p_b) - std::log1p(-p_g));
+}
+
+double flow_log_likelihood_delta(std::int64_t bad_paths, std::int64_t total_paths, double s) {
+  if (bad_paths < 0 || bad_paths > total_paths || total_paths <= 0) {
+    throw std::invalid_argument("flow_log_likelihood_delta: bad path counts");
+  }
+  if (bad_paths == 0) return 0.0;
+  if (bad_paths == total_paths) return s;  // exact: log(w·e^s / w)
+  const double b = static_cast<double>(bad_paths);
+  const double w = static_cast<double>(total_paths);
+  // log( (b*e^s + (w-b)) / w ). When s is large, factor e^s out for
+  // stability; when s is very negative, e^s underflows harmlessly to 0
+  // (the term then approaches log((w-b)/w), or -inf for b == w which is the
+  // correct limit: all paths bad and the observation is impossible-ish).
+  if (s > 0) {
+    // b*e^s + (w-b) = e^s * (b + (w-b)e^{-s})
+    return s + std::log(b + (w - b) * std::exp(-s)) - std::log(w);
+  }
+  const double mix = b * std::exp(s) + (w - b);
+  if (mix <= 0) return -INFINITY;
+  return std::log(mix) - std::log(w);
+}
+
+double evidence_break_even_rate(double p_g, double p_b) {
+  const double num = std::log1p(-p_g) - std::log1p(-p_b);
+  const double den = std::log(p_b / p_g) + num;
+  return num / den;
+}
+
+double f_score(double precision, double recall) {
+  if (precision <= 0 || recall <= 0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double logit(double x) {
+  if (x <= 0 || x >= 1) throw std::invalid_argument("logit domain");
+  return std::log(x) - std::log1p(-x);
+}
+
+}  // namespace flock

@@ -1,0 +1,37 @@
+// Numeric kernels shared by the likelihood engine and the analysis code.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace flock {
+
+// log(exp(a) + exp(b)) computed stably.
+double log_sum_exp(double a, double b);
+
+// log of the binomial pmf ratio used throughout Flock's model:
+//   s(r, t) = log[ p_b^r (1-p_b)^{t-r} / ( p_g^r (1-p_g)^{t-r} ) ]
+//           = r * log(p_b/p_g) + (t - r) * log((1-p_b)/(1-p_g))
+// This is the per-flow "evidence strength": positive when the observation
+// looks more like a bad path than a good one.
+double bad_path_log_evidence(std::uint64_t bad, std::uint64_t sent, double p_g, double p_b);
+
+// Normalized flow log-likelihood term of Eq. 1 given that `bad_paths` of the
+// flow's `total_paths` ECMP paths are failed under the hypothesis:
+//   LL_F(H) - LL_F(H0) = log( (b * e^s + (w - b)) / w )
+// where s = bad_path_log_evidence(...). Stable for large |s|.
+double flow_log_likelihood_delta(std::int64_t bad_paths, std::int64_t total_paths, double s);
+
+// The drop-rate threshold mu of the appendix analysis:
+//   mu = log((1-p_g)/(1-p_b)) / log(p_b(1-p_g) / (p_g(1-p_b)))
+// Paths with drop probability above mu add positive evidence, below mu
+// negative. Used by tests that validate Lemma 1 (p_g < mu < 2mu < p_b).
+double evidence_break_even_rate(double p_g, double p_b);
+
+// Harmonic mean of precision and recall; 0 when either is 0.
+double f_score(double precision, double recall);
+
+// log(x / (1-x)); the per-component prior cost is log(rho/(1-rho)).
+double logit(double x);
+
+}  // namespace flock

@@ -1,0 +1,152 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace flock {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: used to expand the seed into the xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("next_below(0)");
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    std::uint64_t threshold = (0ULL - n) % n;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return next_double() < p;
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  if (n == 0 || p <= 0) return 0;
+  if (p >= 1) return n;
+  const double mean = static_cast<double>(n) * p;
+  if (n <= 64 || mean < 16.0) {
+    // For tiny expected counts the geometric skip method is O(successes).
+    if (mean < 4.0) {
+      std::uint64_t count = 0;
+      const double log_q = std::log1p(-p);
+      double i = 0;
+      while (true) {
+        // Number of failures until next success ~ Geometric(p).
+        double skip = std::floor(std::log(1.0 - next_double()) / log_q);
+        i += skip + 1;
+        if (i > static_cast<double>(n)) break;
+        ++count;
+      }
+      return count;
+    }
+    std::uint64_t count = 0;
+    for (std::uint64_t i = 0; i < n; ++i) count += chance(p) ? 1 : 0;
+    return count;
+  }
+  // Normal approximation with continuity correction, clamped to [0, n].
+  const double sd = std::sqrt(mean * (1.0 - p));
+  double draw = std::round(mean + sd * normal());
+  if (draw < 0) draw = 0;
+  if (draw > static_cast<double>(n)) draw = static_cast<double>(n);
+  return static_cast<std::uint64_t>(draw);
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  // Inverse-CDF sampling: x = x_m / U^{1/alpha}.
+  double u = 1.0 - next_double();  // in (0, 1]
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::exponential(double lambda) {
+  return -std::log(1.0 - next_double()) / lambda;
+}
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * mul;
+  have_spare_normal_ = true;
+  return u * mul;
+}
+
+std::vector<std::int64_t> Rng::sample_without_replacement(std::int64_t n, std::int64_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (k * 3 >= n) {
+    std::vector<std::int64_t> all(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    shuffle(all);
+    out.assign(all.begin(), all.begin() + k);
+    return out;
+  }
+  std::unordered_set<std::int64_t> seen;
+  while (static_cast<std::int64_t>(out.size()) < k) {
+    auto v = static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(n)));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xa0761d6478bd642fULL); }
+
+}  // namespace flock

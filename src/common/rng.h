@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// We use xoshiro256** (public domain, Blackman & Vigna) rather than
+// std::mt19937 because it is faster, has a tiny state, and — more
+// importantly — its output is fully specified, so traces regenerate
+// identically across standard libraries. All stochastic code in this repo
+// takes an explicit Rng&; nothing reads global random state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flock {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  // Binomial(n, p) sample. Uses direct Bernoulli summation for small n*p and
+  // a BTPE-free inversion/normal hybrid otherwise; exact enough for
+  // simulation purposes and fully deterministic.
+  std::uint64_t binomial(std::uint64_t n, double p);
+
+  // Pareto (Lomax-style classic Pareto with scale x_m and shape alpha).
+  // Mean is x_m * alpha / (alpha - 1) for alpha > 1.
+  double pareto(double x_m, double alpha);
+
+  // Exponential with rate lambda.
+  double exponential(double lambda);
+
+  // Standard normal via Marsaglia polar method.
+  double normal();
+
+  // Fisher–Yates shuffle of a vector of ints.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Sample k distinct values from [0, n) without replacement.
+  std::vector<std::int64_t> sample_without_replacement(std::int64_t n, std::int64_t k);
+
+  // Derive an independent stream (for parallel / per-trace determinism).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace flock

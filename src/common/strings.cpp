@@ -1,0 +1,54 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace flock {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string human_count(double v) {
+  const char* suffix = "";
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "K";
+  }
+  std::ostringstream os;
+  if (*suffix) {
+    os.precision(v < 10 ? 2 : 1);
+    os << std::fixed << v << suffix;
+  } else {
+    os << static_cast<long long>(std::llround(v));
+  }
+  return os.str();
+}
+
+}  // namespace flock

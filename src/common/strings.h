@@ -1,0 +1,15 @@
+// Small string helpers (no external deps).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flock {
+
+std::vector<std::string> split(const std::string& s, char delim);
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+// "1.2K", "3.4M" style human-readable counts for bench output.
+std::string human_count(double v);
+
+}  // namespace flock

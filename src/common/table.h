@@ -1,0 +1,32 @@
+// Minimal fixed-width table printer used by the benchmark harnesses so that
+// every figure/table reproduction prints aligned, diff-able rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flock {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Append a row; values are already formatted strings.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+
+  // Render with column alignment and a header underline.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flock

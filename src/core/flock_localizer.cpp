@@ -1,0 +1,75 @@
+#include "core/flock_localizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "core/likelihood_engine.h"
+
+namespace flock {
+
+LocalizationResult FlockLocalizer::localize(const InferenceInput& input) const {
+  Stopwatch watch;
+  LikelihoodEngine engine(input, options_.params, options_.use_jle);
+  const std::int32_t n = engine.num_components();
+
+  while (engine.hypothesis_size() < options_.max_hypothesis_size) {
+    ComponentId best = kInvalidComponent;
+    double best_score = 0.0;  // only strictly-positive improvements count
+    if (options_.use_jle) {
+      auto [cand, score] = engine.best_addition();
+      engine.note_scan(n - engine.hypothesis_size());
+      if (cand != kInvalidComponent && score > 0.0) {
+        best = cand;
+        best_score = score;
+      }
+    } else {
+      for (ComponentId c = 0; c < n; ++c) {
+        if (engine.failed(c)) continue;
+        const double score = engine.flip_score(c);
+        engine.note_scan(1);
+        if (score > best_score) {
+          best_score = score;
+          best = c;
+        }
+      }
+    }
+    if (best == kInvalidComponent) break;
+    engine.flip(best);
+  }
+
+  LocalizationResult result;
+  result.predicted = engine.hypothesis();
+
+  if (options_.equivalence_epsilon > 0.0 && options_.use_jle) {
+    // For each chosen component, report the components that could stand in
+    // for it at (nearly) the same posterior: remove it, then look for other
+    // additions whose score ties with re-adding it.
+    std::vector<ComponentId> equivalents;
+    for (ComponentId chosen : engine.hypothesis()) {
+      engine.flip(chosen);  // temporarily remove
+      const double readd_score = engine.flip_score(chosen);
+      for (ComponentId c = 0; c < n; ++c) {
+        if (c == chosen || engine.failed(c)) continue;
+        if (std::abs(engine.flip_score(c) - readd_score) <= options_.equivalence_epsilon) {
+          equivalents.push_back(c);
+        }
+      }
+      engine.flip(chosen);  // restore
+    }
+    for (ComponentId c : equivalents) {
+      if (std::find(result.predicted.begin(), result.predicted.end(), c) ==
+          result.predicted.end()) {
+        result.predicted.push_back(c);
+      }
+    }
+    std::sort(result.predicted.begin(), result.predicted.end());
+  }
+
+  result.log_likelihood = engine.log_posterior();
+  result.hypotheses_scanned = engine.hypotheses_scanned();
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace flock

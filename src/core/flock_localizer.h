@@ -1,0 +1,45 @@
+// Flock's inference: greedy MLE search (§3.3) over the PGM, accelerated by
+// Joint Likelihood Exploration. Both accelerations can be disabled
+// independently to reproduce the ablation of Fig 4c:
+//   use_jle=true   — each iteration reads the maintained Delta array (O(n)
+//                    scan) and flipping updates it in O(D·T).
+//   use_jle=false  — each iteration evaluates every candidate neighbor from
+//                    scratch in O(D·T) each, i.e. O(n·D·T) per iteration
+//                    ("greedy only" in the paper's ablation).
+#pragma once
+
+#include "core/inference_input.h"
+#include "core/params.h"
+
+namespace flock {
+
+struct FlockOptions {
+  FlockParams params;
+  bool use_jle = true;
+  // Safety cap on hypothesis size; the greedy loop virtually always stops on
+  // its own (no positive-score addition) well before this.
+  std::int32_t max_hypothesis_size = 64;
+  // When > 0, expand the final hypothesis with "equivalent alternatives":
+  // for every chosen component, any component that could replace it with a
+  // posterior within this (absolute log-likelihood) tolerance is reported
+  // too. Under symmetric ECMP, passive-only telemetry cannot distinguish
+  // the members of a link equivalence class — reporting the whole class is
+  // what lets Fig 5c say "narrowed down to 2-3 possibilities".
+  double equivalence_epsilon = 0.0;
+};
+
+class FlockLocalizer final : public Localizer {
+ public:
+  explicit FlockLocalizer(FlockOptions options) : options_(options) {}
+
+  LocalizationResult localize(const InferenceInput& input) const override;
+  const char* name() const override { return options_.use_jle ? "Flock" : "Flock(no-JLE)"; }
+
+  const FlockOptions& options() const { return options_; }
+  FlockOptions& options() { return options_; }
+
+ private:
+  FlockOptions options_;
+};
+
+}  // namespace flock

@@ -1,0 +1,53 @@
+#include "core/gibbs.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/likelihood_engine.h"
+
+namespace flock {
+
+LocalizationResult GibbsLocalizer::localize(const InferenceInput& input) const {
+  Stopwatch watch;
+  LikelihoodEngine engine(input, options_.params, options_.use_jle);
+  Rng rng(options_.seed);
+  const std::int32_t n = engine.num_components();
+  std::vector<std::int64_t> failed_samples(static_cast<std::size_t>(n), 0);
+  std::int64_t recorded_sweeps = 0;
+
+  for (std::int32_t sweep = 0; sweep < options_.sweeps; ++sweep) {
+    for (ComponentId c = 0; c < n; ++c) {
+      // Full conditional of a binary node: P(failed | rest) = sigmoid(score
+      // of the "failed" state relative to the "ok" state).
+      const double score_to_failed = engine.failed(c) ? -engine.flip_score(c)
+                                                      : engine.flip_score(c);
+      engine.note_scan(1);
+      const double p_failed = 1.0 / (1.0 + std::exp(-score_to_failed));
+      const bool want_failed = rng.chance(p_failed);
+      if (want_failed != engine.failed(c)) engine.flip(c);
+    }
+    if (sweep >= options_.burn_in) {
+      ++recorded_sweeps;
+      for (ComponentId c = 0; c < n; ++c) {
+        if (engine.failed(c)) ++failed_samples[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+
+  LocalizationResult result;
+  for (ComponentId c = 0; c < n; ++c) {
+    const double marginal = recorded_sweeps == 0
+                                ? 0.0
+                                : static_cast<double>(failed_samples[static_cast<std::size_t>(c)]) /
+                                      static_cast<double>(recorded_sweeps);
+    if (marginal > options_.marginal_threshold) result.predicted.push_back(c);
+  }
+  result.log_likelihood = engine.log_posterior();
+  result.hypotheses_scanned = engine.hypotheses_scanned();
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace flock

@@ -1,0 +1,77 @@
+// The input to every fault localization scheme: the topology/routing view
+// plus one observation per monitored flow (§2.2).
+//
+// A flow observation carries the metric pair (bad_packets, packets_sent) and
+// its routing information:
+//   * taken_path >= 0  — the concrete path is known (active probes A1/A2 or
+//     INT); taken_path indexes into the flow's path set.
+//   * taken_path == -1 — only the ECMP candidate set is known (passive
+//     telemetry P).
+// Host access links are carried separately from the interned switch-level
+// path sets so that millions of flows can share one PathSet per ToR pair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/ecmp.h"
+#include "topology/topology.h"
+
+namespace flock {
+
+struct FlowObservation {
+  ComponentId src_link = kInvalidComponent;  // access link of the source host
+  ComponentId dst_link = kInvalidComponent;  // access link of the dest host (invalid for
+                                             // host->core probes)
+  PathSetId path_set = kInvalidPathSet;      // switch-level ECMP candidates
+  std::int32_t taken_path = -1;              // index into path set, -1 if unknown
+  std::uint32_t packets_sent = 0;
+  std::uint32_t bad_packets = 0;
+
+  bool path_known() const { return taken_path >= 0; }
+};
+
+class InferenceInput {
+ public:
+  InferenceInput(const Topology& topo, const EcmpRouter& router)
+      : topo_(&topo), router_(&router) {}
+
+  const Topology& topology() const { return *topo_; }
+  const EcmpRouter& router() const { return *router_; }
+
+  void add(FlowObservation obs) { flows_.push_back(obs); }
+  void reserve(std::size_t n) { flows_.reserve(n); }
+  const std::vector<FlowObservation>& flows() const { return flows_; }
+  std::size_t num_flows() const { return flows_.size(); }
+
+  // Materialized component sequence of a known-path flow: src access link,
+  // every link/device of the taken switch path, dst access link.
+  std::vector<ComponentId> known_path_components(const FlowObservation& obs) const;
+
+  // Number of ECMP candidates of a flow (1 when the path is known).
+  std::int32_t width(const FlowObservation& obs) const;
+
+ private:
+  const Topology* topo_;
+  const EcmpRouter* router_;
+  std::vector<FlowObservation> flows_;
+};
+
+// Result of one localization run.
+struct LocalizationResult {
+  std::vector<ComponentId> predicted;
+  double log_likelihood = 0.0;  // of the returned hypothesis (PGM schemes)
+  std::int64_t hypotheses_scanned = 0;
+  double seconds = 0.0;
+};
+
+// Common interface for Flock and all baselines.
+class Localizer {
+ public:
+  virtual ~Localizer() = default;
+  virtual LocalizationResult localize(const InferenceInput& input) const = 0;
+  virtual const char* name() const = 0;
+};
+
+}  // namespace flock

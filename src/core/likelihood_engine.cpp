@@ -1,0 +1,409 @@
+#include "core/likelihood_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.h"
+
+namespace flock {
+
+double LikelihoodEngine::flow_ll(std::int64_t bad_paths, std::int64_t total_paths, double s) {
+  if (bad_paths <= 0) return 0.0;
+  if (bad_paths >= total_paths) return s;  // exact: log(w·e^s / w)
+  return flow_log_likelihood_delta(bad_paths, total_paths, s);
+}
+
+LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParams& params,
+                                   bool maintain_delta)
+    : input_(&input), params_(params), maintain_delta_(maintain_delta) {
+  const Topology& topo = input.topology();
+  const EcmpRouter& router = input.router();
+  n_comps_ = topo.num_components();
+  failed_.assign(static_cast<std::size_t>(n_comps_), 0);
+
+  const auto& flows = input.flows();
+  const std::size_t m = flows.size();
+  s_flow_.resize(m);
+  is_known_.resize(m);
+  known_fail_count_.assign(m, 0);
+  endpoint_fail_count_.assign(m, 0);
+  known_comp_offset_.assign(m + 1, 0);
+  known_flows_of_comp_.resize(static_cast<std::size_t>(n_comps_));
+  ps_of_comp_.resize(static_cast<std::size_t>(n_comps_));
+  endpoint_flows_of_comp_.resize(static_cast<std::size_t>(n_comps_));
+  ps_state_index_.assign(static_cast<std::size_t>(router.num_path_sets()), -1);
+  path_fail_count_.assign(static_cast<std::size_t>(router.num_paths()), 0);
+  scratch_epoch_.assign(static_cast<std::size_t>(n_comps_), 0);
+  scratch_good_.assign(static_cast<std::size_t>(n_comps_), 0);
+  scratch_crit_.assign(static_cast<std::size_t>(n_comps_), 0);
+
+  const double log_ratio_bad = std::log(params_.p_b / params_.p_g);
+  const double log_ratio_good = std::log1p(-params_.p_b) - std::log1p(-params_.p_g);
+
+  // Pass 1: per-flow evidence, path-set registration, known-path sizing.
+  std::size_t known_total = 0;
+  for (std::size_t f = 0; f < m; ++f) {
+    const FlowObservation& obs = flows[f];
+    if (obs.bad_packets > obs.packets_sent) {
+      throw std::invalid_argument("LikelihoodEngine: bad_packets > packets_sent");
+    }
+    s_flow_[f] = static_cast<double>(obs.bad_packets) * log_ratio_bad +
+                 static_cast<double>(obs.packets_sent - obs.bad_packets) * log_ratio_good;
+    is_known_[f] = obs.path_known() ? 1 : 0;
+    if (obs.path_known()) {
+      const PathSet& set = router.path_set(obs.path_set);
+      const Path& p = router.path(set.paths[static_cast<std::size_t>(obs.taken_path)]);
+      known_total += p.comps.size() + (obs.src_link != kInvalidComponent ? 1u : 0u) +
+                     (obs.dst_link != kInvalidComponent ? 1u : 0u);
+    } else {
+      auto& idx = ps_state_index_[static_cast<std::size_t>(obs.path_set)];
+      if (idx < 0) {
+        idx = static_cast<std::int32_t>(ps_states_.size());
+        ps_states_.emplace_back();
+        used_path_sets_.push_back(obs.path_set);
+      }
+      ps_states_[static_cast<std::size_t>(idx)].flows.push_back(static_cast<FlowId>(f));
+      if (obs.src_link != kInvalidComponent) {
+        endpoint_flows_of_comp_[static_cast<std::size_t>(obs.src_link)].push_back(
+            static_cast<FlowId>(f));
+      }
+      if (obs.dst_link != kInvalidComponent) {
+        endpoint_flows_of_comp_[static_cast<std::size_t>(obs.dst_link)].push_back(
+            static_cast<FlowId>(f));
+      }
+    }
+  }
+
+  // Pass 2: flatten known-path component lists + inverted index.
+  known_comp_data_.reserve(known_total);
+  for (std::size_t f = 0; f < m; ++f) {
+    known_comp_offset_[f] = static_cast<std::int32_t>(known_comp_data_.size());
+    if (!is_known_[f]) continue;
+    for (ComponentId c : input.known_path_components(flows[f])) {
+      known_comp_data_.push_back(c);
+      known_flows_of_comp_[static_cast<std::size_t>(c)].push_back(static_cast<FlowId>(f));
+    }
+  }
+  known_comp_offset_[m] = static_cast<std::int32_t>(known_comp_data_.size());
+
+  // Path-set universes + comp -> path-set index.
+  for (PathSetId ps : used_path_sets_) {
+    PathSetState& st = ps_states_[static_cast<std::size_t>(ps_state_index_[static_cast<std::size_t>(ps)])];
+    ++epoch_;
+    for (PathId pid : router.path_set(ps).paths) {
+      for (ComponentId c : router.path(pid).comps) {
+        auto& e = scratch_epoch_[static_cast<std::size_t>(c)];
+        if (e != epoch_) {
+          e = epoch_;
+          st.universe.push_back(c);
+        }
+      }
+    }
+    std::sort(st.universe.begin(), st.universe.end());
+    for (ComponentId c : st.universe) ps_of_comp_[static_cast<std::size_t>(c)].push_back(ps);
+  }
+
+  if (maintain_delta_) {
+    delta_.assign(static_cast<std::size_t>(n_comps_), 0.0);
+    for (PathSetId ps : used_path_sets_) apply_pathset_contribs(ps, +1.0);
+    for (std::size_t f = 0; f < m; ++f) {
+      if (is_known_[f]) apply_known_flow_contribs(static_cast<FlowId>(f), +1.0);
+    }
+  }
+}
+
+std::vector<ComponentId> LikelihoodEngine::hypothesis() const {
+  std::vector<ComponentId> out;
+  for (ComponentId c = 0; c < n_comps_; ++c) {
+    if (failed_[static_cast<std::size_t>(c)]) out.push_back(c);
+  }
+  return out;
+}
+
+double LikelihoodEngine::prior_cost(ComponentId c) const {
+  const double base = logit(params_.rho);
+  return input_->topology().is_device_component(c) ? base * params_.device_prior_scale : base;
+}
+
+double LikelihoodEngine::flip_delta_ll(ComponentId c) const {
+  if (maintain_delta_) return delta_[static_cast<std::size_t>(c)];
+  return compute_flip_delta_ll(c);
+}
+
+double LikelihoodEngine::flip_score(ComponentId c) const {
+  const double prior = failed(c) ? -prior_cost(c) : prior_cost(c);
+  return flip_delta_ll(c) + prior;
+}
+
+void LikelihoodEngine::compute_counters(PathSetId ps) const {
+  const EcmpRouter& router = input_->router();
+  ++epoch_;
+  auto touch = [&](ComponentId c) -> std::size_t {
+    auto i = static_cast<std::size_t>(c);
+    if (scratch_epoch_[i] != epoch_) {
+      scratch_epoch_[i] = epoch_;
+      scratch_good_[i] = 0;
+      scratch_crit_[i] = 0;
+    }
+    return i;
+  };
+  for (PathId pid : router.path_set(ps).paths) {
+    const std::int32_t fc = path_fail_count_[static_cast<std::size_t>(pid)];
+    const auto& comps = router.path(pid).comps;
+    if (fc == 0) {
+      for (ComponentId c : comps) scratch_good_[touch(c)]++;
+    } else if (fc == 1) {
+      for (ComponentId c : comps) {
+        if (failed_[static_cast<std::size_t>(c)]) {
+          scratch_crit_[touch(c)]++;
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::int32_t LikelihoodEngine::counter_good(ComponentId c) const {
+  auto i = static_cast<std::size_t>(c);
+  return scratch_epoch_[i] == epoch_ ? scratch_good_[i] : 0;
+}
+
+std::int32_t LikelihoodEngine::counter_crit(ComponentId c) const {
+  auto i = static_cast<std::size_t>(c);
+  return scratch_epoch_[i] == epoch_ ? scratch_crit_[i] : 0;
+}
+
+std::int64_t LikelihoodEngine::flow_bad_paths(FlowId f) const {
+  const FlowObservation& obs = input_->flows()[static_cast<std::size_t>(f)];
+  const std::int64_t w = input_->width(obs);
+  if (endpoint_fail_count_[static_cast<std::size_t>(f)] > 0) return w;
+  return ps_state(obs.path_set).bad_paths;
+}
+
+void LikelihoodEngine::apply_pathset_contribs(PathSetId ps, double sign) {
+  const EcmpRouter& router = input_->router();
+  const PathSetState& st = ps_state(ps);
+  if (st.flows.empty()) return;
+  const auto w = static_cast<std::int64_t>(router.path_set(ps).paths.size());
+  const std::int64_t b = st.bad_paths;
+  compute_counters(ps);
+  sum_memo_.clear();
+
+  const auto& flows = input_->flows();
+  double sum_at_b = 0.0;
+  for (FlowId fid : st.flows) {
+    const auto fi = static_cast<std::size_t>(fid);
+    const FlowObservation& obs = flows[fi];
+    const double s = s_flow_[fi];
+    const std::int32_t efc = endpoint_fail_count_[fi];
+    if (efc == 0) {
+      const double fb = flow_ll(b, w, s);
+      sum_at_b += fb;
+      if (obs.src_link != kInvalidComponent) {
+        delta_[static_cast<std::size_t>(obs.src_link)] += sign * (s - fb);
+      }
+      if (obs.dst_link != kInvalidComponent) {
+        delta_[static_cast<std::size_t>(obs.dst_link)] += sign * (s - fb);
+      }
+    } else if (efc == 1) {
+      // Exactly one failed endpoint e: removing e drops the flow back to the
+      // path-set's bad count; all other flips are no-ops for this flow.
+      const ComponentId e =
+          (obs.src_link != kInvalidComponent && failed_[static_cast<std::size_t>(obs.src_link)])
+              ? obs.src_link
+              : obs.dst_link;
+      delta_[static_cast<std::size_t>(e)] += sign * (flow_ll(b, w, s) - s);
+    }
+  }
+  sum_memo_.emplace(b, sum_at_b);
+
+  auto memoized_sum = [&](std::int64_t x) {
+    auto it = sum_memo_.find(x);
+    if (it != sum_memo_.end()) return it->second;
+    double total = 0.0;
+    for (FlowId fid : st.flows) {
+      const auto fi = static_cast<std::size_t>(fid);
+      if (endpoint_fail_count_[fi] == 0) total += flow_ll(x, w, s_flow_[fi]);
+    }
+    sum_memo_.emplace(x, total);
+    return total;
+  };
+
+  for (ComponentId c : st.universe) {
+    const std::int64_t x = failed_[static_cast<std::size_t>(c)] ? b - counter_crit(c)
+                                                                : b + counter_good(c);
+    if (x == b) continue;
+    delta_[static_cast<std::size_t>(c)] += sign * (memoized_sum(x) - sum_at_b);
+  }
+}
+
+void LikelihoodEngine::apply_unknown_flow_contribs(FlowId f, double sign) {
+  const EcmpRouter& router = input_->router();
+  const auto fi = static_cast<std::size_t>(f);
+  const FlowObservation& obs = input_->flows()[fi];
+  const auto w = static_cast<std::int64_t>(router.path_set(obs.path_set).paths.size());
+  const double s = s_flow_[fi];
+  const std::int32_t efc = endpoint_fail_count_[fi];
+  const PathSetState& st = ps_state(obs.path_set);
+  const std::int64_t b = st.bad_paths;
+  if (efc == 0) {
+    const double fb = flow_ll(b, w, s);
+    compute_counters(obs.path_set);
+    for (ComponentId c : st.universe) {
+      const std::int64_t x = failed_[static_cast<std::size_t>(c)] ? b - counter_crit(c)
+                                                                  : b + counter_good(c);
+      if (x == b) continue;
+      delta_[static_cast<std::size_t>(c)] += sign * (flow_ll(x, w, s) - fb);
+    }
+    if (obs.src_link != kInvalidComponent) {
+      delta_[static_cast<std::size_t>(obs.src_link)] += sign * (s - fb);
+    }
+    if (obs.dst_link != kInvalidComponent) {
+      delta_[static_cast<std::size_t>(obs.dst_link)] += sign * (s - fb);
+    }
+  } else if (efc == 1) {
+    const ComponentId e =
+        (obs.src_link != kInvalidComponent && failed_[static_cast<std::size_t>(obs.src_link)])
+            ? obs.src_link
+            : obs.dst_link;
+    delta_[static_cast<std::size_t>(e)] += sign * (flow_ll(b, w, s) - s);
+  }
+  // efc == 2: every flip leaves all w paths bad; no contributions at all.
+}
+
+void LikelihoodEngine::apply_known_flow_contribs(FlowId f, double sign) {
+  const auto fi = static_cast<std::size_t>(f);
+  const double s = s_flow_[fi];
+  const std::int32_t k = known_fail_count_[fi];
+  const auto begin = static_cast<std::size_t>(known_comp_offset_[fi]);
+  const auto end = static_cast<std::size_t>(known_comp_offset_[fi + 1]);
+  if (k == 0) {
+    // Adding any component of the path takes the flow from good to bad.
+    for (std::size_t i = begin; i < end; ++i) {
+      delta_[static_cast<std::size_t>(known_comp_data_[i])] += sign * s;
+    }
+  } else if (k == 1) {
+    // Removing the unique failed component heals the flow; other flips no-op.
+    for (std::size_t i = begin; i < end; ++i) {
+      const ComponentId c = known_comp_data_[i];
+      if (failed_[static_cast<std::size_t>(c)]) {
+        delta_[static_cast<std::size_t>(c)] += sign * (-s);
+        break;
+      }
+    }
+  }
+  // k >= 2: the path stays bad under any single flip.
+}
+
+double LikelihoodEngine::compute_flip_delta_ll(ComponentId c) const {
+  const EcmpRouter& router = input_->router();
+  const auto& flows = input_->flows();
+  const bool c_failed = failed(c);
+  double total = 0.0;
+
+  for (PathSetId ps : ps_of_comp_[static_cast<std::size_t>(c)]) {
+    const PathSetState& st = ps_state(ps);
+    if (st.flows.empty()) continue;
+    const auto w = static_cast<std::int64_t>(router.path_set(ps).paths.size());
+    const std::int64_t b = st.bad_paths;
+    std::int32_t cnt = 0;
+    for (PathId pid : router.path_set(ps).paths) {
+      const auto& comps = router.path(pid).comps;
+      if (std::find(comps.begin(), comps.end(), c) == comps.end()) continue;
+      const std::int32_t fc = path_fail_count_[static_cast<std::size_t>(pid)];
+      if (!c_failed && fc == 0) ++cnt;        // path becomes bad when adding c
+      else if (c_failed && fc == 1) ++cnt;    // c is the only failure: path heals
+    }
+    const std::int64_t x = c_failed ? b - cnt : b + cnt;
+    if (x == b) continue;
+    for (FlowId fid : st.flows) {
+      const auto fi = static_cast<std::size_t>(fid);
+      if (endpoint_fail_count_[fi] != 0) continue;
+      total += flow_ll(x, w, s_flow_[fi]) - flow_ll(b, w, s_flow_[fi]);
+    }
+  }
+
+  for (FlowId fid : endpoint_flows_of_comp_[static_cast<std::size_t>(c)]) {
+    const auto fi = static_cast<std::size_t>(fid);
+    const FlowObservation& obs = flows[fi];
+    const auto w = static_cast<std::int64_t>(router.path_set(obs.path_set).paths.size());
+    const std::int64_t b = ps_state(obs.path_set).bad_paths;
+    const double s = s_flow_[fi];
+    const std::int32_t efc = endpoint_fail_count_[fi];
+    if (!c_failed) {
+      if (efc == 0) total += s - flow_ll(b, w, s);
+    } else {
+      if (efc == 1) total += flow_ll(b, w, s) - s;
+    }
+  }
+
+  for (FlowId fid : known_flows_of_comp_[static_cast<std::size_t>(c)]) {
+    const auto fi = static_cast<std::size_t>(fid);
+    const std::int32_t k = known_fail_count_[fi];
+    const double s = s_flow_[fi];
+    if (!c_failed) {
+      if (k == 0) total += s;
+    } else {
+      if (k == 1) total -= s;
+    }
+  }
+  return total;
+}
+
+void LikelihoodEngine::flip(ComponentId c) {
+  const double dll = flip_delta_ll(c);
+  const auto ci = static_cast<std::size_t>(c);
+
+  if (maintain_delta_) {
+    for (PathSetId ps : ps_of_comp_[ci]) apply_pathset_contribs(ps, -1.0);
+    for (FlowId f : endpoint_flows_of_comp_[ci]) apply_unknown_flow_contribs(f, -1.0);
+    for (FlowId f : known_flows_of_comp_[ci]) apply_known_flow_contribs(f, -1.0);
+  }
+
+  const EcmpRouter& router = input_->router();
+  const std::int32_t d = failed_[ci] ? -1 : +1;
+  for (PathSetId ps : ps_of_comp_[ci]) {
+    PathSetState& st = ps_state_mut(ps);
+    for (PathId pid : router.path_set(ps).paths) {
+      const auto& comps = router.path(pid).comps;
+      if (std::find(comps.begin(), comps.end(), c) == comps.end()) continue;
+      std::int32_t& fc = path_fail_count_[static_cast<std::size_t>(pid)];
+      fc += d;
+      if (d > 0 && fc == 1) ++st.bad_paths;
+      if (d < 0 && fc == 0) --st.bad_paths;
+    }
+  }
+  for (FlowId f : endpoint_flows_of_comp_[ci]) endpoint_fail_count_[static_cast<std::size_t>(f)] += d;
+  for (FlowId f : known_flows_of_comp_[ci]) known_fail_count_[static_cast<std::size_t>(f)] += d;
+  const double prior = prior_cost(c);
+  prior_ll_ += d > 0 ? prior : -prior;
+  failed_[ci] ^= 1;
+  hypothesis_size_ += d;
+  ll_ += dll;
+
+  if (maintain_delta_) {
+    for (PathSetId ps : ps_of_comp_[ci]) apply_pathset_contribs(ps, +1.0);
+    for (FlowId f : endpoint_flows_of_comp_[ci]) apply_unknown_flow_contribs(f, +1.0);
+    for (FlowId f : known_flows_of_comp_[ci]) apply_known_flow_contribs(f, +1.0);
+  }
+}
+
+std::pair<ComponentId, double> LikelihoodEngine::best_addition() const {
+  if (!maintain_delta_) {
+    throw std::logic_error("best_addition requires JLE mode");
+  }
+  ComponentId best = kInvalidComponent;
+  double best_score = -INFINITY;
+  for (ComponentId c = 0; c < n_comps_; ++c) {
+    if (failed_[static_cast<std::size_t>(c)]) continue;
+    const double score = delta_[static_cast<std::size_t>(c)] + prior_cost(c);
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return {best, best_score};
+}
+
+}  // namespace flock

@@ -1,0 +1,174 @@
+// The likelihood engine: incremental evaluation of Flock's PGM (§3.2) with
+// Joint Likelihood Exploration (§3.3, Algorithm 2).
+//
+// The engine maintains a current hypothesis H (a set of failed components)
+// and, in JLE mode, the full Delta array
+//     Delta[c] = LL(H ⊕ c) − LL(H)   for every component c,
+// where LL is the log likelihood of all flow observations normalized by the
+// no-failure hypothesis. Moving the hypothesis to H ⊕ c' updates only the
+// contributions of flows that intersect c' (Theorem 1), which is what turns
+// each greedy iteration from O(n·D·T) into O(D·T).
+//
+// Key modeling facts the implementation exploits:
+//   * A flow's likelihood depends on the hypothesis only through the number
+//     b of failed paths among its w ECMP candidates (Eq. 1):
+//         LL_F(H) − LL_F(∅) = f(b) = log((b·e^s + (w−b))/w),
+//     with the flow's evidence s = r·log(p_b/p_g) + (t−r)·log((1−p_b)/(1−p_g)).
+//   * Millions of flows share interned per-ToR-pair path sets, so the per-
+//     component path-membership counters (Algorithm 2's GetCounters) are
+//     computed once per path set, not once per flow, and the per-flow sums
+//     Σ_F f(x) are memoized per distinct count x.
+//   * Host access links lie on *every* candidate path of their flows and are
+//     tracked separately: a failed endpoint makes all w paths bad.
+//
+// Updates follow a subtract / mutate / add discipline: before a flip, the
+// contributions of every affected flow are subtracted from the Delta array;
+// the hypothesis state (per-path fail counts, per-flow endpoint counts) is
+// then mutated; finally the contributions are re-added under the new state.
+// This keeps every formula evaluated against a consistent snapshot.
+//
+// The engine also supports the non-JLE mode used by the Sherlock baseline
+// and the ablations: compute_flip_delta_ll() evaluates a single neighbor
+// from scratch in O(D·T) by scanning the flows that intersect the component.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/inference_input.h"
+#include "core/params.h"
+
+namespace flock {
+
+class LikelihoodEngine {
+ public:
+  LikelihoodEngine(const InferenceInput& input, const FlockParams& params,
+                   bool maintain_delta = true);
+
+  std::int32_t num_components() const { return n_comps_; }
+  bool failed(ComponentId c) const { return failed_[static_cast<std::size_t>(c)] != 0; }
+  std::vector<ComponentId> hypothesis() const;
+  std::int32_t hypothesis_size() const { return hypothesis_size_; }
+
+  // Log likelihood of the current hypothesis relative to the empty one.
+  double log_likelihood() const { return ll_; }
+  // Including the prior term (what inference maximizes, §3.2 "Priors").
+  double log_posterior() const { return ll_ + prior_ll_; }
+
+  // Per-component prior cost (negative): log(rho/(1-rho)), scaled 5x for
+  // devices on the log scale.
+  double prior_cost(ComponentId c) const;
+
+  // Likelihood-only change of flipping c. O(1) in JLE mode, O(D·T) without.
+  double flip_delta_ll(ComponentId c) const;
+  // Posterior change of flipping c (likelihood delta + prior delta).
+  double flip_score(ComponentId c) const;
+
+  // Ground-truth recomputation of flip_delta_ll by scanning affected flows;
+  // works in both modes and never touches engine state.
+  double compute_flip_delta_ll(ComponentId c) const;
+
+  // Flip component c in the hypothesis, updating LL and (in JLE mode) the
+  // whole Delta array.
+  void flip(ComponentId c);
+
+  // Best component to *add*: argmax over c ∉ H of flip_score(c).
+  // Requires JLE mode. Returns {kInvalidComponent, -inf} when empty.
+  std::pair<ComponentId, double> best_addition() const;
+
+  // Running count of hypothesis evaluations, for the §7.8 "hypotheses
+  // scanned" statistics. Callers bump it via note_scan().
+  std::int64_t hypotheses_scanned() const { return hypotheses_scanned_; }
+  void note_scan(std::int64_t n) { hypotheses_scanned_ += n; }
+
+  bool jle_enabled() const { return maintain_delta_; }
+
+  // The flow evidence s (exposed for tests and the analysis tooling).
+  double flow_evidence(FlowId f) const { return s_flow_[static_cast<std::size_t>(f)]; }
+
+ private:
+  struct PathSetState {
+    std::vector<FlowId> flows;          // unknown-path flows using this set
+    std::vector<ComponentId> universe;  // distinct components across paths
+    std::int32_t bad_paths = 0;         // paths with >= 1 failed component
+  };
+
+  static double flow_ll(std::int64_t bad_paths, std::int64_t total_paths, double s);
+
+  const PathSetState& ps_state(PathSetId ps) const {
+    return ps_states_[static_cast<std::size_t>(ps_state_index_[static_cast<std::size_t>(ps)])];
+  }
+  PathSetState& ps_state_mut(PathSetId ps) {
+    return ps_states_[static_cast<std::size_t>(ps_state_index_[static_cast<std::size_t>(ps)])];
+  }
+
+  // Populate the epoch-stamped scratch counters for one path set under the
+  // *current* state: for every component c on some path of the set,
+  //   good(c) = number of fully-good paths containing c  (flip target when
+  //             adding c is bad_paths + good(c))
+  //   crit(c) = number of paths containing c whose only failed component is
+  //             c (flip target when removing c is bad_paths - crit(c)).
+  void compute_counters(PathSetId ps) const;
+  std::int32_t counter_good(ComponentId c) const;
+  std::int32_t counter_crit(ComponentId c) const;
+
+  // Delta-array contribution of all flows grouped under one path set (the
+  // memoized bulk path of Algorithm 2); sign=-1 subtracts, +1 adds.
+  void apply_pathset_contribs(PathSetId ps, double sign);
+  // Contribution of a single unknown-path flow (used when its endpoint link
+  // flips and the path-set counters are unaffected).
+  void apply_unknown_flow_contribs(FlowId f, double sign);
+  // Contribution of a single known-path flow.
+  void apply_known_flow_contribs(FlowId f, double sign);
+
+  // Effective bad-path count of an unknown-path flow under current state.
+  std::int64_t flow_bad_paths(FlowId f) const;
+
+  const InferenceInput* input_;
+  FlockParams params_;
+  bool maintain_delta_;
+
+  std::int32_t n_comps_ = 0;
+  std::vector<char> failed_;
+  std::int32_t hypothesis_size_ = 0;
+  double ll_ = 0.0;
+  double prior_ll_ = 0.0;
+  std::int64_t hypotheses_scanned_ = 0;
+
+  // Per-flow precomputation.
+  std::vector<double> s_flow_;
+  std::vector<char> is_known_;
+  std::vector<std::int32_t> known_fail_count_;     // known-path flows only
+  std::vector<std::int32_t> endpoint_fail_count_;  // unknown-path flows (0..2)
+
+  // Known-path flows: flattened component lists + inverted index.
+  std::vector<std::int32_t> known_comp_offset_;  // size num_flows+1
+  std::vector<ComponentId> known_comp_data_;
+  std::vector<std::vector<FlowId>> known_flows_of_comp_;
+
+  // Unknown-path flows: per-path-set grouping + endpoint index.
+  std::vector<std::int32_t> ps_state_index_;  // PathSetId -> ps_states_ index or -1
+  std::vector<PathSetId> used_path_sets_;
+  std::vector<PathSetState> ps_states_;
+  std::vector<std::vector<PathSetId>> ps_of_comp_;
+  std::vector<std::vector<FlowId>> endpoint_flows_of_comp_;
+
+  std::vector<std::int32_t> path_fail_count_;
+
+  // The JLE Delta array (likelihood part only; priors applied in scores).
+  std::vector<double> delta_;
+
+  // Epoch-stamped scratch for compute_counters.
+  mutable std::vector<std::int64_t> scratch_epoch_;
+  mutable std::vector<std::int32_t> scratch_good_;
+  mutable std::vector<std::int32_t> scratch_crit_;
+  mutable std::int64_t epoch_ = 0;
+
+  // Per-update memo of S(x) = sum over this set's active flows of f(x,w,s_F).
+  mutable std::unordered_map<std::int64_t, double> sum_memo_;
+};
+
+}  // namespace flock

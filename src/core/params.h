@@ -1,0 +1,22 @@
+// Hyper-parameters of Flock's probabilistic graphical model (§3.2, §5.2).
+#pragma once
+
+namespace flock {
+
+struct FlockParams {
+  // Probability that a packet experiences a problem on a path with no failed
+  // component ("good path"). Absorbs background congestion loss.
+  double p_g = 3e-4;
+  // Probability that a packet experiences a problem on a path with at least
+  // one failed component ("bad path"). p_b >> p_g.
+  double p_b = 2e-2;
+  // A-priori failure probability of any single link. Each component added to
+  // a hypothesis costs log(rho/(1-rho)) log-likelihood, which is what pushes
+  // the MLE toward small hypotheses.
+  double rho = 1e-3;
+  // Device priors are this factor larger on log scale (§3.2: 5x worked well);
+  // a device must gather proportionally stronger evidence than a link.
+  double device_prior_scale = 5.0;
+};
+
+}  // namespace flock

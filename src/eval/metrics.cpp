@@ -1,0 +1,82 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace flock {
+
+Accuracy evaluate_accuracy(const Topology& topo, const GroundTruth& truth,
+                           const std::vector<ComponentId>& predicted) {
+  Accuracy acc;
+  std::unordered_set<ComponentId> truth_set(truth.failed.begin(), truth.failed.end());
+  std::unordered_set<ComponentId> predicted_set(predicted.begin(), predicted.end());
+
+  // Devices that truly failed, by node id, so link predictions can be
+  // credited against them.
+  std::unordered_set<NodeId> failed_devices;
+  for (ComponentId c : truth.failed) {
+    if (topo.is_device_component(c)) failed_devices.insert(topo.device_node(c));
+  }
+
+  // --- precision -----------------------------------------------------------
+  if (!predicted.empty()) {
+    std::int64_t correct = 0;
+    for (ComponentId c : predicted) {
+      if (truth_set.count(c)) {
+        ++correct;
+        continue;
+      }
+      if (topo.is_link_component(c) && !failed_devices.empty()) {
+        const Link& l = topo.link(topo.component_link(c));
+        if ((topo.is_switch(l.a) && failed_devices.count(l.a)) ||
+            (topo.is_switch(l.b) && failed_devices.count(l.b))) {
+          ++correct;
+        }
+      }
+    }
+    acc.precision = static_cast<double>(correct) / static_cast<double>(predicted.size());
+  } else {
+    acc.precision = 1.0;  // empty hypothesis (App A.1)
+  }
+
+  // --- recall ---------------------------------------------------------------
+  if (!truth.failed.empty()) {
+    double credit = 0.0;
+    for (ComponentId c : truth.failed) {
+      if (predicted_set.count(c)) {
+        credit += 1.0;
+        continue;
+      }
+      if (topo.is_device_component(c)) {
+        auto it = truth.device_failed_links.find(c);
+        if (it != truth.device_failed_links.end() && !it->second.empty()) {
+          std::int64_t hit = 0;
+          for (ComponentId link : it->second) hit += predicted_set.count(link) ? 1 : 0;
+          credit += static_cast<double>(hit) / static_cast<double>(it->second.size());
+        }
+      }
+    }
+    acc.recall = credit / static_cast<double>(truth.failed.size());
+  } else {
+    acc.recall = 1.0;
+    // With zero failures, precision is 1 exactly when the algorithm stays
+    // silent (already handled above: any prediction scores 0).
+  }
+  return acc;
+}
+
+Accuracy mean_accuracy(const std::vector<Accuracy>& per_trace) {
+  Accuracy mean;
+  if (per_trace.empty()) return mean;
+  double p = 0.0;
+  double r = 0.0;
+  for (const Accuracy& a : per_trace) {
+    p += a.precision;
+    r += a.recall;
+  }
+  mean.precision = p / static_cast<double>(per_trace.size());
+  mean.recall = r / static_cast<double>(per_trace.size());
+  return mean;
+}
+
+}  // namespace flock

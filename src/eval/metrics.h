@@ -1,0 +1,35 @@
+// Accuracy metrics, exactly as defined in §6.4 and Appendix A.1:
+//
+//   precision = |H ∩ H*| / |H|       (1 if H is empty)
+//   recall    = |H ∩ H*| / |H*|      (1 if there are no failures)
+//
+// with the device-credit refinements: a predicted link is counted correct
+// for precision when its device is a truly-failed device; a truly-failed
+// device contributes full recall credit when the device itself is predicted
+// and x% credit when x% of its (actually failed) links are predicted.
+#pragma once
+
+#include <vector>
+
+#include "common/math_util.h"
+#include "flowsim/scenario.h"
+#include "topology/topology.h"
+
+namespace flock {
+
+struct Accuracy {
+  double precision = 1.0;
+  double recall = 1.0;
+
+  double fscore() const { return f_score(precision, recall); }
+  // "Error" in the paper's error-reduction claims: 1 - fscore.
+  double error() const { return 1.0 - fscore(); }
+};
+
+Accuracy evaluate_accuracy(const Topology& topo, const GroundTruth& truth,
+                           const std::vector<ComponentId>& predicted);
+
+// Mean of precision/recall across traces (how the paper aggregates).
+Accuracy mean_accuracy(const std::vector<Accuracy>& per_trace);
+
+}  // namespace flock

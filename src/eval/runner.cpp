@@ -1,0 +1,108 @@
+#include "eval/runner.h"
+
+#include <stdexcept>
+
+#include "topology/degrade.h"
+
+namespace flock {
+namespace {
+
+GroundTruth make_truth(const Topology& topo, const EnvConfig& cfg, std::int32_t trace_index,
+                       Rng& rng) {
+  switch (cfg.failure) {
+    case FailureKind::kSilentLinkDrops: {
+      const std::int32_t span = cfg.max_failures - cfg.min_failures + 1;
+      const std::int32_t n = cfg.min_failures + (span > 0 ? trace_index % span : 0);
+      return make_silent_link_drops(topo, n, cfg.rates, rng);
+    }
+    case FailureKind::kDeviceFailures: {
+      const std::int32_t n = 1 + trace_index % 2;  // up to 2 device failures (§7.2)
+      return make_device_failures(topo, n, cfg.device_link_fraction, cfg.rates, rng);
+    }
+    case FailureKind::kFixedRateDrops:
+      return make_silent_link_drops_fixed(topo, cfg.min_failures, cfg.fixed_drop_rate,
+                                          cfg.rates, rng);
+  }
+  throw std::logic_error("make_truth: unknown failure kind");
+}
+
+}  // namespace
+
+std::unique_ptr<ExperimentEnv> make_env(const EnvConfig& config) {
+  auto env = std::make_unique<ExperimentEnv>();
+  env->topo = std::make_unique<Topology>(make_three_tier_clos(config.clos));
+  env->router = std::make_unique<EcmpRouter>(*env->topo);
+  Rng rng(config.seed);
+  for (std::int32_t t = 0; t < config.num_traces; ++t) {
+    Rng trace_rng = rng.split();
+    GroundTruth truth = make_truth(*env->topo, config, t, trace_rng);
+    TrafficConfig traffic = config.traffic;
+    if (config.mix_skewed) traffic.skewed = (t % 2 == 1);
+    env->traces.push_back(simulate(*env->topo, *env->router, std::move(truth), traffic,
+                                   config.probes, trace_rng));
+  }
+  return env;
+}
+
+std::unique_ptr<ExperimentEnv> make_irregular_env(EnvConfig config, double omit_fraction) {
+  auto env = std::make_unique<ExperimentEnv>();
+  Rng rng(config.seed);
+  Topology full = make_three_tier_clos(config.clos);
+  env->topo = std::make_unique<Topology>(degrade_topology(full, omit_fraction, rng));
+  env->router = std::make_unique<EcmpRouter>(*env->topo);
+  for (std::int32_t t = 0; t < config.num_traces; ++t) {
+    Rng trace_rng = rng.split();
+    GroundTruth truth = make_truth(*env->topo, config, t, trace_rng);
+    TrafficConfig traffic = config.traffic;
+    if (config.mix_skewed) traffic.skewed = (t % 2 == 1);
+    env->traces.push_back(simulate(*env->topo, *env->router, std::move(truth), traffic,
+                                   config.probes, trace_rng));
+  }
+  return env;
+}
+
+std::unique_ptr<ExperimentEnv> make_testbed_env(const TestbedEnvConfig& config) {
+  auto env = std::make_unique<ExperimentEnv>();
+  env->topo = std::make_unique<Topology>(make_leaf_spine(config.leaf_spine));
+  env->router = std::make_unique<EcmpRouter>(*env->topo);
+  Rng rng(config.seed);
+  const std::vector<LinkId> candidates = env->topo->switch_links();
+  for (std::int32_t t = 0; t < config.num_traces; ++t) {
+    Rng trace_rng = rng.split();
+    const LinkId target = candidates[trace_rng.next_below(candidates.size())];
+    QueueSimFailures failures;
+    if (config.link_flap) {
+      LinkFlap flap;
+      flap.link = target;
+      flap.start_ms = config.sim.duration_ms * 0.25;
+      flap.duration_ms = config.sim.duration_ms * 0.25;
+      failures.flaps.push_back(flap);
+    } else {
+      QueueMisconfig m;
+      m.link = target;
+      failures.misconfigs.push_back(m);
+    }
+    env->traces.push_back(
+        run_queue_sim(*env->topo, *env->router, config.sim, failures, trace_rng));
+  }
+  return env;
+}
+
+std::vector<Accuracy> run_scheme(const Localizer& scheme, const ExperimentEnv& env,
+                                 const ViewOptions& view) {
+  std::vector<Accuracy> out;
+  out.reserve(env.traces.size());
+  for (const Trace& trace : env.traces) {
+    const InferenceInput input = make_view(*env.topo, *env.router, trace, view);
+    const LocalizationResult result = scheme.localize(input);
+    out.push_back(evaluate_accuracy(*env.topo, trace.truth, result.predicted));
+  }
+  return out;
+}
+
+Accuracy run_scheme_mean(const Localizer& scheme, const ExperimentEnv& env,
+                         const ViewOptions& view) {
+  return mean_accuracy(run_scheme(scheme, env, view));
+}
+
+}  // namespace flock

@@ -1,0 +1,78 @@
+// Experiment environments and scheme runners shared by tests, benches and
+// examples. An environment bundles a topology, its router, and a set of
+// simulated traces drawn from one failure distribution (§6.3/§6.4).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/inference_input.h"
+#include "eval/metrics.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "netsim/queue_sim.h"
+#include "topology/ecmp.h"
+#include "topology/topology.h"
+
+namespace flock {
+
+struct ExperimentEnv {
+  std::unique_ptr<Topology> topo;
+  std::unique_ptr<EcmpRouter> router;
+  std::vector<Trace> traces;
+
+  ExperimentEnv() = default;
+  ExperimentEnv(const ExperimentEnv&) = delete;
+  ExperimentEnv& operator=(const ExperimentEnv&) = delete;
+};
+
+enum class FailureKind {
+  kSilentLinkDrops,   // §7.1
+  kDeviceFailures,    // §7.2
+  kFixedRateDrops,    // §7.3 SNR sweeps (single failure, fixed rate)
+};
+
+struct EnvConfig {
+  ThreeTierClosConfig clos;
+  std::int32_t num_traces = 8;
+  FailureKind failure = FailureKind::kSilentLinkDrops;
+  std::int32_t min_failures = 1;
+  std::int32_t max_failures = 8;
+  double fixed_drop_rate = 5e-3;    // kFixedRateDrops
+  double device_link_fraction = 1.0;  // kDeviceFailures
+  DropRateConfig rates;
+  TrafficConfig traffic;
+  ProbeConfig probes;
+  // Half the traces uniform, half skewed, like §6.3 (overrides
+  // traffic.skewed per trace).
+  bool mix_skewed = true;
+  std::uint64_t seed = 12345;
+};
+
+std::unique_ptr<ExperimentEnv> make_env(const EnvConfig& config);
+
+// As make_env but on an irregular Clos with `omit_fraction` of switch links
+// removed (§7.6).
+std::unique_ptr<ExperimentEnv> make_irregular_env(EnvConfig config, double omit_fraction);
+
+// Testbed-style environment backed by the queue simulator (§6.3 hardware
+// cluster: 2 spines, 8 leaves, 6 hosts per leaf).
+struct TestbedEnvConfig {
+  LeafSpineConfig leaf_spine;
+  std::int32_t num_traces = 6;
+  bool link_flap = false;  // false: misconfigured WRED queue
+  QueueSimConfig sim;
+  std::uint64_t seed = 777;
+};
+
+std::unique_ptr<ExperimentEnv> make_testbed_env(const TestbedEnvConfig& config);
+
+// Run a localizer over every trace under a telemetry view; returns per-trace
+// accuracies (aggregate with mean_accuracy).
+std::vector<Accuracy> run_scheme(const Localizer& scheme, const ExperimentEnv& env,
+                                 const ViewOptions& view);
+
+Accuracy run_scheme_mean(const Localizer& scheme, const ExperimentEnv& env,
+                         const ViewOptions& view);
+
+}  // namespace flock

@@ -1,0 +1,89 @@
+#include "flowsim/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flock {
+namespace {
+
+std::vector<double> background_rates(const Topology& topo, const DropRateConfig& rates,
+                                     Rng& rng) {
+  std::vector<double> drop(static_cast<std::size_t>(topo.num_links()));
+  for (auto& d : drop) d = rng.uniform(0.0, rates.good_max);
+  return drop;
+}
+
+}  // namespace
+
+bool GroundTruth::is_failed(ComponentId c) const {
+  return std::find(failed.begin(), failed.end(), c) != failed.end();
+}
+
+GroundTruth make_healthy(const Topology& topo, const DropRateConfig& rates, Rng& rng) {
+  GroundTruth truth;
+  truth.link_drop_rate = background_rates(topo, rates, rng);
+  return truth;
+}
+
+GroundTruth make_silent_link_drops(const Topology& topo, std::int32_t num_failures,
+                                   const DropRateConfig& rates, Rng& rng) {
+  GroundTruth truth = make_healthy(topo, rates, rng);
+  std::vector<LinkId> candidates = topo.switch_links();
+  if (num_failures > static_cast<std::int32_t>(candidates.size())) {
+    throw std::invalid_argument("make_silent_link_drops: more failures than switch links");
+  }
+  for (std::int64_t idx : rng.sample_without_replacement(
+           static_cast<std::int64_t>(candidates.size()), num_failures)) {
+    const LinkId l = candidates[static_cast<std::size_t>(idx)];
+    truth.link_drop_rate[static_cast<std::size_t>(l)] = rng.uniform(rates.bad_min, rates.bad_max);
+    truth.failed.push_back(topo.link_component(l));
+  }
+  std::sort(truth.failed.begin(), truth.failed.end());
+  return truth;
+}
+
+GroundTruth make_silent_link_drops_fixed(const Topology& topo, std::int32_t num_failures,
+                                         double failed_drop_rate, const DropRateConfig& rates,
+                                         Rng& rng) {
+  GroundTruth truth = make_healthy(topo, rates, rng);
+  std::vector<LinkId> candidates = topo.switch_links();
+  for (std::int64_t idx : rng.sample_without_replacement(
+           static_cast<std::int64_t>(candidates.size()), num_failures)) {
+    const LinkId l = candidates[static_cast<std::size_t>(idx)];
+    truth.link_drop_rate[static_cast<std::size_t>(l)] = failed_drop_rate;
+    truth.failed.push_back(topo.link_component(l));
+  }
+  std::sort(truth.failed.begin(), truth.failed.end());
+  return truth;
+}
+
+GroundTruth make_device_failures(const Topology& topo, std::int32_t num_devices,
+                                 double link_fraction, const DropRateConfig& rates, Rng& rng) {
+  if (link_fraction <= 0.0 || link_fraction > 1.0) {
+    throw std::invalid_argument("make_device_failures: link_fraction out of (0,1]");
+  }
+  GroundTruth truth = make_healthy(topo, rates, rng);
+  const auto& switches = topo.switches();
+  for (std::int64_t idx : rng.sample_without_replacement(
+           static_cast<std::int64_t>(switches.size()), num_devices)) {
+    const NodeId sw = switches[static_cast<std::size_t>(idx)];
+    const ComponentId dev = topo.device_component(sw);
+    truth.failed.push_back(dev);
+    std::vector<LinkId> links = topo.device_links(sw);
+    const auto n_fail = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(link_fraction * static_cast<double>(links.size()) + 0.5));
+    auto& failed_links = truth.device_failed_links[dev];
+    for (std::int64_t li :
+         rng.sample_without_replacement(static_cast<std::int64_t>(links.size()), n_fail)) {
+      const LinkId l = links[static_cast<std::size_t>(li)];
+      truth.link_drop_rate[static_cast<std::size_t>(l)] =
+          rng.uniform(rates.bad_min, rates.bad_max);
+      failed_links.push_back(topo.link_component(l));
+    }
+    std::sort(failed_links.begin(), failed_links.end());
+  }
+  std::sort(truth.failed.begin(), truth.failed.end());
+  return truth;
+}
+
+}  // namespace flock

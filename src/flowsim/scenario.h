@@ -1,0 +1,56 @@
+// Failure scenarios and ground truth (§6.4).
+//
+// Ground truth is expressed as per-link packet-drop probabilities plus the
+// set of components an ideal localizer should report. Good links also drop
+// at a small background rate (0 – 0.01%, §6.3), which is what makes the
+// inference problem non-trivial: the model never matches reality exactly.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "topology/topology.h"
+
+namespace flock {
+
+struct GroundTruth {
+  // What the localizer should output: link components for link failures,
+  // device components for device failures.
+  std::vector<ComponentId> failed;
+  // For device failures: which of the device's links actually fail (the
+  // recall metric gives partial credit per App A.1).
+  std::unordered_map<ComponentId, std::vector<ComponentId>> device_failed_links;
+  // Per-link drop probability (indexed by LinkId).
+  std::vector<double> link_drop_rate;
+
+  bool is_failed(ComponentId c) const;
+};
+
+struct DropRateConfig {
+  double good_max = 1e-4;  // background drops on good links: U(0, good_max)
+  double bad_min = 1e-3;   // failed links drop U(bad_min, bad_max)
+  double bad_max = 1e-2;
+};
+
+// Background drops everywhere, no failure.
+GroundTruth make_healthy(const Topology& topo, const DropRateConfig& rates, Rng& rng);
+
+// Silent packet drops on `num_failures` random switch-to-switch links.
+GroundTruth make_silent_link_drops(const Topology& topo, std::int32_t num_failures,
+                                   const DropRateConfig& rates, Rng& rng);
+
+// As above but with a fixed drop rate on every failed link (SNR sweeps,
+// Fig 3).
+GroundTruth make_silent_link_drops_fixed(const Topology& topo, std::int32_t num_failures,
+                                         double failed_drop_rate, const DropRateConfig& rates,
+                                         Rng& rng);
+
+// Silent device failure: `link_fraction` of each failed device's links drop
+// packets (§7.2 varies the fraction from 25% to 100%; a partial fraction
+// resembles a faulty line card).
+GroundTruth make_device_failures(const Topology& topo, std::int32_t num_devices,
+                                 double link_fraction, const DropRateConfig& rates, Rng& rng);
+
+}  // namespace flock

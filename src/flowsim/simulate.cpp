@@ -1,0 +1,131 @@
+#include "flowsim/simulate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flock {
+namespace {
+
+// Hosts eligible as skewed-traffic endpoints: all hosts in the chosen
+// fraction of racks (a rack = a ToR's hosts).
+std::vector<NodeId> pick_hot_hosts(const Topology& topo, double rack_fraction, Rng& rng) {
+  std::vector<NodeId> tors;
+  for (NodeId sw : topo.switches()) {
+    if (topo.node(sw).kind == NodeKind::kTor) tors.push_back(sw);
+  }
+  const auto n_hot = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(rack_fraction * static_cast<double>(tors.size()) + 0.5));
+  std::vector<char> hot_tor(static_cast<std::size_t>(topo.num_nodes()), 0);
+  for (std::int64_t idx :
+       rng.sample_without_replacement(static_cast<std::int64_t>(tors.size()), n_hot)) {
+    hot_tor[static_cast<std::size_t>(tors[static_cast<std::size_t>(idx)])] = 1;
+  }
+  std::vector<NodeId> hosts;
+  for (NodeId h : topo.hosts()) {
+    if (hot_tor[static_cast<std::size_t>(topo.tor_of(h))]) hosts.push_back(h);
+  }
+  return hosts;
+}
+
+std::uint32_t sample_packets(const TrafficConfig& cfg, Rng& rng) {
+  // Classic Pareto with mean = x_m * alpha / (alpha - 1).
+  const double x_m = cfg.pareto_mean_bytes * (cfg.pareto_shape - 1.0) / cfg.pareto_shape;
+  const double bytes = rng.pareto(x_m, cfg.pareto_shape);
+  const double pkts = std::ceil(bytes / static_cast<double>(cfg.mss_bytes));
+  return static_cast<std::uint32_t>(
+      std::clamp(pkts, 1.0, static_cast<double>(cfg.max_packets_per_flow)));
+}
+
+}  // namespace
+
+double path_drop_probability(const Topology& topo, const EcmpRouter& router,
+                             const GroundTruth& truth, const SimFlow& flow) {
+  double success = 1.0;
+  auto apply_link = [&](LinkId l) { success *= 1.0 - truth.link_drop_rate[static_cast<std::size_t>(l)]; };
+  if (flow.src_link != kInvalidComponent) apply_link(topo.component_link(flow.src_link));
+  if (flow.dst_link != kInvalidComponent) apply_link(topo.component_link(flow.dst_link));
+  const PathSet& set = router.path_set(flow.path_set);
+  const Path& p = router.path(set.paths[static_cast<std::size_t>(flow.taken_path)]);
+  for (ComponentId c : p.comps) {
+    if (topo.is_link_component(c)) apply_link(topo.component_link(c));
+  }
+  return 1.0 - success;
+}
+
+Trace simulate(const Topology& topo, EcmpRouter& router, GroundTruth truth,
+               const TrafficConfig& traffic, const ProbeConfig& probes, Rng& rng) {
+  if (static_cast<std::int32_t>(truth.link_drop_rate.size()) != topo.num_links()) {
+    throw std::invalid_argument("simulate: ground truth does not match topology");
+  }
+  const auto& hosts = topo.hosts();
+  if (hosts.size() < 2) throw std::invalid_argument("simulate: need at least two hosts");
+
+  Trace trace;
+  trace.truth = std::move(truth);
+
+  // --- A1 probe mesh: every host probes every core (3-tier) or spine
+  // (2-tier) switch along every distinct up path. ---------------------------
+  if (probes.enabled) {
+    std::vector<NodeId> targets;
+    for (NodeId sw : topo.switches()) {
+      const NodeKind k = topo.node(sw).kind;
+      if (k == NodeKind::kCore || k == NodeKind::kSpine) targets.push_back(sw);
+    }
+    for (NodeId h : hosts) {
+      const NodeId tor = topo.tor_of(h);
+      const ComponentId access = topo.link_component(topo.host_access_link(h));
+      for (NodeId target : targets) {
+        const PathSetId ps = router.path_set_between(tor, target);
+        const auto n_paths = static_cast<std::int32_t>(router.path_set(ps).paths.size());
+        for (std::int32_t i = 0; i < n_paths; ++i) {
+          SimFlow f;
+          f.kind = SimFlowKind::kProbe;
+          f.src_host = h;
+          f.dst_host = target;
+          f.src_link = access;
+          f.path_set = ps;
+          f.taken_path = i;
+          f.packets_sent = probes.packets_per_probe;
+          trace.flows.push_back(f);
+        }
+      }
+    }
+  }
+
+  // --- Application flows. ---------------------------------------------------
+  std::vector<NodeId> hot_hosts;
+  if (traffic.skewed) hot_hosts = pick_hot_hosts(topo, traffic.skew_rack_fraction, rng);
+  auto pick_pair = [&](NodeId& src, NodeId& dst) {
+    const bool use_hot = traffic.skewed && hot_hosts.size() >= 2 &&
+                         rng.chance(traffic.skew_traffic_fraction);
+    const std::vector<NodeId>& pool = use_hot ? hot_hosts : hosts;
+    src = pool[rng.next_below(pool.size())];
+    do {
+      dst = pool[rng.next_below(pool.size())];
+    } while (dst == src);
+  };
+
+  trace.flows.reserve(trace.flows.size() + static_cast<std::size_t>(traffic.num_app_flows));
+  for (std::int64_t i = 0; i < traffic.num_app_flows; ++i) {
+    SimFlow f;
+    f.kind = SimFlowKind::kApp;
+    pick_pair(f.src_host, f.dst_host);
+    f.src_link = topo.link_component(topo.host_access_link(f.src_host));
+    f.dst_link = topo.link_component(topo.host_access_link(f.dst_host));
+    f.path_set = router.host_pair_path_set(f.src_host, f.dst_host);
+    const auto width = static_cast<std::uint64_t>(router.path_set(f.path_set).paths.size());
+    f.taken_path = static_cast<std::int32_t>(rng.next_below(width));
+    f.packets_sent = sample_packets(traffic, rng);
+    trace.flows.push_back(f);
+  }
+
+  // --- Per-packet Bernoulli drops on the taken path. ------------------------
+  for (SimFlow& f : trace.flows) {
+    const double p = path_drop_probability(topo, router, trace.truth, f);
+    f.dropped = static_cast<std::uint32_t>(rng.binomial(f.packets_sent, p));
+  }
+  return trace;
+}
+
+}  // namespace flock

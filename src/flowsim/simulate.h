@@ -1,0 +1,73 @@
+// Flow-level drop simulator (§6.3 "Large scale simulation"): each flow picks
+// one ECMP path (per-flow hashing), then every packet is dropped
+// independently with the path's ground-truth drop probability. Retransmission
+// counts (the model's "bad packets") equal the simulated drops. This is the
+// stand-in for the paper's NS3 runs and for its flow-level scaling simulator;
+// queue/latency effects are modeled separately in src/netsim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "flowsim/scenario.h"
+#include "topology/ecmp.h"
+#include "topology/topology.h"
+
+namespace flock {
+
+enum class SimFlowKind : std::uint8_t {
+  kProbe,  // A1-style host -> core probe with a known path
+  kApp,    // application flow routed by ECMP
+};
+
+struct SimFlow {
+  SimFlowKind kind = SimFlowKind::kApp;
+  NodeId src_host = kInvalidNode;
+  NodeId dst_host = kInvalidNode;  // for probes: the target core/spine switch
+  ComponentId src_link = kInvalidComponent;
+  ComponentId dst_link = kInvalidComponent;
+  PathSetId path_set = kInvalidPathSet;
+  std::int32_t taken_path = -1;  // always known to the simulator
+  std::uint32_t packets_sent = 0;
+  std::uint32_t dropped = 0;
+  float rtt_ms = 0.0f;  // filled by the queue-level simulator when relevant
+};
+
+struct Trace {
+  std::vector<SimFlow> flows;
+  GroundTruth truth;
+};
+
+struct TrafficConfig {
+  std::int64_t num_app_flows = 100000;
+  // Skewed pattern (§6.3): `skew_traffic_fraction` of flows have both
+  // endpoints inside `skew_rack_fraction` of the racks.
+  bool skewed = false;
+  double skew_traffic_fraction = 0.5;
+  double skew_rack_fraction = 0.05;
+  // Pareto flow sizes (mean 200KB, shape 1.05, §6.3), converted to packets.
+  double pareto_mean_bytes = 200.0 * 1024;
+  double pareto_shape = 1.05;
+  std::int32_t mss_bytes = 1500;
+  std::uint32_t max_packets_per_flow = 1u << 20;  // tail clamp for sanity
+};
+
+struct ProbeConfig {
+  bool enabled = true;
+  // Packets per (host, core, path) probe; §7.1 sends 40/s per server pair.
+  std::uint32_t packets_per_probe = 100;
+};
+
+// Simulate application traffic (and, if enabled, the NetBouncer-style A1
+// probe mesh from every host to every core/spine switch) over the ground
+// truth drop rates. The router is extended lazily with the needed path sets.
+Trace simulate(const Topology& topo, EcmpRouter& router, GroundTruth truth,
+               const TrafficConfig& traffic, const ProbeConfig& probes, Rng& rng);
+
+// Drop probability of a concrete path (1 - prod of link success), including
+// both endpoint access links when present. Exposed for tests.
+double path_drop_probability(const Topology& topo, const EcmpRouter& router,
+                             const GroundTruth& truth, const SimFlow& flow);
+
+}  // namespace flock

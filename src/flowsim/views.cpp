@@ -1,0 +1,77 @@
+#include "flowsim/views.h"
+
+#include "common/rng.h"
+
+namespace flock {
+namespace {
+
+// Translate a simulated flow into an observation, optionally revealing the
+// taken path, under the chosen metric mode.
+FlowObservation to_observation(const SimFlow& f, bool reveal_path, const ViewOptions& opt) {
+  FlowObservation obs;
+  obs.src_link = f.src_link;
+  obs.dst_link = f.dst_link;
+  obs.path_set = f.path_set;
+  obs.taken_path = reveal_path ? f.taken_path : -1;
+  if (opt.per_flow_latency) {
+    obs.packets_sent = 1;
+    obs.bad_packets = f.rtt_ms > opt.rtt_threshold_ms ? 1 : 0;
+  } else {
+    obs.packets_sent = f.packets_sent;
+    obs.bad_packets = f.dropped;
+  }
+  return obs;
+}
+
+bool flagged(const SimFlow& f, const ViewOptions& opt) {
+  if (opt.per_flow_latency) return f.rtt_ms > opt.rtt_threshold_ms;
+  return f.dropped >= 1;
+}
+
+}  // namespace
+
+InferenceInput make_view(const Topology& topo, const EcmpRouter& router, const Trace& trace,
+                         const ViewOptions& options) {
+  InferenceInput input(topo, router);
+  input.reserve(trace.flows.size());
+  Rng sampler(options.sample_seed);
+  const std::uint32_t t = options.telemetry;
+  const bool want_int = (t & kTelemetryInt) != 0;
+
+  for (const SimFlow& f : trace.flows) {
+    if (f.kind == SimFlowKind::kProbe) {
+      if (want_int || (t & kTelemetryA1)) input.add(to_observation(f, true, options));
+      continue;
+    }
+    // Application flow.
+    if (want_int) {
+      input.add(to_observation(f, true, options));
+      continue;
+    }
+    if ((t & kTelemetryA2) && flagged(f, options)) {
+      input.add(to_observation(f, true, options));
+      continue;  // not duplicated under P
+    }
+    if (t & kTelemetryP) {
+      if (options.passive_sample_rate >= 1.0 || sampler.chance(options.passive_sample_rate)) {
+        input.add(to_observation(f, false, options));
+      }
+    }
+  }
+  return input;
+}
+
+std::string telemetry_label(std::uint32_t telemetry) {
+  if (telemetry & kTelemetryInt) return "INT";
+  std::string label;
+  auto append = [&](const char* part) {
+    if (!label.empty()) label += "+";
+    label += part;
+  };
+  if (telemetry & kTelemetryA1) append("A1");
+  if (telemetry & kTelemetryA2) append("A2");
+  if (telemetry & kTelemetryP) append("P");
+  return label.empty() ? "none" : label;
+}
+
+}  // namespace flock

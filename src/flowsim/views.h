@@ -1,0 +1,48 @@
+// Telemetry views (§6.2): project a simulated trace onto the information a
+// given monitoring deployment would actually deliver to the collector.
+//
+//   A1  — the NetBouncer-style probe mesh, paths known.
+//   A2  — 007-style: application flows with >= 1 retransmission (or, in
+//         per-flow latency mode, an RTT above threshold) are reported along
+//         with their traceroute'd path.
+//   P   — passive flow telemetry: every application flow, but only the ECMP
+//         candidate set is known (NetFlow/IPFIX cannot see the hash).
+//   INT — full INT deployment: paths known for probes and all app flows.
+//
+// Views compose as bitmasks (A1|P, A1|A2|P, ...). A flow reported under A2
+// is not duplicated under P.
+#pragma once
+
+#include <cstdint>
+
+#include "core/inference_input.h"
+#include "flowsim/simulate.h"
+
+namespace flock {
+
+enum Telemetry : std::uint32_t {
+  kTelemetryA1 = 1u << 0,
+  kTelemetryA2 = 1u << 1,
+  kTelemetryP = 1u << 2,
+  kTelemetryInt = 1u << 3,
+};
+
+struct ViewOptions {
+  std::uint32_t telemetry = kTelemetryA1;
+  // Downsampling of passive reports (the paper notes P can be sampled at
+  // scale); 1.0 keeps everything.
+  double passive_sample_rate = 1.0;
+  std::uint64_t sample_seed = 7;
+  // Per-flow latency analysis (§3.2): observations become (t=1, r=[RTT >
+  // threshold]) instead of packet counts. Used for the link-flap scenario.
+  bool per_flow_latency = false;
+  double rtt_threshold_ms = 10.0;
+};
+
+InferenceInput make_view(const Topology& topo, const EcmpRouter& router, const Trace& trace,
+                         const ViewOptions& options);
+
+// Human-readable label like "A1+A2+P" for bench output.
+std::string telemetry_label(std::uint32_t telemetry);
+
+}  // namespace flock

@@ -1,0 +1,160 @@
+#include "netsim/queue_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flock {
+namespace {
+
+struct ActiveFlow {
+  std::size_t trace_index;           // into trace.flows
+  std::vector<LinkId> links;         // concrete path, access links included
+  std::int64_t start_tick = 0;
+  std::int64_t remaining = 0;        // packets left to send
+  double rtt_weighted_sum = 0.0;     // packet-weighted queueing delay
+  std::int64_t packets_timed = 0;
+};
+
+}  // namespace
+
+Trace run_queue_sim(const Topology& topo, EcmpRouter& router, const QueueSimConfig& config,
+                    const QueueSimFailures& failures, Rng& rng) {
+  const auto& hosts = topo.hosts();
+  if (hosts.size() < 2) throw std::invalid_argument("run_queue_sim: need two hosts");
+  const auto n_ticks = static_cast<std::int64_t>(std::ceil(config.duration_ms / config.tick_ms));
+  const double capacity = config.link_capacity_pkts_per_ms * config.tick_ms;
+
+  Trace trace;
+  trace.truth.link_drop_rate.assign(static_cast<std::size_t>(topo.num_links()), 0.0);
+  for (auto& d : trace.truth.link_drop_rate) d = rng.uniform(0.0, config.background_drop_max);
+  for (const QueueMisconfig& m : failures.misconfigs) {
+    trace.truth.failed.push_back(topo.link_component(m.link));
+  }
+  for (const LinkFlap& f : failures.flaps) {
+    trace.truth.failed.push_back(topo.link_component(f.link));
+  }
+  std::sort(trace.truth.failed.begin(), trace.truth.failed.end());
+
+  // Per-link state.
+  std::vector<double> queue(static_cast<std::size_t>(topo.num_links()), 0.0);
+  std::vector<double> arrivals(static_cast<std::size_t>(topo.num_links()), 0.0);
+  std::vector<const QueueMisconfig*> misconfig_of(static_cast<std::size_t>(topo.num_links()),
+                                                  nullptr);
+  for (const QueueMisconfig& m : failures.misconfigs) {
+    misconfig_of[static_cast<std::size_t>(m.link)] = &m;
+  }
+
+  // Build flows.
+  std::vector<ActiveFlow> active;
+  active.reserve(static_cast<std::size_t>(config.num_app_flows));
+  for (std::int64_t i = 0; i < config.num_app_flows; ++i) {
+    SimFlow f;
+    f.kind = SimFlowKind::kApp;
+    f.src_host = hosts[rng.next_below(hosts.size())];
+    do {
+      f.dst_host = hosts[rng.next_below(hosts.size())];
+    } while (f.dst_host == f.src_host);
+    f.src_link = topo.link_component(topo.host_access_link(f.src_host));
+    f.dst_link = topo.link_component(topo.host_access_link(f.dst_host));
+    f.path_set = router.host_pair_path_set(f.src_host, f.dst_host);
+    const auto width = static_cast<std::uint64_t>(router.path_set(f.path_set).paths.size());
+    f.taken_path = static_cast<std::int32_t>(rng.next_below(width));
+    f.packets_sent = 0;  // accumulated below
+    f.rtt_ms = static_cast<float>(config.base_rtt_ms);
+
+    ActiveFlow af;
+    af.trace_index = trace.flows.size();
+    af.start_tick = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(n_ticks)));
+    af.remaining = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(rng.exponential(1.0 / config.mean_flow_packets)));
+    af.links.push_back(topo.component_link(f.src_link));
+    const PathSet& set = router.path_set(f.path_set);
+    for (ComponentId c :
+         router.path(set.paths[static_cast<std::size_t>(f.taken_path)]).comps) {
+      if (topo.is_link_component(c)) af.links.push_back(topo.component_link(c));
+    }
+    af.links.push_back(topo.component_link(f.dst_link));
+    trace.flows.push_back(f);
+    active.push_back(std::move(af));
+  }
+
+  auto link_capacity_at = [&](LinkId l, double now_ms) {
+    for (const LinkFlap& flap : failures.flaps) {
+      if (flap.link == l && now_ms >= flap.start_ms && now_ms < flap.start_ms + flap.duration_ms) {
+        return 0.0;  // buffering, not serving
+      }
+    }
+    return capacity;
+  };
+
+  for (std::int64_t tick = 0; tick < n_ticks; ++tick) {
+    const double now_ms = static_cast<double>(tick) * config.tick_ms;
+    std::fill(arrivals.begin(), arrivals.end(), 0.0);
+
+    for (ActiveFlow& af : active) {
+      if (af.remaining <= 0 || tick < af.start_tick) continue;
+      // On/off bursts with the configured mean rate.
+      const double mean_per_tick = config.flow_rate_pkts_per_ms * config.tick_ms;
+      std::int64_t offered;
+      if (config.burst_pkts > 1 && mean_per_tick < static_cast<double>(config.burst_pkts)) {
+        const double p = mean_per_tick / static_cast<double>(config.burst_pkts);
+        offered = rng.chance(p) ? config.burst_pkts : 0;
+      } else {
+        offered = static_cast<std::int64_t>(mean_per_tick);
+      }
+      offered = std::min(offered, af.remaining);
+      if (offered <= 0) continue;
+      af.remaining -= offered;
+      SimFlow& f = trace.flows[af.trace_index];
+      f.packets_sent += static_cast<std::uint32_t>(offered);
+
+      // Walk the path: each hop may drop (WRED misconfig or background) and
+      // adds its current queueing delay.
+      std::int64_t surviving = offered;
+      double delay_ms = config.base_rtt_ms;
+      for (LinkId l : af.links) {
+        const auto li = static_cast<std::size_t>(l);
+        if (surviving > 0) {
+          std::int64_t lost = 0;
+          if (const QueueMisconfig* m = misconfig_of[li];
+              m != nullptr && queue[li] > static_cast<double>(m->wred_threshold)) {
+            lost += static_cast<std::int64_t>(
+                rng.binomial(static_cast<std::uint64_t>(surviving), m->drop_prob));
+          }
+          const double bg = trace.truth.link_drop_rate[li];
+          if (bg > 0.0 && surviving > lost) {
+            lost += static_cast<std::int64_t>(
+                rng.binomial(static_cast<std::uint64_t>(surviving - lost), bg));
+          }
+          lost = std::min(lost, surviving);
+          f.dropped += static_cast<std::uint32_t>(lost);
+          surviving -= lost;
+        }
+        arrivals[li] += static_cast<double>(surviving);
+        delay_ms += queue[li] / config.link_capacity_pkts_per_ms;
+      }
+      if (surviving > 0) {
+        af.rtt_weighted_sum += delay_ms * static_cast<double>(surviving);
+        af.packets_timed += surviving;
+      }
+    }
+
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      queue[li] = std::min<double>(
+          static_cast<double>(config.queue_limit_pkts),
+          std::max(0.0, queue[li] + arrivals[li] - link_capacity_at(l, now_ms)));
+    }
+  }
+
+  for (const ActiveFlow& af : active) {
+    SimFlow& f = trace.flows[af.trace_index];
+    if (af.packets_timed > 0) {
+      f.rtt_ms = static_cast<float>(af.rtt_weighted_sum / static_cast<double>(af.packets_timed));
+    }
+  }
+  return trace;
+}
+
+}  // namespace flock

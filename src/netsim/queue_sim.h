@@ -1,0 +1,74 @@
+// Time-stepped queue-level network simulator.
+//
+// This is the repository's stand-in for the paper's NS3 runs and hardware
+// testbed (§6.3): it models per-link FIFO queues with finite service rates,
+// so packet drops and latency are *congestion-correlated* rather than i.i.d.
+// — exactly the kind of model mismatch Flock's PGM has to tolerate. Two
+// testbed failure scenarios are reproduced (§6.4):
+//
+//   * Misconfigured WRED queue: a link drops each arriving packet with
+//     probability p whenever its queue length exceeds w packets (the paper
+//     misconfigures p=1%, w=0, so the link misbehaves exactly when busy).
+//   * Link flap: a link stops serving for a window; traffic is buffered, so
+//     affected flows see an RTT spike but no extra retransmissions.
+//
+// The simulator emits the same Trace structure as the flow-level simulator,
+// so every telemetry view and localizer runs unchanged on its output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "flowsim/simulate.h"
+#include "topology/ecmp.h"
+#include "topology/topology.h"
+
+namespace flock {
+
+struct QueueMisconfig {
+  LinkId link = -1;
+  double drop_prob = 0.01;           // p: drop probability above threshold
+  std::int32_t wred_threshold = 0;   // w: queue length (packets) that arms WRED
+};
+
+struct LinkFlap {
+  LinkId link = -1;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+};
+
+struct QueueSimConfig {
+  double duration_ms = 600.0;
+  double tick_ms = 1.0;
+  // 1 Gbps at 1500B MSS is ~83 packets per ms (the testbed's link speed).
+  double link_capacity_pkts_per_ms = 83.0;
+  double base_rtt_ms = 0.2;
+  // Defaults put the leaf uplinks around 80% utilization (3x oversubscribed
+  // racks, as in real testbeds), so queues form in microbursts rather than
+  // persistently.
+  std::int64_t num_app_flows = 1800;
+  // Flow demand: *average* packets per tick while active, and total packets.
+  double flow_rate_pkts_per_ms = 2.0;
+  double mean_flow_packets = 200.0;
+  // Flows send in on/off bursts of this many packets (expected rate is
+  // preserved). Burstiness is what arms the misconfigured WRED queue at
+  // moderate utilization — without it a fluid model never queues below 100%
+  // load.
+  std::int64_t burst_pkts = 16;
+  // Background corruption on good links (same role as §6.3's 0-0.01%).
+  double background_drop_max = 1e-4;
+  std::uint32_t queue_limit_pkts = 1u << 20;
+};
+
+struct QueueSimFailures {
+  std::vector<QueueMisconfig> misconfigs;
+  std::vector<LinkFlap> flaps;
+};
+
+// Run the simulation; ground truth marks the misconfigured / flapped links
+// as the failed components.
+Trace run_queue_sim(const Topology& topo, EcmpRouter& router, const QueueSimConfig& config,
+                    const QueueSimFailures& failures, Rng& rng);
+
+}  // namespace flock

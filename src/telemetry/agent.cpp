@@ -1,0 +1,46 @@
+#include "telemetry/agent.h"
+
+#include <cmath>
+
+namespace flock {
+
+Agent::Agent(const Topology& topo, AgentConfig config)
+    : topo_(&topo),
+      config_(config),
+      sampler_(config.sample_seed),
+      encoder_(IpfixEncoderOptions{config.observation_domain, config.max_message_bytes}) {}
+
+void Agent::observe(const SimFlow& flow) {
+  if (config_.sample_rate < 1.0 && !sampler_.chance(config_.sample_rate)) return;
+  Key key;
+  key.src = node_to_addr(flow.src_host);
+  key.dst = node_to_addr(flow.dst_host);  // probes address their target switch
+  // Synthetic ports make distinct simulator flows distinct 5-tuples.
+  key.sport = next_port_;
+  next_port_ = static_cast<std::uint16_t>(next_port_ == 65535 ? 40000 : next_port_ + 1);
+  key.dport = 443;
+
+  FlowRecord& rec = flows_[key];
+  rec.src_addr = key.src;
+  rec.dst_addr = key.dst;
+  rec.src_port = key.sport;
+  rec.dst_port = key.dport;
+  rec.packets += flow.packets_sent;
+  rec.retransmissions += flow.dropped;
+  rec.mean_rtt_us = static_cast<std::uint32_t>(std::lround(flow.rtt_ms * 1000.0f));
+  rec.path_set = flow.taken_path >= 0 ? flow.path_set : -1;
+  rec.taken_path = flow.taken_path;
+}
+
+std::vector<std::vector<std::uint8_t>> Agent::flush(std::uint32_t export_time) {
+  std::vector<FlowRecord> records;
+  records.reserve(flows_.size());
+  for (auto& [key, rec] : flows_) {
+    (void)key;
+    records.push_back(rec);
+  }
+  flows_.clear();
+  return encoder_.encode(records, export_time);
+}
+
+}  // namespace flock

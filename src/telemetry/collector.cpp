@@ -1,0 +1,61 @@
+#include "telemetry/collector.h"
+
+namespace flock {
+
+Collector::Collector(const Topology& topo, EcmpRouter& router, CollectorOptions options)
+    : topo_(&topo), router_(&router), options_(options) {}
+
+bool Collector::ingest(const std::vector<std::uint8_t>& message) {
+  return decoder_.decode(message, records_);
+}
+
+InferenceInput Collector::drain_into_input() {
+  InferenceInput input(*topo_, *router_);
+  input.reserve(records_.size());
+  for (const FlowRecord& rec : records_) {
+    const NodeId src = addr_to_node(rec.src_addr);
+    const NodeId dst = addr_to_node(rec.dst_addr);
+    if (src < 0 || src >= topo_->num_nodes() || dst < 0 || dst >= topo_->num_nodes() ||
+        !topo_->is_host(src)) {
+      ++unresolved_;
+      continue;
+    }
+    FlowObservation obs;
+    obs.src_link = topo_->link_component(topo_->host_access_link(src));
+    if (rec.path_set >= 0 && rec.path_set < router_->num_path_sets() && rec.taken_path >= 0) {
+      obs.path_set = rec.path_set;
+      obs.taken_path = rec.taken_path;
+      const auto width =
+          static_cast<std::int32_t>(router_->path_set(obs.path_set).paths.size());
+      if (rec.taken_path >= width) {
+        ++unresolved_;
+        continue;
+      }
+      if (topo_->is_host(dst)) {
+        obs.dst_link = topo_->link_component(topo_->host_access_link(dst));
+      }
+    } else if (topo_->is_host(dst)) {
+      // Passive record: join with routing to get the ECMP candidate set.
+      obs.dst_link = topo_->link_component(topo_->host_access_link(dst));
+      obs.path_set = router_->host_pair_path_set(src, dst);
+      obs.taken_path = -1;
+    } else {
+      ++unresolved_;  // probe without path info: unusable
+      continue;
+    }
+    if (options_.per_flow_latency) {
+      obs.packets_sent = 1;
+      obs.bad_packets =
+          rec.mean_rtt_us > static_cast<std::uint32_t>(options_.rtt_threshold_ms * 1000.0) ? 1
+                                                                                           : 0;
+    } else {
+      obs.packets_sent = static_cast<std::uint32_t>(rec.packets);
+      obs.bad_packets = static_cast<std::uint32_t>(rec.retransmissions);
+    }
+    input.add(obs);
+  }
+  records_.clear();
+  return input;
+}
+
+}  // namespace flock

@@ -1,0 +1,53 @@
+// Central collector (§5.1): ingests IPFIX messages from agents, decodes flow
+// records, and periodically materializes an InferenceInput for the inference
+// engine — joining passive records (no path knowledge) with the topology /
+// routing information to recover each flow's ECMP candidate set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/inference_input.h"
+#include "telemetry/flow_record.h"
+#include "telemetry/ipfix.h"
+#include "topology/ecmp.h"
+#include "topology/topology.h"
+
+namespace flock {
+
+struct CollectorOptions {
+  // Per-flow latency analysis (§3.2) instead of packet counts.
+  bool per_flow_latency = false;
+  double rtt_threshold_ms = 10.0;
+};
+
+class Collector {
+ public:
+  Collector(const Topology& topo, EcmpRouter& router, CollectorOptions options = {});
+
+  // Ingest one IPFIX message (e.g., one UDP datagram from an agent).
+  // Returns false if the message was malformed.
+  bool ingest(const std::vector<std::uint8_t>& message);
+
+  std::size_t pending_records() const { return records_.size(); }
+  const IpfixDecoder::Stats& decoder_stats() const { return decoder_.stats(); }
+
+  // Build the inference input from everything collected so far and clear the
+  // queue (the periodic step of §5.1's inference engine). Records between
+  // two hosts with unknown paths are joined against ECMP routes; records
+  // addressed to switches (probes) must carry their path. Records that
+  // cannot be resolved are dropped and counted.
+  InferenceInput drain_into_input();
+
+  std::uint64_t unresolved_records() const { return unresolved_; }
+
+ private:
+  const Topology* topo_;
+  EcmpRouter* router_;
+  CollectorOptions options_;
+  IpfixDecoder decoder_;
+  std::vector<FlowRecord> records_;
+  std::uint64_t unresolved_ = 0;
+};
+
+}  // namespace flock

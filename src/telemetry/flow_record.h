@@ -1,0 +1,39 @@
+// The unit of telemetry exported by end-host agents (§3.1, §5.1): one
+// compact record per monitored flow per reporting interval, carrying the
+// metrics Flock's model consumes (packets, retransmissions, RTT) plus
+// routing knowledge when the deployment has it (probe/INT paths).
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+
+namespace flock {
+
+struct FlowRecord {
+  std::uint32_t src_addr = 0;  // synthetic IPv4 (10.0.0.0/8 + node id)
+  std::uint32_t dst_addr = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint32_t mean_rtt_us = 0;
+  // Routing knowledge (enterprise IPFIX fields): the interned path-set id
+  // and the taken path index, or -1 when the agent does not know them (the
+  // collector joins passive records with the SDN controller's routes).
+  std::int32_t path_set = -1;
+  std::int32_t taken_path = -1;
+
+  bool operator==(const FlowRecord&) const = default;
+};
+
+// Synthetic addressing: every topology node gets 10.x.y.z with its node id
+// in the low 24 bits.
+inline std::uint32_t node_to_addr(NodeId id) {
+  return 0x0A000000u | static_cast<std::uint32_t>(id & 0x00FFFFFF);
+}
+inline NodeId addr_to_node(std::uint32_t addr) {
+  return static_cast<NodeId>(addr & 0x00FFFFFF);
+}
+
+}  // namespace flock

@@ -1,0 +1,234 @@
+#include "telemetry/ipfix.h"
+
+#include <cstring>
+
+namespace flock {
+namespace {
+
+// --- big-endian primitives ---------------------------------------------------
+
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  put_u16(b, static_cast<std::uint16_t>(v >> 16));
+  put_u16(b, static_cast<std::uint16_t>(v));
+}
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v >> 32));
+  put_u32(b, static_cast<std::uint32_t>(v));
+}
+
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t remaining;
+
+  bool u16(std::uint16_t& v) {
+    if (remaining < 2) return false;
+    v = static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+    p += 2;
+    remaining -= 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint16_t hi, lo;
+    if (!u16(hi) || !u16(lo)) return false;
+    v = (static_cast<std::uint32_t>(hi) << 16) | lo;
+    return true;
+  }
+  bool skip(std::size_t n) {
+    if (remaining < n) return false;
+    p += n;
+    remaining -= n;
+    return true;
+  }
+  std::uint64_t read_uint(std::size_t len) {  // caller checked bounds
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < len; ++i) v = (v << 8) | p[i];
+    p += len;
+    remaining -= len;
+    return v;
+  }
+};
+
+// Field layout of the flow template (shared by encoder and the tests; the
+// decoder never assumes it).
+struct WireField {
+  std::uint16_t id;
+  std::uint16_t length;
+  std::uint32_t enterprise;  // 0 = IANA
+};
+constexpr WireField kFlowFields[] = {
+    {8, 4, 0},                              // sourceIPv4Address
+    {12, 4, 0},                             // destinationIPv4Address
+    {7, 2, 0},                              // sourceTransportPort
+    {11, 2, 0},                             // destinationTransportPort
+    {2, 8, 0},                              // packetDeltaCount
+    {1, 8, kFlockEnterpriseNumber},         // retransmissions
+    {2, 4, kFlockEnterpriseNumber},         // meanRttMicros
+    {3, 4, kFlockEnterpriseNumber},         // pathSetId
+    {4, 4, kFlockEnterpriseNumber},         // takenPathIndex
+};
+
+constexpr std::size_t kRecordBytes = 4 + 4 + 2 + 2 + 8 + 8 + 4 + 4 + 4;
+
+void append_template_set(std::vector<std::uint8_t>& msg) {
+  put_u16(msg, 2);  // set id 2 = template set
+  std::uint16_t set_len = 4 + 4;  // set header + template header
+  for (const WireField& f : kFlowFields) set_len += f.enterprise ? 8 : 4;
+  put_u16(msg, set_len);
+  put_u16(msg, kFlowTemplateId);
+  put_u16(msg, static_cast<std::uint16_t>(std::size(kFlowFields)));
+  for (const WireField& f : kFlowFields) {
+    put_u16(msg, f.enterprise ? static_cast<std::uint16_t>(f.id | 0x8000u) : f.id);
+    put_u16(msg, f.length);
+    if (f.enterprise) put_u32(msg, f.enterprise);
+  }
+}
+
+void append_record(std::vector<std::uint8_t>& msg, const FlowRecord& r) {
+  put_u32(msg, r.src_addr);
+  put_u32(msg, r.dst_addr);
+  put_u16(msg, r.src_port);
+  put_u16(msg, r.dst_port);
+  put_u64(msg, r.packets);
+  put_u64(msg, r.retransmissions);
+  put_u32(msg, r.mean_rtt_us);
+  put_u32(msg, static_cast<std::uint32_t>(r.path_set));
+  put_u32(msg, static_cast<std::uint32_t>(r.taken_path));
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> IpfixEncoder::encode(
+    const std::vector<FlowRecord>& records, std::uint32_t export_time) {
+  std::vector<std::vector<std::uint8_t>> messages;
+  std::size_t i = 0;
+  do {
+    std::vector<std::uint8_t> msg;
+    // Message header (length patched at the end).
+    put_u16(msg, kIpfixVersion);
+    put_u16(msg, 0);
+    put_u32(msg, export_time);
+    put_u32(msg, sequence_);
+    put_u32(msg, options_.observation_domain);
+    append_template_set(msg);
+
+    // Data set header.
+    const std::size_t set_start = msg.size();
+    put_u16(msg, kFlowTemplateId);
+    put_u16(msg, 0);  // patched below
+    std::uint32_t in_this_message = 0;
+    while (i < records.size() && msg.size() + kRecordBytes <= options_.max_message_bytes) {
+      append_record(msg, records[i]);
+      ++i;
+      ++in_this_message;
+    }
+    sequence_ += in_this_message;
+
+    const auto set_len = static_cast<std::uint16_t>(msg.size() - set_start);
+    msg[set_start + 2] = static_cast<std::uint8_t>(set_len >> 8);
+    msg[set_start + 3] = static_cast<std::uint8_t>(set_len);
+    const auto msg_len = static_cast<std::uint16_t>(msg.size());
+    msg[2] = static_cast<std::uint8_t>(msg_len >> 8);
+    msg[3] = static_cast<std::uint8_t>(msg_len);
+    messages.push_back(std::move(msg));
+  } while (i < records.size());
+  return messages;
+}
+
+bool IpfixDecoder::decode(const std::vector<std::uint8_t>& message,
+                          std::vector<FlowRecord>& out) {
+  const std::size_t initial_out = out.size();
+  auto fail = [&] {
+    out.resize(initial_out);
+    ++stats_.malformed_messages;
+    return false;
+  };
+
+  Reader r{message.data(), message.size()};
+  std::uint16_t version, length;
+  std::uint32_t export_time, sequence, domain;
+  if (!r.u16(version) || !r.u16(length) || !r.u32(export_time) || !r.u32(sequence) ||
+      !r.u32(domain)) {
+    return fail();
+  }
+  if (version != kIpfixVersion || length != message.size()) return fail();
+
+  while (r.remaining > 0) {
+    std::uint16_t set_id, set_len;
+    if (!r.u16(set_id) || !r.u16(set_len) || set_len < 4 ||
+        static_cast<std::size_t>(set_len - 4) > r.remaining) {
+      return fail();
+    }
+    Reader set{r.p, static_cast<std::size_t>(set_len - 4)};
+    if (!r.skip(set_len - 4)) return fail();
+
+    if (set_id == 2) {
+      // Template set: may contain several templates.
+      ++stats_.template_sets;
+      while (set.remaining >= 4) {
+        std::uint16_t tid, field_count;
+        if (!set.u16(tid) || !set.u16(field_count)) return fail();
+        Template tmpl;
+        for (std::uint16_t f = 0; f < field_count; ++f) {
+          std::uint16_t id, flen;
+          if (!set.u16(id) || !set.u16(flen)) return fail();
+          FieldSpec spec;
+          spec.length = flen;
+          if (id & 0x8000u) {
+            spec.id = static_cast<std::uint16_t>(id & 0x7FFFu);
+            if (!set.u32(spec.enterprise)) return fail();
+          } else {
+            spec.id = id;
+          }
+          tmpl.record_length += flen;
+          tmpl.fields.push_back(spec);
+        }
+        const std::uint64_t key = (static_cast<std::uint64_t>(domain) << 16) | tid;
+        templates_[key] = std::move(tmpl);
+      }
+    } else if (set_id >= 256) {
+      const std::uint64_t key = (static_cast<std::uint64_t>(domain) << 16) | set_id;
+      auto it = templates_.find(key);
+      if (it == templates_.end()) {
+        ++stats_.skipped_sets;  // data before template: legal, we drop it
+        continue;
+      }
+      const Template& tmpl = it->second;
+      if (tmpl.record_length == 0) return fail();
+      while (set.remaining >= tmpl.record_length) {
+        FlowRecord rec;
+        for (const FieldSpec& f : tmpl.fields) {
+          const std::uint64_t v = set.read_uint(f.length);
+          if (f.enterprise == 0) {
+            switch (f.id) {
+              case 8: rec.src_addr = static_cast<std::uint32_t>(v); break;
+              case 12: rec.dst_addr = static_cast<std::uint32_t>(v); break;
+              case 7: rec.src_port = static_cast<std::uint16_t>(v); break;
+              case 11: rec.dst_port = static_cast<std::uint16_t>(v); break;
+              case 2: rec.packets = v; break;
+              default: break;  // unknown IANA field: ignored
+            }
+          } else if (f.enterprise == kFlockEnterpriseNumber) {
+            switch (f.id) {
+              case 1: rec.retransmissions = v; break;
+              case 2: rec.mean_rtt_us = static_cast<std::uint32_t>(v); break;
+              case 3: rec.path_set = static_cast<std::int32_t>(v); break;
+              case 4: rec.taken_path = static_cast<std::int32_t>(v); break;
+              default: break;
+            }
+          }
+        }
+        out.push_back(rec);
+        ++stats_.records;
+      }
+    }
+    // set ids 3..255 are reserved; silently skipped by the loop structure.
+  }
+  ++stats_.messages;
+  return true;
+}
+
+}  // namespace flock

@@ -1,0 +1,85 @@
+// Simplified IPFIX (RFC 7011) codec for flow reports.
+//
+// The wire format follows the RFC's structure — 16-byte message header,
+// template sets (id 2) describing records as (IE id, length) pairs with
+// enterprise-specific fields, and data sets keyed by template id. The
+// decoder is template-driven: it learns layouts from template sets per
+// observation domain and decodes data records generically, skipping unknown
+// fields, so it interoperates with any encoder that describes the same
+// information elements.
+//
+// Standard IEs used: sourceIPv4Address(8), destinationIPv4Address(12),
+// sourceTransportPort(7), destinationTransportPort(11), packetDeltaCount(2).
+// Enterprise IEs (PEN 0xF10C): 1 retransmissions(8B), 2 meanRttMicros(4B),
+// 3 pathSetId(4B), 4 takenPathIndex(4B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/flow_record.h"
+
+namespace flock {
+
+inline constexpr std::uint32_t kFlockEnterpriseNumber = 0xF10C;
+inline constexpr std::uint16_t kFlowTemplateId = 256;
+inline constexpr std::uint16_t kIpfixVersion = 10;
+
+struct IpfixEncoderOptions {
+  std::uint32_t observation_domain = 1;
+  // Maximum bytes per message; records that do not fit roll into the next
+  // message. Every message re-announces the template (robust to loss).
+  std::size_t max_message_bytes = 1400;
+};
+
+class IpfixEncoder {
+ public:
+  explicit IpfixEncoder(IpfixEncoderOptions options) : options_(options) {}
+
+  // Encode records into one or more self-contained IPFIX messages.
+  std::vector<std::vector<std::uint8_t>> encode(const std::vector<FlowRecord>& records,
+                                                std::uint32_t export_time);
+
+  std::uint32_t sequence() const { return sequence_; }
+
+ private:
+  IpfixEncoderOptions options_;
+  std::uint32_t sequence_ = 0;
+};
+
+class IpfixDecoder {
+ public:
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t records = 0;
+    std::uint64_t template_sets = 0;
+    std::uint64_t skipped_sets = 0;
+    std::uint64_t malformed_messages = 0;
+  };
+
+  // Parse one message, appending decoded flow records to `out`. Returns
+  // false (and counts a malformed message) on any framing error; partial
+  // output from a malformed message is rolled back.
+  bool decode(const std::vector<std::uint8_t>& message, std::vector<FlowRecord>& out);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct FieldSpec {
+    std::uint16_t id = 0;
+    std::uint16_t length = 0;
+    std::uint32_t enterprise = 0;  // 0 = IANA
+  };
+  struct Template {
+    std::vector<FieldSpec> fields;
+    std::size_t record_length = 0;
+  };
+
+  // Template cache keyed by (observation domain, template id).
+  std::unordered_map<std::uint64_t, Template> templates_;
+  Stats stats_;
+};
+
+}  // namespace flock

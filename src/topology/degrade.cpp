@@ -1,0 +1,60 @@
+#include "topology/degrade.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+namespace flock {
+namespace {
+
+// Connectivity of the switch-only graph with a set of links excluded.
+bool switches_connected(const Topology& topo, const std::unordered_set<LinkId>& removed) {
+  const auto& switches = topo.switches();
+  if (switches.empty()) return true;
+  std::vector<char> seen(static_cast<std::size_t>(topo.num_nodes()), 0);
+  std::deque<NodeId> queue{switches.front()};
+  seen[static_cast<std::size_t>(switches.front())] = 1;
+  std::size_t visited = 1;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (const auto& [peer, link] : topo.adjacency(u)) {
+      if (topo.is_host(peer) || removed.count(link)) continue;
+      auto& s = seen[static_cast<std::size_t>(peer)];
+      if (!s) {
+        s = 1;
+        ++visited;
+        queue.push_back(peer);
+      }
+    }
+  }
+  return visited == switches.size();
+}
+
+}  // namespace
+
+std::vector<LinkId> removable_links(const Topology& topo, double fraction, Rng& rng) {
+  std::vector<LinkId> candidates = topo.switch_links();
+  const auto target = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(candidates.size())));
+  rng.shuffle(candidates);
+  std::unordered_set<LinkId> removed;
+  std::vector<LinkId> out;
+  for (LinkId l : candidates) {
+    if (out.size() >= target) break;
+    removed.insert(l);
+    if (switches_connected(topo, removed)) {
+      out.push_back(l);
+    } else {
+      removed.erase(l);
+    }
+  }
+  return out;
+}
+
+Topology degrade_topology(const Topology& topo, double fraction, Rng& rng) {
+  return topo.without_links(removable_links(topo, fraction, rng));
+}
+
+}  // namespace flock

@@ -1,0 +1,24 @@
+// Construction of "irregular" Clos networks (§7.6): remove a fraction of the
+// switch-to-switch links while preserving switch-level connectivity, to model
+// real-world asymmetry from failures, policies and piecemeal upgrades.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "topology/topology.h"
+
+namespace flock {
+
+// Returns a copy of `topo` with roughly `fraction` of its switch links
+// removed. Links are removed one by one in random order; a removal that would
+// disconnect any pair of switches is skipped, so the result is always fully
+// routable. The number of links actually removed can be smaller than
+// requested when the topology runs out of redundant links.
+Topology degrade_topology(const Topology& topo, double fraction, Rng& rng);
+
+// The links chosen by the same procedure (useful when the caller wants the
+// removed set, e.g. to report it).
+std::vector<LinkId> removable_links(const Topology& topo, double fraction, Rng& rng);
+
+}  // namespace flock

@@ -1,0 +1,182 @@
+#include "topology/ecmp.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace flock {
+namespace {
+
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+EcmpRouter::EcmpRouter(const Topology& topo) : topo_(&topo) {}
+
+std::vector<std::int32_t> EcmpRouter::bfs_from(NodeId dst_sw) const {
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(topo_->num_nodes()), -1);
+  std::deque<NodeId> queue;
+  dist[static_cast<std::size_t>(dst_sw)] = 0;
+  queue.push_back(dst_sw);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (const auto& [peer, link] : topo_->adjacency(u)) {
+      (void)link;
+      if (topo_->is_host(peer)) continue;  // hosts are never transit
+      auto& d = dist[static_cast<std::size_t>(peer)];
+      if (d < 0) {
+        d = dist[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(peer);
+      }
+    }
+  }
+  return dist;
+}
+
+std::int32_t EcmpRouter::switch_distance(NodeId src_sw, NodeId dst_sw) {
+  auto it = dist_cache_.find(dst_sw);
+  if (it == dist_cache_.end()) it = dist_cache_.emplace(dst_sw, bfs_from(dst_sw)).first;
+  std::int32_t d = it->second[static_cast<std::size_t>(src_sw)];
+  if (d < 0) throw std::runtime_error("switch_distance: disconnected");
+  return d;
+}
+
+PathSetId EcmpRouter::path_set_between(NodeId src_sw, NodeId dst_sw) {
+  if (!topo_->is_switch(src_sw) || !topo_->is_switch(dst_sw)) {
+    throw std::invalid_argument("path_set_between: endpoints must be switches");
+  }
+  auto key = pair_key(src_sw, dst_sw);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  PathSetId id = enumerate_paths(src_sw, dst_sw);
+  cache_.emplace(key, id);
+  return id;
+}
+
+PathSetId EcmpRouter::enumerate_paths(NodeId src_sw, NodeId dst_sw) {
+  PathSet set;
+  set.src_sw = src_sw;
+  set.dst_sw = dst_sw;
+  if (src_sw == dst_sw) {
+    Path p;
+    p.comps.push_back(topo_->device_component(src_sw));
+    paths_.push_back(std::move(p));
+    set.paths.push_back(static_cast<PathId>(paths_.size() - 1));
+  } else {
+    auto dit = dist_cache_.find(dst_sw);
+    if (dit == dist_cache_.end()) dit = dist_cache_.emplace(dst_sw, bfs_from(dst_sw)).first;
+    const auto& dist = dit->second;
+    if (dist[static_cast<std::size_t>(src_sw)] < 0) {
+      throw std::runtime_error("enumerate_paths: disconnected switch pair");
+    }
+    // Iterative DFS over the shortest-path DAG (edges strictly decreasing
+    // the distance-to-destination).
+    std::vector<ComponentId> comps;  // current partial path
+    struct Frame {
+      NodeId node;
+      std::size_t next_edge;
+      std::size_t comps_mark;
+    };
+    std::vector<Frame> stack;
+    comps.push_back(topo_->device_component(src_sw));
+    stack.push_back({src_sw, 0, comps.size()});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.node == dst_sw) {
+        Path p;
+        p.comps = comps;
+        paths_.push_back(std::move(p));
+        set.paths.push_back(static_cast<PathId>(paths_.size() - 1));
+        stack.pop_back();
+        if (!stack.empty()) comps.resize(stack.back().comps_mark);
+        continue;
+      }
+      const auto& adj = topo_->adjacency(f.node);
+      bool descended = false;
+      while (f.next_edge < adj.size()) {
+        auto [peer, link] = adj[f.next_edge++];
+        if (topo_->is_host(peer)) continue;
+        if (dist[static_cast<std::size_t>(peer)] != dist[static_cast<std::size_t>(f.node)] - 1) continue;
+        comps.push_back(topo_->link_component(link));
+        comps.push_back(topo_->device_component(peer));
+        stack.push_back({peer, 0, comps.size()});
+        descended = true;
+        break;
+      }
+      if (!descended && !stack.empty() && &f == &stack.back()) {
+        stack.pop_back();
+        if (!stack.empty()) comps.resize(stack.back().comps_mark);
+      }
+    }
+    std::sort(set.paths.begin(), set.paths.end());
+  }
+  path_sets_.push_back(std::move(set));
+  return static_cast<PathSetId>(path_sets_.size() - 1);
+}
+
+PathSetId EcmpRouter::host_pair_path_set(NodeId src_host, NodeId dst_host) {
+  return path_set_between(topo_->tor_of(src_host), topo_->tor_of(dst_host));
+}
+
+void EcmpRouter::build_all_tor_pairs() {
+  std::vector<NodeId> tors;
+  for (NodeId sw : topo_->switches()) {
+    if (topo_->node(sw).kind == NodeKind::kTor) tors.push_back(sw);
+  }
+  for (NodeId a : tors) {
+    for (NodeId b : tors) path_set_between(a, b);
+  }
+}
+
+std::vector<std::vector<ComponentId>> ecmp_equivalence_classes(EcmpRouter& router) {
+  const Topology& topo = router.topology();
+  router.build_all_tor_pairs();
+  // signature[c] = sorted list of (path set id, number of paths containing c)
+  std::map<ComponentId, std::vector<std::pair<PathSetId, std::int32_t>>> signature;
+  for (PathSetId ps = 0; ps < router.num_path_sets(); ++ps) {
+    std::map<ComponentId, std::int32_t> counts;
+    for (PathId pid : router.path_set(ps).paths) {
+      for (ComponentId c : router.path(pid).comps) counts[c]++;
+    }
+    for (const auto& [c, cnt] : counts) signature[c].emplace_back(ps, cnt);
+  }
+  // Group by identical signature. Components not on any ToR-pair path (e.g.
+  // host links) are excluded.
+  std::map<std::vector<std::pair<PathSetId, std::int32_t>>, std::vector<ComponentId>> groups;
+  for (auto& [c, sig] : signature) {
+    if (topo.is_link_component(c) && topo.is_host_link(topo.component_link(c))) continue;
+    groups[sig].push_back(c);
+  }
+  std::vector<std::vector<ComponentId>> classes;
+  classes.reserve(groups.size());
+  for (auto& [sig, members] : groups) {
+    (void)sig;
+    classes.push_back(std::move(members));
+  }
+  return classes;
+}
+
+double theoretical_max_precision(const std::vector<std::vector<ComponentId>>& classes,
+                                 const std::vector<ComponentId>& truth) {
+  if (truth.empty()) return 1.0;
+  std::vector<const std::vector<ComponentId>*> hit;
+  for (ComponentId t : truth) {
+    for (const auto& cls : classes) {
+      if (std::find(cls.begin(), cls.end(), t) != cls.end()) {
+        if (std::find(hit.begin(), hit.end(), &cls) == hit.end()) hit.push_back(&cls);
+        break;
+      }
+    }
+  }
+  double denom = 0;
+  for (const auto* cls : hit) denom += static_cast<double>(cls->size());
+  if (denom == 0) return 0.0;
+  return static_cast<double>(truth.size()) / denom;
+}
+
+}  // namespace flock

@@ -1,0 +1,93 @@
+// ECMP shortest-path enumeration with interned paths and path sets.
+//
+// Flock's inference works on flows whose path is only known to lie in a set
+// of ECMP candidates. In a Clos network the candidate set between two hosts
+// is (src access link) + (any shortest switch path between their ToRs) +
+// (dst access link). The switch-level part depends only on the ToR pair, so
+// we intern one PathSet per switch pair and let millions of flows share it.
+//
+// A Path is the sequence of *components* (link and device ids interleaved,
+// inclusive of both endpoint switch devices) along one switch-to-switch
+// shortest path. Host access links are kept separate, on the flow record.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/topology.h"
+
+namespace flock {
+
+struct Path {
+  // Links and devices crossed, in order, including the endpoint devices.
+  std::vector<ComponentId> comps;
+};
+
+struct PathSet {
+  NodeId src_sw = kInvalidNode;
+  NodeId dst_sw = kInvalidNode;
+  std::vector<PathId> paths;
+};
+
+class EcmpRouter {
+ public:
+  explicit EcmpRouter(const Topology& topo);
+
+  const Topology& topology() const { return *topo_; }
+
+  // Path set between two switches (lazily computed, cached, symmetric in the
+  // sense that (a,b) and (b,a) are cached independently but have mirrored
+  // paths). Throws if the switches are disconnected.
+  PathSetId path_set_between(NodeId src_sw, NodeId dst_sw);
+
+  // Path set between the ToRs of two hosts. For hosts on the same ToR the
+  // set is the single path [device(tor)].
+  PathSetId host_pair_path_set(NodeId src_host, NodeId dst_host);
+
+  const PathSet& path_set(PathSetId id) const { return path_sets_[static_cast<std::size_t>(id)]; }
+  const Path& path(PathId id) const { return paths_[static_cast<std::size_t>(id)]; }
+
+  std::int32_t num_path_sets() const { return static_cast<std::int32_t>(path_sets_.size()); }
+  std::int32_t num_paths() const { return static_cast<std::int32_t>(paths_.size()); }
+
+  // Materialize the path sets of every ordered ToR pair (and, for Fig 5c,
+  // the equivalence-class computation needs them all). Expensive on big
+  // topologies; benches call it only at small scale.
+  void build_all_tor_pairs();
+
+  // Hop count (number of links) of the shortest switch path, mostly for
+  // tests; throws if disconnected.
+  std::int32_t switch_distance(NodeId src_sw, NodeId dst_sw);
+
+ private:
+  // BFS over the switch-only graph from dst, returning distances (-1 if
+  // unreachable). Hosts never appear as intermediate nodes (degree 1).
+  std::vector<std::int32_t> bfs_from(NodeId dst_sw) const;
+
+  PathSetId enumerate_paths(NodeId src_sw, NodeId dst_sw);
+
+  const Topology* topo_;
+  std::vector<Path> paths_;
+  std::vector<PathSet> path_sets_;
+  std::unordered_map<std::uint64_t, PathSetId> cache_;
+  // Per-destination BFS distance cache (dst -> distances); bounded reuse for
+  // build_all_tor_pairs.
+  std::unordered_map<NodeId, std::vector<std::int32_t>> dist_cache_;
+};
+
+// Components that are indistinguishable from passive ECMP telemetry: two
+// components are in the same class iff they appear in the same ToR-pair path
+// sets with the same per-set path-membership counts. Used for Fig 5c's
+// "theoretical max precision" line. Host access links are excluded (each is
+// trivially distinguishable by its endpoint flows).
+std::vector<std::vector<ComponentId>> ecmp_equivalence_classes(EcmpRouter& router);
+
+// Best achievable precision for a passive-only scheme that must reach 100%
+// recall on ground truth `truth`: |truth| / sum of the sizes of the classes
+// containing elements of truth.
+double theoretical_max_precision(const std::vector<std::vector<ComponentId>>& classes,
+                                 const std::vector<ComponentId>& truth);
+
+}  // namespace flock

@@ -1,0 +1,117 @@
+// Datacenter topology model.
+//
+// A Topology is an undirected multigraph of hosts and switches. Fault
+// localization treats two kinds of components as potentially faulty:
+//   * links  — component ids [0, num_links())
+//   * devices (switches) — component ids [num_links(), num_components())
+// Hosts are traffic endpoints, never blamed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace flock {
+
+enum class NodeKind : std::uint8_t { kHost, kTor, kAgg, kCore, kSpine };
+
+const char* to_string(NodeKind kind);
+
+struct Node {
+  NodeKind kind = NodeKind::kHost;
+  std::int32_t pod = -1;    // pod index for Tor/Agg (and hosts), -1 otherwise
+  std::int32_t index = -1;  // index within its tier (for naming)
+};
+
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+};
+
+class Topology {
+ public:
+  // --- construction -------------------------------------------------------
+  NodeId add_node(NodeKind kind, std::int32_t pod = -1, std::int32_t index = -1);
+  LinkId add_link(NodeId a, NodeId b);
+
+  // Remove a set of links (used to build "irregular" Clos networks, §7.6).
+  // Returns a new topology with compacted link ids; node ids are preserved.
+  Topology without_links(const std::vector<LinkId>& removed) const;
+
+  // --- nodes ---------------------------------------------------------------
+  std::int32_t num_nodes() const { return static_cast<std::int32_t>(nodes_.size()); }
+  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  bool is_host(NodeId id) const { return node(id).kind == NodeKind::kHost; }
+  bool is_switch(NodeId id) const { return !is_host(id); }
+  const std::vector<NodeId>& hosts() const { return hosts_; }
+  const std::vector<NodeId>& switches() const { return switches_; }
+  std::string node_name(NodeId id) const;
+
+  // --- links ---------------------------------------------------------------
+  std::int32_t num_links() const { return static_cast<std::int32_t>(links_.size()); }
+  const Link& link(LinkId id) const { return links_[static_cast<std::size_t>(id)]; }
+  // Neighbors as (peer node, connecting link) pairs.
+  const std::vector<std::pair<NodeId, LinkId>>& adjacency(NodeId id) const {
+    return adj_[static_cast<std::size_t>(id)];
+  }
+  // True if either endpoint of the link is a host.
+  bool is_host_link(LinkId id) const;
+  // All switch-to-switch links (the candidates for silent-drop injection).
+  std::vector<LinkId> switch_links() const;
+  // The unique access link of a host (throws if the host has != 1 link).
+  LinkId host_access_link(NodeId host) const;
+  // The switch on the other side of a host's access link.
+  NodeId tor_of(NodeId host) const;
+
+  // --- component space -----------------------------------------------------
+  std::int32_t num_devices() const { return static_cast<std::int32_t>(switches_.size()); }
+  std::int32_t num_components() const { return num_links() + num_devices(); }
+  ComponentId link_component(LinkId id) const { return id; }
+  ComponentId device_component(NodeId sw) const;
+  bool is_device_component(ComponentId c) const { return c >= num_links(); }
+  bool is_link_component(ComponentId c) const { return c >= 0 && c < num_links(); }
+  // Inverse of device_component.
+  NodeId device_node(ComponentId c) const;
+  LinkId component_link(ComponentId c) const;
+  // All links incident to a device (by node id).
+  std::vector<LinkId> device_links(NodeId sw) const;
+  std::string component_name(ComponentId c) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::pair<NodeId, LinkId>>> adj_;
+  std::vector<NodeId> hosts_;
+  std::vector<NodeId> switches_;
+  std::vector<std::int32_t> device_index_;  // node id -> index among switches, -1 for hosts
+};
+
+// --- builders --------------------------------------------------------------
+
+// Three-tier folded-Clos (fat-tree-like). Every ToR connects to every agg in
+// its pod; agg j of each pod connects to cores [j*c, (j+1)*c) where
+// c = cores / aggs_per_pod (requires cores % aggs_per_pod == 0).
+// hosts_per_tor > uplinks models oversubscription (the paper uses 3x).
+struct ThreeTierClosConfig {
+  std::int32_t pods = 4;
+  std::int32_t tors_per_pod = 2;
+  std::int32_t aggs_per_pod = 2;
+  std::int32_t cores = 4;
+  std::int32_t hosts_per_tor = 3;
+};
+Topology make_three_tier_clos(const ThreeTierClosConfig& cfg);
+
+// Canonical fat-tree of parameter k (pods=k, k/2 ToR + k/2 agg per pod,
+// (k/2)^2 cores); hosts_per_tor defaults to k/2, oversubscription scales it.
+Topology make_fat_tree(std::int32_t k, std::int32_t hosts_per_tor = -1);
+
+// Two-tier leaf–spine (the hardware testbed: 2 spines, 8 leaves, 6 hosts).
+struct LeafSpineConfig {
+  std::int32_t spines = 2;
+  std::int32_t leaves = 8;
+  std::int32_t hosts_per_leaf = 6;
+};
+Topology make_leaf_spine(const LeafSpineConfig& cfg);
+
+}  // namespace flock

@@ -1,0 +1,150 @@
+// Tests for the §5.2 grid calibration machinery and the per-scheme glue.
+#include <gtest/gtest.h>
+
+#include "calibration/calibrate_schemes.h"
+#include "calibration/grid.h"
+
+namespace flock {
+namespace {
+
+Accuracy acc(double p, double r) {
+  Accuracy a;
+  a.precision = p;
+  a.recall = r;
+  return a;
+}
+
+TEST(Grid, SweepsCartesianProduct) {
+  ParamGrid grid;
+  grid.names = {"a", "b"};
+  grid.values = {{1, 2, 3}, {10, 20}};
+  std::vector<std::vector<double>> seen;
+  sweep_grid(grid, [&](const std::vector<double>& p) {
+    seen.push_back(p);
+    return acc(1, 1);
+  });
+  EXPECT_EQ(seen.size(), 6u);
+  // All combinations distinct.
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(Grid, RejectsMalformed) {
+  ParamGrid grid;
+  grid.names = {"a"};
+  grid.values = {};
+  EXPECT_THROW(sweep_grid(grid, [](const auto&) { return Accuracy{}; }),
+               std::invalid_argument);
+  grid.values = {{}};
+  EXPECT_THROW(sweep_grid(grid, [](const auto&) { return Accuracy{}; }),
+               std::invalid_argument);
+}
+
+TEST(Grid, ParetoFrontierFiltersDominated) {
+  std::vector<CalibrationPoint> points;
+  points.push_back({{1}, acc(0.9, 0.5)});
+  points.push_back({{2}, acc(0.8, 0.4)});  // dominated by the first
+  points.push_back({{3}, acc(0.5, 0.9)});
+  points.push_back({{4}, acc(0.99, 0.2)});
+  const auto frontier = pareto_frontier(points);
+  EXPECT_EQ(frontier.size(), 3u);
+  for (const auto& p : frontier) EXPECT_NE(p.params[0], 2.0);
+}
+
+TEST(Grid, SelectionPrefersHighPrecisionThenRecall) {
+  std::vector<CalibrationPoint> points;
+  points.push_back({{1}, acc(0.99, 0.6)});
+  points.push_back({{2}, acc(0.985, 0.8)});
+  points.push_back({{3}, acc(0.5, 0.99)});
+  const auto chosen = select_operating_point(points);
+  EXPECT_EQ(chosen.params[0], 2.0);  // precision >= 0.98, best recall
+}
+
+TEST(Grid, SelectionRelaxesPrecisionFloor) {
+  // Nothing reaches 98% precision; rule drops to 93%, 88%...
+  std::vector<CalibrationPoint> points;
+  points.push_back({{1}, acc(0.90, 0.7)});
+  points.push_back({{2}, acc(0.85, 0.9)});
+  const auto chosen = select_operating_point(points);
+  EXPECT_EQ(chosen.params[0], 1.0);  // first floor that qualifies is 0.88
+}
+
+TEST(Grid, SelectionSkipsLowRecallPoints) {
+  // High-precision point with recall below the 25% bar loses to a slightly
+  // lower-precision, high-recall point.
+  std::vector<CalibrationPoint> points;
+  points.push_back({{1}, acc(0.99, 0.1)});
+  points.push_back({{2}, acc(0.9, 0.8)});
+  const auto chosen = select_operating_point(points);
+  EXPECT_EQ(chosen.params[0], 2.0);
+}
+
+TEST(Grid, SelectionFallsBackToBestRecall) {
+  std::vector<CalibrationPoint> points;
+  points.push_back({{1}, acc(0.3, 0.1)});
+  points.push_back({{2}, acc(0.2, 0.2)});
+  const auto chosen = select_operating_point(points);
+  EXPECT_EQ(chosen.params[0], 2.0);
+}
+
+TEST(Grid, CalibrateGridEndToEnd) {
+  ParamGrid grid;
+  grid.names = {"x"};
+  grid.values = {{0.0, 0.5, 1.0}};
+  // Precision rises with x, recall falls.
+  const auto outcome = calibrate_grid(grid, [](const std::vector<double>& p) {
+    return acc(0.5 + 0.5 * p[0], 1.0 - 0.6 * p[0]);
+  });
+  EXPECT_EQ(outcome.evaluated.size(), 3u);
+  EXPECT_EQ(outcome.frontier.size(), 3u);  // all on the tradeoff curve
+  EXPECT_EQ(outcome.chosen.params[0], 1.0);  // only x=1 reaches 98% precision
+}
+
+TEST(SchemeGlue, ParamVectorDecoding) {
+  const FlockParams fp = flock_params_from({1e-4, 2e-2, 5e-4});
+  EXPECT_DOUBLE_EQ(fp.p_g, 1e-4);
+  EXPECT_DOUBLE_EQ(fp.p_b, 2e-2);
+  EXPECT_DOUBLE_EQ(fp.rho, 5e-4);
+  EXPECT_THROW(flock_params_from({1.0}), std::invalid_argument);
+
+  const NetBouncerOptions nb = netbouncer_options_from({4.0, 1e-3, 0.5});
+  EXPECT_DOUBLE_EQ(nb.lambda, 4.0);
+  EXPECT_DOUBLE_EQ(nb.drop_threshold, 1e-3);
+  EXPECT_DOUBLE_EQ(nb.device_link_fraction, 0.5);
+  EXPECT_THROW(netbouncer_options_from({}), std::invalid_argument);
+
+  const Zero07Options z = zero07_options_from({0.7});
+  EXPECT_DOUBLE_EQ(z.score_threshold, 0.7);
+  EXPECT_THROW(zero07_options_from({0.1, 0.2}), std::invalid_argument);
+}
+
+TEST(SchemeGlue, DefaultGridsAreWellFormed) {
+  for (const ParamGrid& g :
+       {default_flock_grid(), default_netbouncer_grid(), default_zero07_grid()}) {
+    EXPECT_EQ(g.names.size(), g.values.size());
+    for (const auto& axis : g.values) EXPECT_FALSE(axis.empty());
+  }
+}
+
+TEST(SchemeGlue, CalibratesFlockOnTinyEnvironment) {
+  EnvConfig cfg;
+  cfg.clos = ThreeTierClosConfig{2, 2, 2, 2, 2};
+  cfg.num_traces = 2;
+  cfg.min_failures = 1;
+  cfg.max_failures = 1;
+  cfg.rates.bad_min = 5e-3;
+  cfg.traffic.num_app_flows = 400;
+  cfg.seed = 9;
+  const auto env = make_env(cfg);
+  ViewOptions view;
+  view.telemetry = kTelemetryInt;
+  ParamGrid grid;
+  grid.names = {"p_g", "p_b", "rho"};
+  grid.values = {{3e-4}, {2e-2, 6e-2}, {1e-3}};
+  const auto outcome = calibrate_flock(*env, view, grid);
+  EXPECT_EQ(outcome.evaluated.size(), 2u);
+  EXPECT_GT(outcome.chosen.accuracy.fscore(), 0.5);
+}
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,112 @@
+// Tests for the equivalence-set reporting option of the Flock localizer
+// (used by the Fig 5c passive-only reproduction).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/flock_localizer.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+struct PassiveEnv {
+  Topology topo;
+  EcmpRouter router;
+  Trace trace;
+
+  explicit PassiveEnv(std::uint64_t seed) : topo(make_fat_tree(4)), router(topo) {
+    Rng rng(seed);
+    GroundTruth truth =
+        make_silent_link_drops_fixed(topo, 1, 8e-3, DropRateConfig{}, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = 20000;
+    ProbeConfig probes;
+    probes.enabled = false;
+    trace = simulate(topo, router, std::move(truth), traffic, probes, rng);
+  }
+
+  InferenceInput passive_view() {
+    ViewOptions v;
+    v.telemetry = kTelemetryP;
+    return make_view(topo, router, trace, v);
+  }
+};
+
+FlockOptions base_options() {
+  FlockOptions opt;
+  opt.params.p_g = 1e-4;
+  opt.params.p_b = 6e-3;
+  opt.params.rho = 1e-4;
+  return opt;
+}
+
+TEST(EquivalenceReporting, SupersetOfPlainPrediction) {
+  PassiveEnv env(41);
+  const auto input = env.passive_view();
+  auto plain = base_options();
+  const auto base = FlockLocalizer(plain).localize(input);
+  auto expanded_opt = base_options();
+  expanded_opt.equivalence_epsilon = 1e-6;
+  const auto expanded = FlockLocalizer(expanded_opt).localize(input);
+  for (ComponentId c : base.predicted) {
+    EXPECT_NE(std::find(expanded.predicted.begin(), expanded.predicted.end(), c),
+              expanded.predicted.end());
+  }
+  EXPECT_GE(expanded.predicted.size(), base.predicted.size());
+}
+
+TEST(EquivalenceReporting, CoversTheCulpritsClass) {
+  // On a symmetric fat tree with passive-only input, whenever Flock blames a
+  // classmate of the culprit, the expanded prediction must contain the
+  // culprit itself.
+  int detections = 0;
+  int covered = 0;
+  for (std::uint64_t seed : {42, 43, 44, 45}) {
+    PassiveEnv env(seed);
+    auto opt = base_options();
+    opt.equivalence_epsilon = 1e-6;
+    const auto result = FlockLocalizer(opt).localize(env.passive_view());
+    if (result.predicted.empty()) continue;
+    ++detections;
+    const ComponentId culprit = env.trace.truth.failed.front();
+    if (std::find(result.predicted.begin(), result.predicted.end(), culprit) !=
+        result.predicted.end()) {
+      ++covered;
+    }
+  }
+  ASSERT_GT(detections, 0);
+  EXPECT_GE(covered * 2, detections);  // the set covers the culprit most times
+}
+
+TEST(EquivalenceReporting, NoExpansionOnKnownPaths) {
+  // With INT paths there is no ECMP ambiguity: the expansion should add
+  // nothing (every component is distinguishable).
+  PassiveEnv env(46);
+  ViewOptions v;
+  v.telemetry = kTelemetryInt;
+  const auto input = make_view(env.topo, env.router, env.trace, v);
+  auto plain = base_options();
+  const auto base = FlockLocalizer(plain).localize(input);
+  auto expanded_opt = base_options();
+  expanded_opt.equivalence_epsilon = 1e-9;
+  const auto expanded = FlockLocalizer(expanded_opt).localize(input);
+  EXPECT_EQ(base.predicted, expanded.predicted);
+}
+
+TEST(EquivalenceReporting, ZeroEpsilonIsNoOp) {
+  PassiveEnv env(47);
+  const auto input = env.passive_view();
+  auto opt = base_options();
+  opt.equivalence_epsilon = 0.0;
+  const auto a = FlockLocalizer(opt).localize(input);
+  const auto b = FlockLocalizer(base_options()).localize(input);
+  EXPECT_EQ(a.predicted, b.predicted);
+}
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,306 @@
+// Tests for the flow-level simulator: scenarios, traffic generation, drop
+// statistics, and the telemetry views.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+TEST(Scenario, HealthyHasBackgroundRatesOnly) {
+  Topology topo = make_fat_tree(4);
+  Rng rng(1);
+  DropRateConfig rates;
+  const GroundTruth truth = make_healthy(topo, rates, rng);
+  EXPECT_TRUE(truth.failed.empty());
+  ASSERT_EQ(static_cast<std::int32_t>(truth.link_drop_rate.size()), topo.num_links());
+  for (double d : truth.link_drop_rate) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, rates.good_max);
+  }
+}
+
+TEST(Scenario, SilentDropsMarkSwitchLinks) {
+  Topology topo = make_fat_tree(4);
+  Rng rng(2);
+  DropRateConfig rates;
+  const GroundTruth truth = make_silent_link_drops(topo, 5, rates, rng);
+  EXPECT_EQ(truth.failed.size(), 5u);
+  for (ComponentId c : truth.failed) {
+    ASSERT_TRUE(topo.is_link_component(c));
+    EXPECT_FALSE(topo.is_host_link(topo.component_link(c)));
+    const double d = truth.link_drop_rate[static_cast<std::size_t>(topo.component_link(c))];
+    EXPECT_GE(d, rates.bad_min);
+    EXPECT_LE(d, rates.bad_max);
+    EXPECT_TRUE(truth.is_failed(c));
+  }
+  EXPECT_TRUE(std::is_sorted(truth.failed.begin(), truth.failed.end()));
+}
+
+TEST(Scenario, FixedRateDrops) {
+  Topology topo = make_fat_tree(4);
+  Rng rng(3);
+  const GroundTruth truth = make_silent_link_drops_fixed(topo, 1, 0.012, DropRateConfig{}, rng);
+  ASSERT_EQ(truth.failed.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      truth.link_drop_rate[static_cast<std::size_t>(topo.component_link(truth.failed[0]))],
+      0.012);
+}
+
+TEST(Scenario, DeviceFailureFailsRequestedFraction) {
+  Topology topo = make_fat_tree(4);
+  Rng rng(4);
+  const GroundTruth truth = make_device_failures(topo, 2, 0.5, DropRateConfig{}, rng);
+  EXPECT_EQ(truth.failed.size(), 2u);
+  for (ComponentId dev : truth.failed) {
+    ASSERT_TRUE(topo.is_device_component(dev));
+    const auto it = truth.device_failed_links.find(dev);
+    ASSERT_NE(it, truth.device_failed_links.end());
+    const auto total = topo.device_links(topo.device_node(dev)).size();
+    EXPECT_EQ(it->second.size(), (total + 1) / 2);  // 50%, rounded
+  }
+}
+
+TEST(Scenario, RejectsTooManyFailures) {
+  Topology topo = make_fat_tree(4);
+  Rng rng(5);
+  EXPECT_THROW(
+      make_silent_link_drops(topo, topo.num_links() + 1, DropRateConfig{}, rng),
+      std::invalid_argument);
+  EXPECT_THROW(make_device_failures(topo, 1, 0.0, DropRateConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST(Simulate, ProbeMeshCoversHostsTimesCores) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  Rng rng(6);
+  GroundTruth truth = make_healthy(topo, DropRateConfig{}, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 10;
+  ProbeConfig probes;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, probes, rng);
+  std::int64_t probe_count = 0;
+  for (const SimFlow& f : trace.flows) probe_count += (f.kind == SimFlowKind::kProbe) ? 1 : 0;
+  // k=4 fat tree: 16 hosts x 4 cores x 1 path each.
+  EXPECT_EQ(probe_count, 16 * 4);
+}
+
+TEST(Simulate, FlowsHaveValidPaths) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  Rng rng(7);
+  GroundTruth truth = make_healthy(topo, DropRateConfig{}, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 500;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+  for (const SimFlow& f : trace.flows) {
+    ASSERT_GE(f.taken_path, 0);
+    ASSERT_LT(static_cast<std::size_t>(f.taken_path),
+              router.path_set(f.path_set).paths.size());
+    EXPECT_GE(f.packets_sent, 1u);
+    EXPECT_LE(f.dropped, f.packets_sent);
+    if (f.kind == SimFlowKind::kApp) {
+      EXPECT_NE(f.src_host, f.dst_host);
+      EXPECT_EQ(router.path_set(f.path_set).src_sw, topo.tor_of(f.src_host));
+    }
+  }
+}
+
+TEST(Simulate, DropRateMatchesGroundTruthStatistically) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  Rng rng(8);
+  GroundTruth truth = make_silent_link_drops_fixed(topo, 1, 0.02, DropRateConfig{0, 0, 0}, rng);
+  const ComponentId bad = truth.failed.front();
+  TrafficConfig traffic;
+  traffic.num_app_flows = 4000;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+  std::uint64_t through_sent = 0, through_dropped = 0;
+  for (const SimFlow& f : trace.flows) {
+    const PathSet& set = router.path_set(f.path_set);
+    const Path& p = router.path(set.paths[static_cast<std::size_t>(f.taken_path)]);
+    if (std::find(p.comps.begin(), p.comps.end(), bad) != p.comps.end()) {
+      through_sent += f.packets_sent;
+      through_dropped += f.dropped;
+    }
+  }
+  ASSERT_GT(through_sent, 10000u);
+  const double observed = static_cast<double>(through_dropped) / static_cast<double>(through_sent);
+  EXPECT_NEAR(observed, 0.02, 0.004);
+}
+
+TEST(Simulate, SkewedTrafficConcentrates) {
+  Topology topo = make_fat_tree(6);
+  EcmpRouter router(topo);
+  Rng rng(9);
+  GroundTruth truth = make_healthy(topo, DropRateConfig{}, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 6000;
+  traffic.skewed = true;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{false, 0},
+                               rng);
+  // Count flows per source ToR; the hottest 1-2 racks should hold far more
+  // than the uniform share.
+  std::map<NodeId, std::int64_t> per_tor;
+  for (const SimFlow& f : trace.flows) per_tor[topo.tor_of(f.src_host)]++;
+  std::vector<std::int64_t> counts;
+  for (auto& [tor, n] : per_tor) counts.push_back(n);
+  std::sort(counts.rbegin(), counts.rend());
+  const double uniform_share = 6000.0 / 18.0;  // 18 ToRs in k=6
+  EXPECT_GT(static_cast<double>(counts.front()), 3.0 * uniform_share);
+}
+
+TEST(Simulate, ParetoSizesHaveHeavyTail) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  Rng rng(10);
+  GroundTruth truth = make_healthy(topo, DropRateConfig{}, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 20000;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{false, 0},
+                               rng);
+  std::vector<std::uint32_t> sizes;
+  for (const SimFlow& f : trace.flows) sizes.push_back(f.packets_sent);
+  std::sort(sizes.begin(), sizes.end());
+  const auto median = sizes[sizes.size() / 2];
+  const auto p99 = sizes[static_cast<std::size_t>(0.99 * static_cast<double>(sizes.size()))];
+  EXPECT_GT(p99, 10 * median);  // heavy tailed
+  EXPECT_GE(sizes.front(), 1u);
+}
+
+// --- views ---------------------------------------------------------------------
+
+struct ViewFixture {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router{topo};
+  Trace trace;
+
+  ViewFixture() {
+    Rng rng(11);
+    GroundTruth truth = make_silent_link_drops(topo, 2, DropRateConfig{1e-4, 5e-3, 1e-2}, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = 3000;
+    trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+  }
+};
+
+TEST(Views, A1KeepsOnlyProbesWithPaths) {
+  ViewFixture fx;
+  ViewOptions v;
+  v.telemetry = kTelemetryA1;
+  const auto input = make_view(fx.topo, fx.router, fx.trace, v);
+  std::size_t probes = 0;
+  for (const SimFlow& f : fx.trace.flows) probes += (f.kind == SimFlowKind::kProbe) ? 1 : 0;
+  EXPECT_EQ(input.num_flows(), probes);
+  for (const auto& obs : input.flows()) EXPECT_TRUE(obs.path_known());
+}
+
+TEST(Views, A2KeepsOnlyFlaggedAppFlows) {
+  ViewFixture fx;
+  ViewOptions v;
+  v.telemetry = kTelemetryA2;
+  const auto input = make_view(fx.topo, fx.router, fx.trace, v);
+  std::size_t flagged = 0;
+  for (const SimFlow& f : fx.trace.flows) {
+    flagged += (f.kind == SimFlowKind::kApp && f.dropped >= 1) ? 1 : 0;
+  }
+  EXPECT_EQ(input.num_flows(), flagged);
+  for (const auto& obs : input.flows()) {
+    EXPECT_TRUE(obs.path_known());
+    EXPECT_GE(obs.bad_packets, 1u);
+  }
+}
+
+TEST(Views, PHidesPaths) {
+  ViewFixture fx;
+  ViewOptions v;
+  v.telemetry = kTelemetryP;
+  const auto input = make_view(fx.topo, fx.router, fx.trace, v);
+  std::size_t apps = 0;
+  for (const SimFlow& f : fx.trace.flows) apps += (f.kind == SimFlowKind::kApp) ? 1 : 0;
+  EXPECT_EQ(input.num_flows(), apps);
+  for (const auto& obs : input.flows()) EXPECT_FALSE(obs.path_known());
+}
+
+TEST(Views, A2PlusPDoesNotDuplicate) {
+  ViewFixture fx;
+  ViewOptions v;
+  v.telemetry = kTelemetryA2 | kTelemetryP;
+  const auto input = make_view(fx.topo, fx.router, fx.trace, v);
+  std::size_t apps = 0;
+  for (const SimFlow& f : fx.trace.flows) apps += (f.kind == SimFlowKind::kApp) ? 1 : 0;
+  EXPECT_EQ(input.num_flows(), apps);  // every app flow exactly once
+  std::size_t known = 0;
+  for (const auto& obs : input.flows()) known += obs.path_known() ? 1 : 0;
+  std::size_t flagged = 0;
+  for (const SimFlow& f : fx.trace.flows) {
+    flagged += (f.kind == SimFlowKind::kApp && f.dropped >= 1) ? 1 : 0;
+  }
+  EXPECT_EQ(known, flagged);
+}
+
+TEST(Views, IntRevealsEverything) {
+  ViewFixture fx;
+  ViewOptions v;
+  v.telemetry = kTelemetryInt;
+  const auto input = make_view(fx.topo, fx.router, fx.trace, v);
+  EXPECT_EQ(input.num_flows(), fx.trace.flows.size());
+  for (const auto& obs : input.flows()) EXPECT_TRUE(obs.path_known());
+}
+
+TEST(Views, PassiveSamplingReducesVolume) {
+  ViewFixture fx;
+  ViewOptions v;
+  v.telemetry = kTelemetryP;
+  v.passive_sample_rate = 0.25;
+  const auto input = make_view(fx.topo, fx.router, fx.trace, v);
+  std::size_t apps = 0;
+  for (const SimFlow& f : fx.trace.flows) apps += (f.kind == SimFlowKind::kApp) ? 1 : 0;
+  EXPECT_LT(input.num_flows(), apps / 2);
+  EXPECT_GT(input.num_flows(), apps / 8);
+}
+
+TEST(Views, PerFlowLatencyConvertsMetrics) {
+  ViewFixture fx;
+  for (SimFlow& f : fx.trace.flows) f.rtt_ms = 20.0f;  // all above threshold
+  ViewOptions v;
+  v.telemetry = kTelemetryInt;
+  v.per_flow_latency = true;
+  v.rtt_threshold_ms = 10.0;
+  const auto input = make_view(fx.topo, fx.router, fx.trace, v);
+  for (const auto& obs : input.flows()) {
+    EXPECT_EQ(obs.packets_sent, 1u);
+    EXPECT_EQ(obs.bad_packets, 1u);
+  }
+}
+
+TEST(Views, TelemetryLabels) {
+  EXPECT_EQ(telemetry_label(kTelemetryA1), "A1");
+  EXPECT_EQ(telemetry_label(kTelemetryA1 | kTelemetryA2 | kTelemetryP), "A1+A2+P");
+  EXPECT_EQ(telemetry_label(kTelemetryInt), "INT");
+  EXPECT_EQ(telemetry_label(kTelemetryInt | kTelemetryA1), "INT");
+  EXPECT_EQ(telemetry_label(0), "none");
+}
+
+TEST(Views, WidthMatchesPathSet) {
+  ViewFixture fx;
+  ViewOptions v;
+  v.telemetry = kTelemetryP;
+  const auto input = make_view(fx.topo, fx.router, fx.trace, v);
+  const auto& obs = input.flows().front();
+  EXPECT_EQ(input.width(obs),
+            static_cast<std::int32_t>(fx.router.path_set(obs.path_set).paths.size()));
+}
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,147 @@
+// Integration tests spanning the full stack: scenario -> simulation ->
+// telemetry wire format -> collector -> calibration -> inference -> metrics.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "baselines/netbouncer.h"
+#include "baselines/zero07.h"
+#include "calibration/calibrate_schemes.h"
+#include "common/rng.h"
+#include "core/flock_localizer.h"
+#include "core/gibbs.h"
+#include "eval/runner.h"
+#include "telemetry/agent.h"
+#include "telemetry/collector.h"
+
+namespace flock {
+namespace {
+
+TEST(Integration, WireFormatPreservesInference) {
+  // Running Flock on the collector's reconstruction of agent telemetry must
+  // match running it directly on the simulator view.
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  Rng rng(71);
+  DropRateConfig rates;
+  rates.bad_min = 5e-3;
+  GroundTruth truth = make_silent_link_drops(topo, 1, rates, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 4000;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+
+  // Direct view: all app flows passive.
+  ViewOptions view;
+  view.telemetry = kTelemetryP;
+  const InferenceInput direct = make_view(topo, router, trace, view);
+
+  // Through the pipeline.
+  std::unordered_map<NodeId, Agent> agents;
+  for (NodeId h : topo.hosts()) {
+    AgentConfig cfg;
+    cfg.observation_domain = static_cast<std::uint32_t>(h);
+    agents.emplace(h, Agent(topo, cfg));
+  }
+  for (const SimFlow& f : trace.flows) {
+    SimFlow passive = f;
+    passive.taken_path = -1;
+    agents.at(f.src_host).observe(passive);
+  }
+  Collector collector(topo, router);
+  for (auto& [h, agent] : agents) {
+    for (const auto& msg : agent.flush(1)) ASSERT_TRUE(collector.ingest(msg));
+  }
+  const InferenceInput piped = collector.drain_into_input();
+  ASSERT_EQ(piped.num_flows(), direct.num_flows());
+
+  FlockOptions opt;
+  opt.params.p_g = 1e-4;
+  opt.params.p_b = 6e-3;
+  opt.params.rho = 1e-3;
+  const auto a = FlockLocalizer(opt).localize(direct);
+  const auto b = FlockLocalizer(opt).localize(piped);
+  EXPECT_EQ(a.predicted, b.predicted);
+  EXPECT_NEAR(a.log_likelihood, b.log_likelihood, 1e-6);
+}
+
+TEST(Integration, CalibratedSchemesBeatUncalibratedDefaults) {
+  EnvConfig cfg;
+  cfg.clos = ThreeTierClosConfig{4, 2, 2, 4, 3};
+  cfg.num_traces = 4;
+  cfg.min_failures = 1;
+  cfg.max_failures = 3;
+  cfg.rates.bad_min = 3e-3;
+  cfg.traffic.num_app_flows = 6000;
+  cfg.seed = 72;
+  const auto train = make_env(cfg);
+  cfg.seed = 73;
+  const auto test = make_env(cfg);
+
+  ViewOptions view;
+  view.telemetry = kTelemetryInt;
+  const auto cal = calibrate_flock(*train, view, [] {
+    ParamGrid g;
+    g.names = {"p_g", "p_b", "rho"};
+    g.values = {{1e-4, 7e-4}, {2e-3, 6e-3, 2e-2, 2e-1}, {1e-3}};
+    return g;
+  }());
+  FlockOptions calibrated;
+  calibrated.params = flock_params_from(cal.chosen.params);
+  FlockOptions bad_defaults;
+  bad_defaults.params.p_g = 1e-2;  // deliberately terrible: p_g near p_b
+  bad_defaults.params.p_b = 2e-2;
+  const double f_cal = run_scheme_mean(FlockLocalizer(calibrated), *test, view).fscore();
+  const double f_bad = run_scheme_mean(FlockLocalizer(bad_defaults), *test, view).fscore();
+  EXPECT_GT(f_cal, f_bad);
+  EXPECT_GT(f_cal, 0.5);
+}
+
+TEST(Integration, AllSchemesRunOnTestbedTraces) {
+  TestbedEnvConfig cfg;
+  cfg.num_traces = 2;
+  cfg.sim.num_app_flows = 900;
+  cfg.sim.duration_ms = 200;
+  cfg.seed = 74;
+  const auto env = make_testbed_env(cfg);
+  ViewOptions int_view;
+  int_view.telemetry = kTelemetryInt;
+  ViewOptions a2_view;
+  a2_view.telemetry = kTelemetryA2;
+
+  FlockOptions fopt;
+  fopt.params.p_g = 1e-4;
+  fopt.params.p_b = 6e-3;
+  const auto flock = run_scheme(FlockLocalizer(fopt), *env, int_view);
+  const auto nb = run_scheme(NetBouncerLocalizer(NetBouncerOptions{}), *env, int_view);
+  const auto z = run_scheme(Zero07Localizer(Zero07Options{}), *env, a2_view);
+  EXPECT_EQ(flock.size(), env->traces.size());
+  EXPECT_EQ(nb.size(), env->traces.size());
+  EXPECT_EQ(z.size(), env->traces.size());
+}
+
+TEST(Integration, GibbsAndGreedyAgreeThroughPipeline) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  Rng rng(75);
+  DropRateConfig rates;
+  rates.bad_min = 6e-3;
+  GroundTruth truth = make_silent_link_drops(topo, 1, rates, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 3000;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+  ViewOptions view;
+  view.telemetry = kTelemetryInt;
+  const auto input = make_view(topo, router, trace, view);
+  FlockOptions fopt;
+  fopt.params.p_g = 1e-4;
+  fopt.params.p_b = 6e-3;
+  GibbsOptions gopt;
+  gopt.params = fopt.params;
+  const auto greedy = FlockLocalizer(fopt).localize(input);
+  const auto gibbs = GibbsLocalizer(gopt).localize(input);
+  EXPECT_EQ(greedy.predicted, gibbs.predicted);
+  EXPECT_EQ(greedy.predicted, trace.truth.failed);
+}
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,331 @@
+// Ground-truth validation of the likelihood engine: every incremental
+// quantity (LL after flips, the JLE Delta array, single-flip deltas) is
+// compared against a brute-force evaluation of Eq. 1 over all flows. This is
+// the executable proof of Theorem 1's bookkeeping.
+#include "core/likelihood_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "core/inference_input.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+// --- brute force reference ---------------------------------------------------
+
+double reference_log_likelihood(const InferenceInput& input, const FlockParams& params,
+                                const std::vector<ComponentId>& hypothesis) {
+  std::unordered_set<ComponentId> h(hypothesis.begin(), hypothesis.end());
+  const EcmpRouter& router = input.router();
+  double ll = 0.0;
+  for (const FlowObservation& obs : input.flows()) {
+    const double s =
+        bad_path_log_evidence(obs.bad_packets, obs.packets_sent, params.p_g, params.p_b);
+    const bool endpoint_bad = (obs.src_link != kInvalidComponent && h.count(obs.src_link)) ||
+                              (obs.dst_link != kInvalidComponent && h.count(obs.dst_link));
+    auto path_bad = [&](PathId pid) {
+      if (endpoint_bad) return true;
+      for (ComponentId c : router.path(pid).comps) {
+        if (h.count(c)) return true;
+      }
+      return false;
+    };
+    const PathSet& set = router.path_set(obs.path_set);
+    std::int64_t w, b = 0;
+    if (obs.path_known()) {
+      w = 1;
+      b = path_bad(set.paths[static_cast<std::size_t>(obs.taken_path)]) ? 1 : 0;
+    } else {
+      w = static_cast<std::int64_t>(set.paths.size());
+      for (PathId pid : set.paths) b += path_bad(pid) ? 1 : 0;
+    }
+    if (b == 0) continue;
+    ll += (b == w) ? s : flow_log_likelihood_delta(b, w, s);
+  }
+  return ll;
+}
+
+double reference_posterior(const InferenceInput& input, const FlockParams& params,
+                           const std::vector<ComponentId>& hypothesis) {
+  double prior = 0.0;
+  for (ComponentId c : hypothesis) {
+    const double base = logit(params.rho);
+    prior += input.topology().is_device_component(c) ? base * params.device_prior_scale : base;
+  }
+  return reference_log_likelihood(input, params, hypothesis) + prior;
+}
+
+// A small simulated environment with all telemetry types mixed in.
+struct Fixture {
+  Topology topo;
+  EcmpRouter router;
+  Trace trace;
+  InferenceInput input;
+
+  explicit Fixture(std::uint64_t seed, std::uint32_t telemetry = kTelemetryA1 | kTelemetryA2 |
+                                                                 kTelemetryP)
+      : topo(make_fat_tree(4)), router(topo), input(topo, router) {
+    Rng rng(seed);
+    GroundTruth truth = make_silent_link_drops(topo, 2, DropRateConfig{}, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = 400;
+    ProbeConfig probes;
+    probes.packets_per_probe = 50;
+    trace = simulate(topo, router, std::move(truth), traffic, probes, rng);
+    ViewOptions view;
+    view.telemetry = telemetry;
+    input = make_view(topo, router, trace, view);
+  }
+};
+
+FlockParams test_params() {
+  FlockParams p;
+  p.p_g = 3e-4;
+  p.p_b = 2e-2;
+  p.rho = 1e-3;
+  return p;
+}
+
+// --- tests --------------------------------------------------------------------
+
+TEST(LikelihoodEngine, EmptyHypothesisIsZero) {
+  Fixture fx(1);
+  LikelihoodEngine engine(fx.input, test_params());
+  EXPECT_DOUBLE_EQ(engine.log_likelihood(), 0.0);
+  EXPECT_DOUBLE_EQ(engine.log_posterior(), 0.0);
+  EXPECT_EQ(engine.hypothesis_size(), 0);
+  EXPECT_TRUE(engine.hypothesis().empty());
+}
+
+TEST(LikelihoodEngine, PriorCosts) {
+  Fixture fx(1);
+  const FlockParams params = test_params();
+  LikelihoodEngine engine(fx.input, params);
+  const ComponentId link = 0;
+  const ComponentId device = fx.topo.num_links();
+  EXPECT_NEAR(engine.prior_cost(link), logit(params.rho), 1e-12);
+  EXPECT_NEAR(engine.prior_cost(device), 5.0 * logit(params.rho), 1e-12);
+  EXPECT_LT(engine.prior_cost(link), 0.0);
+}
+
+class EngineAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// LL tracked through a random flip sequence matches brute force, with and
+// without JLE.
+TEST_P(EngineAgreementTest, LikelihoodMatchesBruteForceThroughFlips) {
+  Fixture fx(GetParam());
+  const FlockParams params = test_params();
+  LikelihoodEngine jle(fx.input, params, /*maintain_delta=*/true);
+  LikelihoodEngine plain(fx.input, params, /*maintain_delta=*/false);
+  Rng rng(GetParam() * 31 + 7);
+
+  std::vector<ComponentId> flipped;
+  for (int step = 0; step < 8; ++step) {
+    const auto c = static_cast<ComponentId>(rng.next_below(
+        static_cast<std::uint64_t>(fx.topo.num_components())));
+    jle.flip(c);
+    plain.flip(c);
+    const auto hypothesis = jle.hypothesis();
+    const double ref = reference_log_likelihood(fx.input, params, hypothesis);
+    EXPECT_NEAR(jle.log_likelihood(), ref, 1e-6 + 1e-9 * std::abs(ref)) << "step " << step;
+    EXPECT_NEAR(plain.log_likelihood(), ref, 1e-6 + 1e-9 * std::abs(ref)) << "step " << step;
+    const double ref_post = reference_posterior(fx.input, params, hypothesis);
+    EXPECT_NEAR(jle.log_posterior(), ref_post, 1e-6 + 1e-9 * std::abs(ref_post));
+  }
+}
+
+// The full Delta array (Theorem 1 bookkeeping) equals brute-force neighbor
+// differences at every step of a flip sequence.
+TEST_P(EngineAgreementTest, DeltaArrayMatchesBruteForceNeighbors) {
+  Fixture fx(GetParam());
+  const FlockParams params = test_params();
+  LikelihoodEngine engine(fx.input, params, /*maintain_delta=*/true);
+  Rng rng(GetParam() * 17 + 3);
+
+  for (int step = 0; step < 4; ++step) {
+    const auto hypothesis = engine.hypothesis();
+    const double base = reference_log_likelihood(fx.input, params, hypothesis);
+    for (ComponentId c = 0; c < fx.topo.num_components(); ++c) {
+      auto neighbor = hypothesis;
+      if (engine.failed(c)) {
+        std::erase(neighbor, c);
+      } else {
+        neighbor.push_back(c);
+      }
+      const double ref_delta = reference_log_likelihood(fx.input, params, neighbor) - base;
+      EXPECT_NEAR(engine.flip_delta_ll(c), ref_delta, 1e-6 + 1e-9 * std::abs(ref_delta))
+          << "step " << step << " comp " << c;
+    }
+    const auto c = static_cast<ComponentId>(rng.next_below(
+        static_cast<std::uint64_t>(fx.topo.num_components())));
+    engine.flip(c);
+  }
+}
+
+// compute_flip_delta_ll (used by the non-JLE ablations and Sherlock) agrees
+// with the maintained Delta array.
+TEST_P(EngineAgreementTest, OnDemandDeltaMatchesMaintainedDelta) {
+  Fixture fx(GetParam());
+  const FlockParams params = test_params();
+  LikelihoodEngine engine(fx.input, params, /*maintain_delta=*/true);
+  Rng rng(GetParam() * 13 + 5);
+  for (int step = 0; step < 3; ++step) {
+    for (ComponentId c = 0; c < fx.topo.num_components(); ++c) {
+      EXPECT_NEAR(engine.compute_flip_delta_ll(c), engine.flip_delta_ll(c),
+                  1e-6 + 1e-9 * std::abs(engine.flip_delta_ll(c)))
+          << "comp " << c;
+    }
+    engine.flip(static_cast<ComponentId>(
+        rng.next_below(static_cast<std::uint64_t>(fx.topo.num_components()))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreementTest, ::testing::Values(2, 3, 5, 8, 13));
+
+// Passive-only input exercises the unknown-path machinery exclusively.
+TEST(LikelihoodEngine, PassiveOnlyDeltaAgreement) {
+  Fixture fx(21, kTelemetryP);
+  const FlockParams params = test_params();
+  LikelihoodEngine engine(fx.input, params);
+  // Flip a couple of host links (endpoint machinery) and switch links.
+  const NodeId host = fx.topo.hosts()[3];
+  const ComponentId access = fx.topo.link_component(fx.topo.host_access_link(host));
+  engine.flip(access);
+  const auto hyp1 = engine.hypothesis();
+  EXPECT_NEAR(engine.log_likelihood(), reference_log_likelihood(fx.input, params, hyp1), 1e-6);
+  for (ComponentId c = 0; c < fx.topo.num_components(); ++c) {
+    auto neighbor = hyp1;
+    if (engine.failed(c)) {
+      std::erase(neighbor, c);
+    } else {
+      neighbor.push_back(c);
+    }
+    const double ref =
+        reference_log_likelihood(fx.input, params, neighbor) -
+        reference_log_likelihood(fx.input, params, hyp1);
+    EXPECT_NEAR(engine.flip_delta_ll(c), ref, 1e-6 + 1e-9 * std::abs(ref)) << c;
+  }
+  // Second endpoint of some flow: efc==2 paths exercised.
+  const NodeId host2 = fx.topo.hosts()[7];
+  engine.flip(fx.topo.link_component(fx.topo.host_access_link(host2)));
+  const auto hyp2 = engine.hypothesis();
+  EXPECT_NEAR(engine.log_likelihood(), reference_log_likelihood(fx.input, params, hyp2), 1e-6);
+}
+
+TEST(LikelihoodEngine, KnownPathOnlyDeltaAgreement) {
+  Fixture fx(22, kTelemetryInt);
+  const FlockParams params = test_params();
+  LikelihoodEngine engine(fx.input, params);
+  Rng rng(99);
+  for (int step = 0; step < 3; ++step) {
+    engine.flip(static_cast<ComponentId>(
+        rng.next_below(static_cast<std::uint64_t>(fx.topo.num_components()))));
+    EXPECT_NEAR(engine.log_likelihood(),
+                reference_log_likelihood(fx.input, params, engine.hypothesis()), 1e-6);
+  }
+}
+
+TEST(LikelihoodEngine, FlipIsInvolution) {
+  Fixture fx(23);
+  LikelihoodEngine engine(fx.input, test_params());
+  const double ll0 = engine.log_likelihood();
+  engine.flip(5);
+  engine.flip(5);
+  EXPECT_NEAR(engine.log_likelihood(), ll0, 1e-8);
+  EXPECT_EQ(engine.hypothesis_size(), 0);
+  for (ComponentId c = 0; c < fx.topo.num_components(); ++c) {
+    EXPECT_NEAR(engine.flip_delta_ll(c), engine.compute_flip_delta_ll(c), 1e-8);
+  }
+}
+
+TEST(LikelihoodEngine, BestAdditionMatchesLinearScan) {
+  Fixture fx(24);
+  LikelihoodEngine engine(fx.input, test_params());
+  auto [best, score] = engine.best_addition();
+  ASSERT_NE(best, kInvalidComponent);
+  double max_score = -INFINITY;
+  ComponentId argmax = kInvalidComponent;
+  for (ComponentId c = 0; c < fx.topo.num_components(); ++c) {
+    if (engine.failed(c)) continue;
+    const double s = engine.flip_score(c);
+    if (s > max_score) {
+      max_score = s;
+      argmax = c;
+    }
+  }
+  EXPECT_EQ(best, argmax);
+  EXPECT_NEAR(score, max_score, 1e-12);
+}
+
+TEST(LikelihoodEngine, BestAdditionRequiresJle) {
+  Fixture fx(25);
+  LikelihoodEngine engine(fx.input, test_params(), /*maintain_delta=*/false);
+  EXPECT_THROW(engine.best_addition(), std::logic_error);
+}
+
+TEST(LikelihoodEngine, FailedEndpointMakesAllPathsBad) {
+  // Construct one passive flow by hand; failing its source access link must
+  // change the flow's likelihood contribution to exactly s.
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  const NodeId h1 = topo.hosts().front();
+  const NodeId h2 = topo.hosts().back();
+  InferenceInput input(topo, router);
+  FlowObservation obs;
+  obs.src_link = topo.link_component(topo.host_access_link(h1));
+  obs.dst_link = topo.link_component(topo.host_access_link(h2));
+  obs.path_set = router.host_pair_path_set(h1, h2);
+  obs.taken_path = -1;
+  obs.packets_sent = 100;
+  obs.bad_packets = 4;
+  input.add(obs);
+
+  const FlockParams params = test_params();
+  LikelihoodEngine engine(input, params);
+  const double s = bad_path_log_evidence(4, 100, params.p_g, params.p_b);
+  EXPECT_NEAR(engine.flip_delta_ll(obs.src_link), s, 1e-9);
+  engine.flip(obs.src_link);
+  EXPECT_NEAR(engine.log_likelihood(), s, 1e-9);
+  // With the endpoint failed, no other component changes anything.
+  for (ComponentId c = 0; c < topo.num_components(); ++c) {
+    if (c == obs.src_link || c == obs.dst_link) continue;
+    EXPECT_NEAR(engine.flip_delta_ll(c), 0.0, 1e-9) << c;
+  }
+  // The other endpoint is now a no-op addition too.
+  EXPECT_NEAR(engine.flip_delta_ll(obs.dst_link), 0.0, 1e-9);
+}
+
+TEST(LikelihoodEngine, RejectsBadObservation) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  InferenceInput input(topo, router);
+  FlowObservation obs;
+  obs.src_link = topo.link_component(topo.host_access_link(topo.hosts().front()));
+  obs.dst_link = topo.link_component(topo.host_access_link(topo.hosts().back()));
+  obs.path_set = router.host_pair_path_set(topo.hosts().front(), topo.hosts().back());
+  obs.packets_sent = 5;
+  obs.bad_packets = 6;  // more bad than sent
+  input.add(obs);
+  EXPECT_THROW(LikelihoodEngine(input, test_params()), std::invalid_argument);
+}
+
+TEST(LikelihoodEngine, HypothesesScannedAccounting) {
+  Fixture fx(26);
+  LikelihoodEngine engine(fx.input, test_params());
+  EXPECT_EQ(engine.hypotheses_scanned(), 0);
+  engine.note_scan(10);
+  engine.note_scan(5);
+  EXPECT_EQ(engine.hypotheses_scanned(), 15);
+}
+
+}  // namespace
+}  // namespace flock

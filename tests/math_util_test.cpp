@@ -1,0 +1,146 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flock {
+namespace {
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  EXPECT_NEAR(log_sum_exp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(log_sum_exp(0.0, 0.0), std::log(2.0), 1e-12);
+}
+
+TEST(LogSumExp, StableForLargeMagnitudes) {
+  EXPECT_NEAR(log_sum_exp(1000.0, 0.0), 1000.0, 1e-9);
+  EXPECT_NEAR(log_sum_exp(-1000.0, -1000.0), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExp, HandlesNegativeInfinity) {
+  EXPECT_DOUBLE_EQ(log_sum_exp(-INFINITY, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(log_sum_exp(3.0, -INFINITY), 3.0);
+}
+
+TEST(BadPathLogEvidence, MatchesDirectFormula) {
+  const double p_g = 3e-4, p_b = 2e-2;
+  const std::uint64_t r = 5, t = 100;
+  const double direct = static_cast<double>(r) * std::log(p_b / p_g) +
+                        static_cast<double>(t - r) * std::log((1 - p_b) / (1 - p_g));
+  EXPECT_NEAR(bad_path_log_evidence(r, t, p_g, p_b), direct, 1e-9);
+}
+
+TEST(BadPathLogEvidence, ZeroDropsIsNegative) {
+  // A clean flow is evidence *against* its paths being bad.
+  EXPECT_LT(bad_path_log_evidence(0, 1000, 3e-4, 2e-2), 0.0);
+}
+
+TEST(BadPathLogEvidence, ManyDropsIsPositive) {
+  EXPECT_GT(bad_path_log_evidence(20, 1000, 3e-4, 2e-2), 0.0);
+}
+
+TEST(BadPathLogEvidence, RejectsBadArguments) {
+  EXPECT_THROW(bad_path_log_evidence(5, 4, 3e-4, 2e-2), std::invalid_argument);
+}
+
+TEST(FlowLogLikelihoodDelta, ZeroBadPathsIsZero) {
+  EXPECT_DOUBLE_EQ(flow_log_likelihood_delta(0, 8, 12.3), 0.0);
+  EXPECT_DOUBLE_EQ(flow_log_likelihood_delta(0, 1, -55.0), 0.0);
+}
+
+TEST(FlowLogLikelihoodDelta, AllBadPathsEqualsEvidence) {
+  // log((w e^s)/w) = s exactly.
+  for (double s : {-2000.0, -3.0, 0.0, 3.0, 2000.0}) {
+    EXPECT_NEAR(flow_log_likelihood_delta(8, 8, s), s, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(FlowLogLikelihoodDelta, MatchesDirectMixForModerateS) {
+  const std::int64_t w = 10;
+  for (std::int64_t b = 1; b < w; ++b) {
+    for (double s : {-5.0, -1.0, 0.5, 4.0}) {
+      const double direct =
+          std::log((static_cast<double>(b) * std::exp(s) + static_cast<double>(w - b)) /
+                   static_cast<double>(w));
+      EXPECT_NEAR(flow_log_likelihood_delta(b, w, s), direct, 1e-10);
+    }
+  }
+}
+
+TEST(FlowLogLikelihoodDelta, StableForVeryNegativeEvidence) {
+  // exp(s) underflows; the limit is log((w-b)/w).
+  const double v = flow_log_likelihood_delta(3, 10, -5000.0);
+  EXPECT_NEAR(v, std::log(0.7), 1e-9);
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(FlowLogLikelihoodDelta, StableForVeryPositiveEvidence) {
+  // Dominated by the bad component: s + log(b/w).
+  const double v = flow_log_likelihood_delta(3, 10, 5000.0);
+  EXPECT_NEAR(v, 5000.0 + std::log(0.3), 1e-9);
+}
+
+TEST(FlowLogLikelihoodDelta, MonotoneInBadPaths) {
+  // With positive evidence, more bad paths = more likely observation.
+  double prev = 0.0;
+  for (std::int64_t b = 1; b <= 16; ++b) {
+    const double v = flow_log_likelihood_delta(b, 16, 2.5);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  // With negative evidence the opposite holds.
+  prev = 0.0;
+  for (std::int64_t b = 1; b <= 16; ++b) {
+    const double v = flow_log_likelihood_delta(b, 16, -2.5);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(FlowLogLikelihoodDelta, RejectsBadCounts) {
+  EXPECT_THROW(flow_log_likelihood_delta(-1, 4, 0.0), std::invalid_argument);
+  EXPECT_THROW(flow_log_likelihood_delta(5, 4, 0.0), std::invalid_argument);
+  EXPECT_THROW(flow_log_likelihood_delta(0, 0, 0.0), std::invalid_argument);
+}
+
+// Lemma 1 of the appendix: for 5 p_g < p_b <= 0.05, the break-even drop rate
+// mu satisfies p_g < mu < 2 mu < p_b.
+TEST(EvidenceBreakEven, Lemma1Holds) {
+  for (double p_g : {1e-5, 1e-4, 5e-4, 1e-3}) {
+    for (double mult : {6.0, 10.0, 25.0, 50.0}) {
+      const double p_b = p_g * mult;
+      if (p_b > 0.05) continue;
+      const double mu = evidence_break_even_rate(p_g, p_b);
+      EXPECT_GT(mu, p_g) << "p_g=" << p_g << " p_b=" << p_b;
+      EXPECT_LT(2 * mu, p_b) << "p_g=" << p_g << " p_b=" << p_b;
+    }
+  }
+}
+
+TEST(EvidenceBreakEven, EvidenceSignFlipsAtMu) {
+  const double p_g = 3e-4, p_b = 2e-2;
+  const double mu = evidence_break_even_rate(p_g, p_b);
+  const std::uint64_t t = 1000000;
+  const auto r_below = static_cast<std::uint64_t>(static_cast<double>(t) * mu * 0.9);
+  const auto r_above = static_cast<std::uint64_t>(static_cast<double>(t) * mu * 1.1);
+  EXPECT_LT(bad_path_log_evidence(r_below, t, p_g, p_b), 0.0);
+  EXPECT_GT(bad_path_log_evidence(r_above, t, p_g, p_b), 0.0);
+}
+
+TEST(FScore, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(f_score(1.0, 1.0), 1.0);
+  EXPECT_NEAR(f_score(0.5, 1.0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f_score(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f_score(1.0, 0.0), 0.0);
+}
+
+TEST(Logit, Values) {
+  EXPECT_DOUBLE_EQ(logit(0.5), 0.0);
+  EXPECT_LT(logit(1e-3), 0.0);
+  EXPECT_GT(logit(0.9), 0.0);
+  EXPECT_THROW(logit(0.0), std::invalid_argument);
+  EXPECT_THROW(logit(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,168 @@
+// Tests for the App A.1 precision/recall definitions, including the device
+// partial-credit rules.
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+struct Fixture {
+  Topology topo = make_fat_tree(4);
+
+  ComponentId link(std::size_t i) const { return topo.link_component(topo.switch_links()[i]); }
+  ComponentId device(std::size_t i) const {
+    return topo.device_component(topo.switches()[i]);
+  }
+};
+
+GroundTruth link_truth(const std::vector<ComponentId>& links) {
+  GroundTruth t;
+  t.failed = links;
+  return t;
+}
+
+TEST(Metrics, ExactMatchIsPerfect) {
+  Fixture fx;
+  const auto truth = link_truth({fx.link(0), fx.link(1)});
+  const Accuracy acc = evaluate_accuracy(fx.topo, truth, {fx.link(0), fx.link(1)});
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+  EXPECT_DOUBLE_EQ(acc.fscore(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.error(), 0.0);
+}
+
+TEST(Metrics, EmptyPredictionHasPrecisionOne) {
+  Fixture fx;
+  const auto truth = link_truth({fx.link(0)});
+  const Accuracy acc = evaluate_accuracy(fx.topo, truth, {});
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+}
+
+TEST(Metrics, NoFailuresCleanPrediction) {
+  Fixture fx;
+  const GroundTruth truth;  // nothing failed
+  const Accuracy silent = evaluate_accuracy(fx.topo, truth, {});
+  EXPECT_DOUBLE_EQ(silent.precision, 1.0);
+  EXPECT_DOUBLE_EQ(silent.recall, 1.0);
+  const Accuracy noisy = evaluate_accuracy(fx.topo, truth, {fx.link(3)});
+  EXPECT_DOUBLE_EQ(noisy.precision, 0.0);
+  EXPECT_DOUBLE_EQ(noisy.recall, 1.0);
+}
+
+TEST(Metrics, FalsePositiveLowersPrecision) {
+  Fixture fx;
+  const auto truth = link_truth({fx.link(0)});
+  const Accuracy acc = evaluate_accuracy(fx.topo, truth, {fx.link(0), fx.link(5)});
+  EXPECT_DOUBLE_EQ(acc.precision, 0.5);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+}
+
+TEST(Metrics, FalseNegativeLowersRecall) {
+  Fixture fx;
+  const auto truth = link_truth({fx.link(0), fx.link(1), fx.link(2), fx.link(3)});
+  const Accuracy acc = evaluate_accuracy(fx.topo, truth, {fx.link(0)});
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.25);
+}
+
+TEST(Metrics, PredictedDeviceGivesFullRecallForDevice) {
+  Fixture fx;
+  const NodeId sw = fx.topo.switches()[2];
+  const ComponentId dev = fx.topo.device_component(sw);
+  GroundTruth truth;
+  truth.failed = {dev};
+  auto links = fx.topo.device_links(sw);
+  truth.device_failed_links[dev] = {fx.topo.link_component(links[0]),
+                                    fx.topo.link_component(links[1])};
+  const Accuracy acc = evaluate_accuracy(fx.topo, truth, {dev});
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+}
+
+TEST(Metrics, PredictedSubsetOfDeviceLinksGivesPartialRecall) {
+  Fixture fx;
+  const NodeId sw = fx.topo.switches()[2];
+  const ComponentId dev = fx.topo.device_component(sw);
+  GroundTruth truth;
+  truth.failed = {dev};
+  auto links = fx.topo.device_links(sw);
+  ASSERT_GE(links.size(), 4u);
+  truth.device_failed_links[dev] = {
+      fx.topo.link_component(links[0]), fx.topo.link_component(links[1]),
+      fx.topo.link_component(links[2]), fx.topo.link_component(links[3])};
+  // Predict one of the four failed links: 25% recall; the link also counts
+  // as a correct prediction (device credit).
+  const Accuracy acc = evaluate_accuracy(fx.topo, truth, {fx.topo.link_component(links[0])});
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.25);
+}
+
+TEST(Metrics, AnyLinkOfFailedDeviceCountsForPrecision) {
+  Fixture fx;
+  const NodeId sw = fx.topo.switches()[2];
+  const ComponentId dev = fx.topo.device_component(sw);
+  GroundTruth truth;
+  truth.failed = {dev};
+  auto links = fx.topo.device_links(sw);
+  truth.device_failed_links[dev] = {fx.topo.link_component(links[0])};
+  // Predicting a non-failed link of the same device is still "correct" for
+  // precision (App A.1), though it earns no recall credit.
+  const Accuracy acc = evaluate_accuracy(fx.topo, truth, {fx.topo.link_component(links[1])});
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+}
+
+TEST(Metrics, MixedLinkAndDeviceTruth) {
+  Fixture fx;
+  const NodeId sw = fx.topo.switches()[3];
+  const ComponentId dev = fx.topo.device_component(sw);
+  // Pick a truth link that is NOT incident to the failed device, so the
+  // device credit cannot bleed into the link prediction.
+  ComponentId lone_link = kInvalidComponent;
+  for (LinkId l : fx.topo.switch_links()) {
+    const Link& lk = fx.topo.link(l);
+    if (lk.a != sw && lk.b != sw) {
+      lone_link = fx.topo.link_component(l);
+      break;
+    }
+  }
+  ASSERT_NE(lone_link, kInvalidComponent);
+  GroundTruth truth;
+  truth.failed = {lone_link, dev};
+  auto links = fx.topo.device_links(sw);
+  truth.device_failed_links[dev] = {fx.topo.link_component(links[0]),
+                                    fx.topo.link_component(links[1])};
+  // Predict the lone link and one of two failed device links.
+  const Accuracy acc =
+      evaluate_accuracy(fx.topo, truth, {lone_link, fx.topo.link_component(links[0])});
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, (1.0 + 0.5) / 2.0);
+}
+
+TEST(Metrics, MeanAccuracyAverages) {
+  Accuracy a;
+  a.precision = 1.0;
+  a.recall = 0.5;
+  Accuracy b;
+  b.precision = 0.5;
+  b.recall = 1.0;
+  const Accuracy mean = mean_accuracy({a, b});
+  EXPECT_DOUBLE_EQ(mean.precision, 0.75);
+  EXPECT_DOUBLE_EQ(mean.recall, 0.75);
+  EXPECT_DOUBLE_EQ(mean_accuracy({}).precision, 1.0);
+}
+
+TEST(Metrics, FscoreZeroWhenEitherZero) {
+  Accuracy a;
+  a.precision = 0.0;
+  a.recall = 1.0;
+  EXPECT_DOUBLE_EQ(a.fscore(), 0.0);
+  EXPECT_DOUBLE_EQ(a.error(), 1.0);
+}
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,257 @@
+// Property-based sweeps: invariants that must hold across telemetry types,
+// seeds, topologies and schemes, exercised with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "baselines/netbouncer.h"
+#include "baselines/zero07.h"
+#include "common/rng.h"
+#include "core/flock_localizer.h"
+#include "core/likelihood_engine.h"
+#include "eval/metrics.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+FlockParams params() {
+  FlockParams p;
+  p.p_g = 1e-4;
+  p.p_b = 6e-3;
+  p.rho = 1e-3;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Engine invariants across (telemetry, seed).
+// ---------------------------------------------------------------------------
+
+class EngineInvariants
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {
+ protected:
+  void SetUp() override {
+    topo_ = std::make_unique<Topology>(make_fat_tree(4));
+    router_ = std::make_unique<EcmpRouter>(*topo_);
+    Rng rng(std::get<1>(GetParam()));
+    DropRateConfig rates;
+    rates.bad_min = 4e-3;
+    GroundTruth truth = make_silent_link_drops(*topo_, 2, rates, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = 1500;
+    trace_ = simulate(*topo_, *router_, std::move(truth), traffic, ProbeConfig{}, rng);
+    ViewOptions view;
+    view.telemetry = std::get<0>(GetParam());
+    input_ = std::make_unique<InferenceInput>(make_view(*topo_, *router_, trace_, view));
+  }
+
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<EcmpRouter> router_;
+  Trace trace_;
+  std::unique_ptr<InferenceInput> input_;
+};
+
+TEST_P(EngineInvariants, RandomWalkReturnsToZero) {
+  // Any sequence of flips followed by its reverse restores LL(H0) = 0 and
+  // the exact Delta array.
+  LikelihoodEngine engine(*input_, params());
+  Rng rng(5);
+  std::vector<ComponentId> walk;
+  for (int i = 0; i < 10; ++i) {
+    walk.push_back(static_cast<ComponentId>(
+        rng.next_below(static_cast<std::uint64_t>(engine.num_components()))));
+  }
+  std::vector<double> delta0(static_cast<std::size_t>(engine.num_components()));
+  for (ComponentId c = 0; c < engine.num_components(); ++c) {
+    delta0[static_cast<std::size_t>(c)] = engine.flip_delta_ll(c);
+  }
+  for (ComponentId c : walk) engine.flip(c);
+  for (auto it = walk.rbegin(); it != walk.rend(); ++it) engine.flip(*it);
+  EXPECT_NEAR(engine.log_likelihood(), 0.0, 1e-6);
+  EXPECT_NEAR(engine.log_posterior(), 0.0, 1e-6);
+  EXPECT_EQ(engine.hypothesis_size(), 0);
+  for (ComponentId c = 0; c < engine.num_components(); ++c) {
+    EXPECT_NEAR(engine.flip_delta_ll(c), delta0[static_cast<std::size_t>(c)], 1e-6) << c;
+  }
+}
+
+TEST_P(EngineInvariants, FlipDeltaAntisymmetry) {
+  // After flipping c, Delta[c] must be the exact negative of its pre-flip
+  // value (H'' = H).
+  LikelihoodEngine engine(*input_, params());
+  Rng rng(9);
+  for (int i = 0; i < 6; ++i) {
+    const auto c = static_cast<ComponentId>(
+        rng.next_below(static_cast<std::uint64_t>(engine.num_components())));
+    const double before = engine.flip_delta_ll(c);
+    engine.flip(c);
+    EXPECT_NEAR(engine.flip_delta_ll(c), -before, 1e-7 + 1e-10 * std::abs(before));
+  }
+}
+
+TEST_P(EngineInvariants, PosteriorDecomposition) {
+  // log_posterior == log_likelihood + sum of prior costs of H.
+  LikelihoodEngine engine(*input_, params());
+  Rng rng(13);
+  for (int i = 0; i < 8; ++i) {
+    engine.flip(static_cast<ComponentId>(
+        rng.next_below(static_cast<std::uint64_t>(engine.num_components()))));
+  }
+  double prior = 0;
+  for (ComponentId c : engine.hypothesis()) prior += engine.prior_cost(c);
+  EXPECT_NEAR(engine.log_posterior(), engine.log_likelihood() + prior, 1e-8);
+}
+
+TEST_P(EngineInvariants, GreedyStopsAtLocalMaximum) {
+  // At termination, no single addition improves the posterior.
+  FlockOptions opt;
+  opt.params = params();
+  const auto result = FlockLocalizer(opt).localize(*input_);
+  LikelihoodEngine engine(*input_, params());
+  for (ComponentId c : result.predicted) engine.flip(c);
+  for (ComponentId c = 0; c < engine.num_components(); ++c) {
+    if (engine.failed(c)) continue;
+    EXPECT_LE(engine.flip_score(c), 1e-9) << "improvable at " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineInvariants,
+    ::testing::Combine(::testing::Values<std::uint32_t>(kTelemetryInt, kTelemetryA2,
+                                                        kTelemetryP,
+                                                        kTelemetryA1 | kTelemetryA2 |
+                                                            kTelemetryP),
+                       ::testing::Values<std::uint64_t>(301, 302)));
+
+// ---------------------------------------------------------------------------
+// Scheme-level invariants across seeds.
+// ---------------------------------------------------------------------------
+
+class SchemeInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchemeInvariants, AccuracyIsBounded) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  Rng rng(GetParam());
+  GroundTruth truth = make_silent_link_drops(topo, 2, DropRateConfig{}, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 1500;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+  ViewOptions view;
+  view.telemetry = kTelemetryInt;
+  const auto input = make_view(topo, router, trace, view);
+
+  FlockOptions fopt;
+  fopt.params = params();
+  for (const Localizer* loc :
+       {static_cast<const Localizer*>(new FlockLocalizer(fopt)),
+        static_cast<const Localizer*>(new NetBouncerLocalizer(NetBouncerOptions{})),
+        static_cast<const Localizer*>(new Zero07Localizer(Zero07Options{}))}) {
+    const auto result = loc->localize(input);
+    const Accuracy acc = evaluate_accuracy(topo, trace.truth, result.predicted);
+    EXPECT_GE(acc.precision, 0.0);
+    EXPECT_LE(acc.precision, 1.0);
+    EXPECT_GE(acc.recall, 0.0);
+    EXPECT_LE(acc.recall, 1.0);
+    EXPECT_GE(acc.fscore(), 0.0);
+    EXPECT_LE(acc.fscore(), 1.0);
+    // Predictions are valid, unique component ids.
+    std::vector<ComponentId> sorted = result.predicted;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+    for (ComponentId c : sorted) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, topo.num_components());
+    }
+    delete loc;
+  }
+}
+
+TEST_P(SchemeInvariants, NetBouncerSuccessProbsInUnitInterval) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  Rng rng(GetParam() * 3 + 1);
+  GroundTruth truth = make_silent_link_drops(topo, 3, DropRateConfig{}, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 1200;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+  ViewOptions view;
+  view.telemetry = kTelemetryInt;
+  const auto input = make_view(topo, router, trace, view);
+  const auto x = NetBouncerLocalizer(NetBouncerOptions{}).solve_link_success(input);
+  for (double xi : x) {
+    EXPECT_GE(xi, 0.0);
+    EXPECT_LE(xi, 1.0);
+  }
+}
+
+TEST_P(SchemeInvariants, MoreTelemetryNeverInvalidatesEngine) {
+  // The same hypothesis must yield a *lower or equal* likelihood when more
+  // (clean) observations are added — evidence only sharpens the posterior
+  // landscape; this guards against sign errors in flow contributions.
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  Rng rng(GetParam() * 7 + 5);
+  GroundTruth truth = make_healthy(topo, DropRateConfig{0, 0, 0}, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 400;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+  ViewOptions view;
+  view.telemetry = kTelemetryInt;
+  const auto input = make_view(topo, router, trace, view);
+  LikelihoodEngine engine(input, params());
+  // All flows are clean: failing anything only removes likelihood.
+  for (ComponentId c = 0; c < engine.num_components(); ++c) {
+    EXPECT_LE(engine.flip_delta_ll(c), 1e-9) << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemeInvariants, ::testing::Values(401, 402, 403));
+
+// ---------------------------------------------------------------------------
+// Simulator conservation properties across topology shapes.
+// ---------------------------------------------------------------------------
+
+class TopologySweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(TopologySweep, EcmpPathCountsMatchClosFormula) {
+  const std::int32_t k = GetParam();
+  Topology topo = make_fat_tree(k);
+  EcmpRouter router(topo);
+  NodeId tor_a = kInvalidNode, tor_b = kInvalidNode;
+  for (NodeId sw : topo.switches()) {
+    if (topo.node(sw).kind != NodeKind::kTor) continue;
+    if (topo.node(sw).pod == 0 && tor_a == kInvalidNode) tor_a = sw;
+    if (topo.node(sw).pod == 1 && tor_b == kInvalidNode) tor_b = sw;
+  }
+  const PathSetId ps = router.path_set_between(tor_a, tor_b);
+  EXPECT_EQ(router.path_set(ps).paths.size(),
+            static_cast<std::size_t>((k / 2) * (k / 2)));
+  for (PathId pid : router.path_set(ps).paths) {
+    EXPECT_EQ(router.path(pid).comps.size(), 9u);  // 4 links + 5 devices
+  }
+}
+
+TEST_P(TopologySweep, SimulatedDropsNeverExceedSent) {
+  Topology topo = make_fat_tree(GetParam());
+  EcmpRouter router(topo);
+  Rng rng(GetParam());
+  GroundTruth truth = make_silent_link_drops(topo, 2, DropRateConfig{}, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 800;
+  const Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+  for (const SimFlow& f : trace.flows) {
+    EXPECT_LE(f.dropped, f.packets_sent);
+    EXPECT_GE(f.packets_sent, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FatTrees, TopologySweep, ::testing::Values(4, 6, 8));
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,196 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace flock {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(7);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(n), n);
+  }
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) counts[static_cast<std::size_t>(rng.next_below(10))]++;
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 10 - trials / 50);
+    EXPECT_LT(c, trials / 10 + trials / 50);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(3);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, BinomialMeanSmallN) {
+  Rng rng(17);
+  const std::uint64_t n = 50;
+  const double p = 0.1;
+  double total = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) total += static_cast<double>(rng.binomial(n, p));
+  const double mean = total / trials;
+  EXPECT_NEAR(mean, static_cast<double>(n) * p, 0.1);
+}
+
+TEST(Rng, BinomialMeanLargeN) {
+  Rng rng(19);
+  const std::uint64_t n = 100000;
+  const double p = 0.01;
+  double total = 0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) total += static_cast<double>(rng.binomial(n, p));
+  const double mean = total / trials;
+  EXPECT_NEAR(mean / (static_cast<double>(n) * p), 1.0, 0.02);
+}
+
+TEST(Rng, BinomialTinyRate) {
+  // The geometric-skip path: mean must still match n*p.
+  Rng rng(23);
+  const std::uint64_t n = 10000;
+  const double p = 1e-4;
+  double total = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) total += static_cast<double>(rng.binomial(n, p));
+  EXPECT_NEAR(total / trials, static_cast<double>(n) * p, 0.05);
+}
+
+TEST(Rng, BinomialNeverExceedsN) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.binomial(37, 0.9), 37u);
+    EXPECT_LE(rng.binomial(100000, 0.999), 100000u);
+  }
+}
+
+TEST(Rng, ParetoMean) {
+  Rng rng(31);
+  const double alpha = 2.5;
+  const double x_m = 10.0;
+  double total = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) total += rng.pareto(x_m, alpha);
+  const double expected = x_m * alpha / (alpha - 1.0);
+  EXPECT_NEAR(total / trials / expected, 1.0, 0.05);
+}
+
+TEST(Rng, ParetoMinimum) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(5.0, 1.05), 5.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(41);
+  const double lambda = 0.25;
+  double total = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) total += rng.exponential(lambda);
+  EXPECT_NEAR(total / trials * lambda, 1.0, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(43);
+  double sum = 0, sumsq = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / trials, 1.0, 0.03);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(47);
+  for (int k = 0; k <= 20; ++k) {
+    auto sample = rng.sample_without_replacement(20, k);
+    std::set<std::int64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(static_cast<int>(unique.size()), k);
+    for (auto v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementSparse) {
+  Rng rng(53);
+  auto sample = rng.sample_without_replacement(1000000, 5);
+  std::set<std::int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(59);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(61);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(71);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next_u64() == child.next_u64()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,112 @@
+// Tests for the experiment-environment builders and scheme runner.
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flock_localizer.h"
+
+namespace flock {
+namespace {
+
+EnvConfig tiny_config() {
+  EnvConfig cfg;
+  cfg.clos = ThreeTierClosConfig{2, 2, 2, 2, 2};
+  cfg.num_traces = 4;
+  cfg.min_failures = 1;
+  cfg.max_failures = 2;
+  cfg.rates.bad_min = 5e-3;
+  cfg.traffic.num_app_flows = 300;
+  cfg.seed = 31;
+  return cfg;
+}
+
+TEST(Runner, MakeEnvProducesRequestedTraces) {
+  const auto env = make_env(tiny_config());
+  EXPECT_EQ(env->traces.size(), 4u);
+  for (const Trace& t : env->traces) {
+    EXPECT_FALSE(t.flows.empty());
+    EXPECT_FALSE(t.truth.failed.empty());
+    EXPECT_LE(t.truth.failed.size(), 2u);
+  }
+}
+
+TEST(Runner, FailureCountCyclesThroughRange) {
+  auto cfg = tiny_config();
+  cfg.num_traces = 6;
+  cfg.min_failures = 1;
+  cfg.max_failures = 3;
+  const auto env = make_env(cfg);
+  std::vector<std::size_t> sizes;
+  for (const Trace& t : env->traces) sizes.push_back(t.truth.failed.size());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(Runner, DeviceFailureEnv) {
+  auto cfg = tiny_config();
+  cfg.failure = FailureKind::kDeviceFailures;
+  cfg.device_link_fraction = 0.5;
+  const auto env = make_env(cfg);
+  for (const Trace& t : env->traces) {
+    for (ComponentId c : t.truth.failed) EXPECT_TRUE(env->topo->is_device_component(c));
+  }
+}
+
+TEST(Runner, FixedRateEnv) {
+  auto cfg = tiny_config();
+  cfg.failure = FailureKind::kFixedRateDrops;
+  cfg.min_failures = 1;
+  cfg.fixed_drop_rate = 0.009;
+  const auto env = make_env(cfg);
+  for (const Trace& t : env->traces) {
+    ASSERT_EQ(t.truth.failed.size(), 1u);
+    const LinkId l = env->topo->component_link(t.truth.failed.front());
+    EXPECT_DOUBLE_EQ(t.truth.link_drop_rate[static_cast<std::size_t>(l)], 0.009);
+  }
+}
+
+TEST(Runner, IrregularEnvRemovesLinks) {
+  const Topology full = make_three_tier_clos(tiny_config().clos);
+  const auto env = make_irregular_env(tiny_config(), 0.15);
+  EXPECT_LT(env->topo->num_links(), full.num_links());
+}
+
+TEST(Runner, DeterministicAcrossCalls) {
+  const auto a = make_env(tiny_config());
+  const auto b = make_env(tiny_config());
+  ASSERT_EQ(a->traces.size(), b->traces.size());
+  for (std::size_t i = 0; i < a->traces.size(); ++i) {
+    EXPECT_EQ(a->traces[i].truth.failed, b->traces[i].truth.failed);
+    ASSERT_EQ(a->traces[i].flows.size(), b->traces[i].flows.size());
+    EXPECT_EQ(a->traces[i].flows[0].packets_sent, b->traces[i].flows[0].packets_sent);
+  }
+}
+
+TEST(Runner, TestbedEnvBothScenarios) {
+  TestbedEnvConfig cfg;
+  cfg.num_traces = 2;
+  cfg.sim.num_app_flows = 500;
+  cfg.sim.duration_ms = 100;
+  const auto queue_env = make_testbed_env(cfg);
+  EXPECT_EQ(queue_env->traces.size(), 2u);
+  cfg.link_flap = true;
+  const auto flap_env = make_testbed_env(cfg);
+  EXPECT_EQ(flap_env->traces.size(), 2u);
+  for (const Trace& t : flap_env->traces) EXPECT_EQ(t.truth.failed.size(), 1u);
+}
+
+TEST(Runner, RunSchemeProducesPerTraceAccuracy) {
+  const auto env = make_env(tiny_config());
+  FlockOptions opt;
+  opt.params.p_b = 2e-2;
+  ViewOptions view;
+  view.telemetry = kTelemetryInt;
+  const auto per_trace = run_scheme(FlockLocalizer(opt), *env, view);
+  EXPECT_EQ(per_trace.size(), env->traces.size());
+  const Accuracy mean = run_scheme_mean(FlockLocalizer(opt), *env, view);
+  EXPECT_GE(mean.precision, 0.0);
+  EXPECT_LE(mean.precision, 1.0);
+  EXPECT_GT(mean.fscore(), 0.4);  // clear failures, INT input
+}
+
+}  // namespace
+}  // namespace flock

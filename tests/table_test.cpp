@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace flock {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(0.51234, 3), "0.512");
+  EXPECT_EQ(Table::num(2.0, 1), "2.0");
+  EXPECT_EQ(Table::integer(42), "42");
+}
+
+TEST(Strings, SplitJoinRoundTrip) {
+  const std::string s = "a,b,,c";
+  const auto parts = split(s, ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), s);
+}
+
+TEST(Strings, SplitSingleToken) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, HumanCount) {
+  EXPECT_EQ(human_count(950), "950");
+  EXPECT_EQ(human_count(1500), "1.50K");
+  EXPECT_EQ(human_count(3500000), "3.50M");
+  EXPECT_EQ(human_count(2.5e9), "2.50G");
+}
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,160 @@
+#include "topology/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "topology/degrade.h"
+
+namespace flock {
+namespace {
+
+TEST(Topology, FatTreeK4Dimensions) {
+  // Canonical k=4 fat tree: 4 pods, 2+2 switches per pod, 4 cores, 2 hosts
+  // per ToR.
+  const Topology t = make_fat_tree(4);
+  EXPECT_EQ(t.hosts().size(), 16u);
+  EXPECT_EQ(t.switches().size(), 4u + 4 * 4u);  // cores + (2 agg + 2 tor) * 4 pods
+  // Links: 16 host + 4 pods * (2 tor * 2 agg) + 4 pods * (2 agg * 2 core-links).
+  EXPECT_EQ(t.num_links(), 16 + 16 + 16);
+}
+
+TEST(Topology, FatTreeRejectsOddK) {
+  EXPECT_THROW(make_fat_tree(3), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree(0), std::invalid_argument);
+}
+
+TEST(Topology, ClosRejectsIndivisibleCores) {
+  ThreeTierClosConfig cfg;
+  cfg.aggs_per_pod = 3;
+  cfg.cores = 4;
+  EXPECT_THROW(make_three_tier_clos(cfg), std::invalid_argument);
+}
+
+TEST(Topology, HostsHaveSingleAccessLink) {
+  const Topology t = make_fat_tree(4);
+  for (NodeId h : t.hosts()) {
+    EXPECT_EQ(t.adjacency(h).size(), 1u);
+    const LinkId l = t.host_access_link(h);
+    EXPECT_TRUE(t.is_host_link(l));
+    EXPECT_TRUE(t.is_switch(t.tor_of(h)));
+    EXPECT_EQ(t.node(t.tor_of(h)).kind, NodeKind::kTor);
+  }
+}
+
+TEST(Topology, SwitchDegreesInFatTree) {
+  const Topology t = make_fat_tree(4);
+  for (NodeId sw : t.switches()) {
+    const auto degree = t.adjacency(sw).size();
+    switch (t.node(sw).kind) {
+      case NodeKind::kCore:
+        EXPECT_EQ(degree, 4u);  // one agg per pod
+        break;
+      case NodeKind::kAgg:
+        EXPECT_EQ(degree, 2u + 2u);  // k/2 tors + k/2 cores
+        break;
+      case NodeKind::kTor:
+        EXPECT_EQ(degree, 2u + 2u);  // k/2 aggs + k/2 hosts
+        break;
+      default:
+        FAIL() << "unexpected switch kind";
+    }
+  }
+}
+
+TEST(Topology, ComponentSpaceLayout) {
+  const Topology t = make_fat_tree(4);
+  EXPECT_EQ(t.num_components(), t.num_links() + t.num_devices());
+  // Links occupy the low ids.
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    EXPECT_TRUE(t.is_link_component(t.link_component(l)));
+    EXPECT_EQ(t.component_link(t.link_component(l)), l);
+  }
+  // Devices round-trip through their component ids.
+  for (NodeId sw : t.switches()) {
+    const ComponentId c = t.device_component(sw);
+    EXPECT_TRUE(t.is_device_component(c));
+    EXPECT_EQ(t.device_node(c), sw);
+  }
+  // Hosts have no device component.
+  EXPECT_THROW(t.device_component(t.hosts().front()), std::invalid_argument);
+}
+
+TEST(Topology, SwitchLinksExcludeHostLinks) {
+  const Topology t = make_fat_tree(4);
+  const auto sl = t.switch_links();
+  EXPECT_EQ(static_cast<int>(sl.size()), t.num_links() - static_cast<int>(t.hosts().size()));
+  for (LinkId l : sl) EXPECT_FALSE(t.is_host_link(l));
+}
+
+TEST(Topology, LeafSpineDimensions) {
+  // The paper's testbed: 2 spines, 8 leaves, 6 hosts per leaf.
+  LeafSpineConfig cfg;
+  const Topology t = make_leaf_spine(cfg);
+  EXPECT_EQ(t.hosts().size(), 48u);
+  EXPECT_EQ(t.switches().size(), 10u);
+  EXPECT_EQ(t.num_links(), 48 + 16);
+}
+
+TEST(Topology, WithoutLinksCompacts) {
+  const Topology t = make_fat_tree(4);
+  const auto sl = t.switch_links();
+  const Topology t2 = t.without_links({sl[0], sl[3]});
+  EXPECT_EQ(t2.num_links(), t.num_links() - 2);
+  EXPECT_EQ(t2.num_nodes(), t.num_nodes());
+  EXPECT_EQ(t2.hosts().size(), t.hosts().size());
+}
+
+TEST(Topology, SelfLoopRejected) {
+  Topology t;
+  const NodeId a = t.add_node(NodeKind::kTor);
+  EXPECT_THROW(t.add_link(a, a), std::invalid_argument);
+}
+
+TEST(Topology, ComponentNamesAreDescriptive) {
+  const Topology t = make_fat_tree(4);
+  const std::string link_name = t.component_name(0);
+  EXPECT_NE(link_name.find("link("), std::string::npos);
+  const std::string dev_name = t.component_name(t.device_component(t.switches().front()));
+  EXPECT_NE(dev_name.find("device("), std::string::npos);
+}
+
+TEST(Degrade, RemovesRequestedFractionWhenRedundant) {
+  const Topology t = make_fat_tree(6);
+  Rng rng(5);
+  const auto removed = removable_links(t, 0.10, rng);
+  const auto target = static_cast<std::size_t>(0.10 * t.switch_links().size() + 0.5);
+  EXPECT_EQ(removed.size(), target);
+}
+
+TEST(Degrade, NeverDisconnectsSwitches) {
+  Rng rng(5);
+  const Topology t = make_fat_tree(4);
+  for (double frac : {0.05, 0.15, 0.30}) {
+    const Topology d = degrade_topology(t, frac, rng);
+    // BFS over switch graph from first switch must reach all switches.
+    std::set<NodeId> seen;
+    std::vector<NodeId> stack{d.switches().front()};
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      if (!seen.insert(u).second) continue;
+      for (const auto& [peer, link] : d.adjacency(u)) {
+        (void)link;
+        if (d.is_switch(peer)) stack.push_back(peer);
+      }
+    }
+    EXPECT_EQ(seen.size(), d.switches().size()) << "fraction " << frac;
+  }
+}
+
+TEST(Degrade, ZeroFractionIsIdentity) {
+  Rng rng(5);
+  const Topology t = make_fat_tree(4);
+  const Topology d = degrade_topology(t, 0.0, rng);
+  EXPECT_EQ(d.num_links(), t.num_links());
+}
+
+}  // namespace
+}  // namespace flock
