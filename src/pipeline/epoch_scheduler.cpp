@@ -1,0 +1,85 @@
+#include "pipeline/epoch_scheduler.h"
+
+#include "telemetry/ipfix.h"
+
+namespace flock {
+
+EpochScheduler::EpochScheduler(IngestQueue& queue, ShardedCollector& shards, EpochPolicy policy)
+    : queue_(&queue), shards_(&shards), policy_(policy) {
+  buckets_.resize(static_cast<std::size_t>(shards.num_shards()));
+  thread_ = std::thread([this] { run(); });
+}
+
+EpochScheduler::~EpochScheduler() { stop(); }
+
+void EpochScheduler::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  queue_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EpochScheduler::flush_buckets() {
+  for (std::size_t s = 0; s < buckets_.size(); ++s) {
+    if (buckets_[s].empty()) continue;
+    dispatched_.fetch_add(buckets_[s].size(), std::memory_order_relaxed);
+    shards_->dispatch_batch(static_cast<std::int32_t>(s), std::move(buckets_[s]));
+    buckets_[s].clear();
+  }
+}
+
+void EpochScheduler::close_now() {
+  flush_buckets();  // everything dispatched so far belongs to the closing epoch
+  shards_->close_epoch(next_epoch_++, Stopwatch{});
+  records_since_close_ = 0;
+  items_since_close_ = 0;
+  have_window_start_ = false;  // every boundary restarts the virtual-time window
+  epochs_closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EpochScheduler::run() {
+  std::vector<IngestItem> batch;
+  for (;;) {
+    batch.clear();
+    if (queue_->pop_batch(batch, 256) == 0) break;  // closed and drained
+    for (IngestItem& item : batch) {
+      if (item.epoch_boundary) {
+        close_now();  // manual boundaries always close, even an empty epoch
+        continue;
+      }
+      if (policy_.virtual_seconds > 0) {
+        if (const auto t = peek_export_time(item.datagram.bytes)) {
+          // Serial-number comparison (RFC 1982 style): the signed cast of
+          // the unsigned difference survives the uint32 export-time wrap
+          // and treats slightly-older (out-of-order) timestamps as "not
+          // yet", rather than closing the epoch on them.
+          if (have_window_start_ &&
+              static_cast<std::int32_t>(*t - window_start_) >=
+                  static_cast<std::int32_t>(policy_.virtual_seconds)) {
+            close_now();
+          }
+          if (!have_window_start_) {
+            have_window_start_ = true;
+            window_start_ = *t;
+          }
+        }
+      }
+      std::uint32_t records = 0;
+      if (policy_.record_limit > 0) {
+        records = peek_record_count(item.datagram.bytes).value_or(0);
+      }
+      const auto shard = static_cast<std::size_t>(shards_->shard_of(item.datagram.source_addr));
+      buckets_[shard].push_back(std::move(item.datagram));
+      ++items_since_close_;
+      if (policy_.record_limit > 0) {
+        records_since_close_ += records;
+        if (records_since_close_ >= policy_.record_limit) close_now();
+      }
+    }
+    flush_buckets();  // bounded buffering: at most one ingest batch
+  }
+  flush_buckets();
+  if (items_since_close_ > 0) close_now();  // flush the final partial epoch
+}
+
+}  // namespace flock

@@ -1,0 +1,81 @@
+// Epoch scheduling / dispatch stage of the streaming pipeline.
+//
+// One dispatcher thread pops datagrams from the ingest queue in arrival
+// order, routes each to its collector shard, and decides where epochs end.
+// Two boundary policies compose (either, both, or neither may be active):
+//
+//   * virtual time — the IPFIX export-time header is the clock. The first
+//     datagram opens a window; the first datagram at or past
+//     window_start + virtual_seconds closes the epoch and opens the next
+//     window at its own timestamp. Time gaps therefore never emit empty
+//     epochs, and the schedule is a deterministic function of the datagram
+//     sequence (independent of collector wall-clock speed).
+//   * record count — the epoch closes with the datagram that brings the
+//     record total since the previous boundary to record_limit or more.
+//     Record counts are peeked from set headers at dispatch time
+//     (telemetry/ipfix peek_record_count), so the cut is an exact,
+//     deterministic function of the datagram sequence, independent of how
+//     far ahead of the decoders the dispatcher runs.
+//
+// Manual boundaries (StreamingPipeline::close_epoch) travel in-band through
+// the ingest queue and are handled here too, so every policy shares one
+// serialization point and epoch ids are totally ordered.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "pipeline/ingest_queue.h"
+#include "pipeline/sharded_collector.h"
+
+namespace flock {
+
+struct EpochPolicy {
+  std::uint64_t record_limit = 0;    // 0 = disabled
+  std::uint32_t virtual_seconds = 0; // 0 = disabled
+};
+
+class EpochScheduler {
+ public:
+  // Starts the dispatcher thread immediately.
+  EpochScheduler(IngestQueue& queue, ShardedCollector& shards, EpochPolicy policy);
+  ~EpochScheduler();
+
+  EpochScheduler(const EpochScheduler&) = delete;
+  EpochScheduler& operator=(const EpochScheduler&) = delete;
+
+  // Close the ingest queue, drain it, flush a final partial epoch if any
+  // datagrams arrived since the last boundary, and join the dispatcher.
+  void stop();
+
+  std::uint64_t epochs_closed() const { return epochs_closed_.load(std::memory_order_relaxed); }
+  std::uint64_t datagrams_dispatched() const {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void flush_buckets();
+  void close_now();
+
+  IngestQueue* queue_;
+  ShardedCollector* shards_;
+  EpochPolicy policy_;
+  std::atomic<std::uint64_t> epochs_closed_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
+  // Dispatcher-thread state.
+  std::uint64_t next_epoch_ = 0;
+  std::uint64_t records_since_close_ = 0;
+  std::uint64_t items_since_close_ = 0;
+  bool have_window_start_ = false;
+  std::uint32_t window_start_ = 0;
+  // Per-shard dispatch buckets: datagrams accumulate here during one ingest
+  // batch and are handed to each shard with one lock/wakeup. Flushed before
+  // every epoch barrier, so epoch contents are unaffected.
+  std::vector<std::vector<IngestDatagram>> buckets_;
+  std::thread thread_;
+  bool stopped_ = false;
+};
+
+}  // namespace flock

@@ -1,0 +1,161 @@
+// Ingest edge of the streaming localization pipeline (§5.1 deployed as a
+// service): many producer threads (one per simulated agent NIC, in
+// production one per UDP receive socket) push raw IPFIX datagrams into one
+// bounded queue; a single dispatcher thread pops them in arrival order.
+//
+// Backpressure policy: the queue is bounded. Producers use try_push, which
+// fails fast when the queue is full — the datagram is *dropped and counted*,
+// exactly like a full UDP socket buffer, never silently lost from the
+// accounting. Internal stages (dispatcher -> shard queues) use push_wait
+// instead, so pressure inside the pipeline propagates back to the ingest
+// edge, where dropping is a deliberate, observable decision.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace flock {
+
+// One UDP-datagram-equivalent from an agent: a self-contained IPFIX message
+// plus the exporter's address (which the pipeline shards on).
+struct IngestDatagram {
+  std::uint32_t source_addr = 0;  // synthetic IPv4 of the exporting host
+  std::vector<std::uint8_t> bytes;
+};
+
+// Bounded multi-producer queue with drop accounting. Pops are taken by one
+// consumer in the pipeline (MPSC), though nothing in the implementation
+// requires it.
+template <typename T>
+class BoundedQueue {
+ public:
+  struct Stats {
+    std::uint64_t pushed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t popped = 0;
+  };
+
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  // Non-blocking push. Returns false (and counts a drop) when the queue is
+  // full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) {
+        ++stats_.dropped;
+        return false;
+      }
+      items_.push_back(std::move(item));
+      ++stats_.pushed;
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  // Blocking push: waits for space instead of dropping. Returns false only
+  // if the queue was closed while waiting; the item is discarded and counted
+  // as a drop, so pushed + dropped always accounts for every attempt.
+  bool push_wait(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      producer_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        ++stats_.dropped;
+        return false;
+      }
+      items_.push_back(std::move(item));
+      ++stats_.pushed;
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  // Blocking push of a whole batch in order: one lock acquisition and one
+  // consumer wakeup per capacity window instead of per item. Returns false
+  // if the queue was closed before everything was pushed; undelivered items
+  // are counted as drops.
+  bool push_many(std::vector<T> items) {
+    std::size_t i = 0;
+    while (i < items.size()) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        producer_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_) {
+          stats_.dropped += items.size() - i;
+          return false;
+        }
+        while (i < items.size() && items_.size() < capacity_) {
+          items_.push_back(std::move(items[i++]));
+          ++stats_.pushed;
+        }
+      }
+      consumer_cv_.notify_one();
+    }
+    return true;
+  }
+
+  // Blocking pop of up to `max` items (at least one unless the queue is
+  // closed and drained). Returns the number popped; 0 means end-of-stream.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      consumer_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      while (n < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++n;
+      }
+      stats_.popped += n;
+    }
+    if (n > 0) producer_cv_.notify_all();
+    return n;
+  }
+
+  // After close, pushes fail and pops drain the remaining items then return 0.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    consumer_cv_.notify_all();
+    producer_cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable consumer_cv_;
+  std::condition_variable producer_cv_;
+  std::deque<T> items_;
+  Stats stats_;
+  bool closed_ = false;
+};
+
+// What actually travels through the ingest queue: a datagram, or an
+// in-band epoch-boundary control token (manual close_epoch()). Carrying the
+// control token through the same queue gives it a well-defined position in
+// the arrival order — every datagram offered before the close lands in the
+// closing epoch.
+struct IngestItem {
+  IngestDatagram datagram;
+  bool epoch_boundary = false;
+};
+
+using IngestQueue = BoundedQueue<IngestItem>;
+
+}  // namespace flock

@@ -1,0 +1,43 @@
+#include "pipeline/localizer_pool.h"
+
+namespace flock {
+
+// Task backlog bound: effectively unbounded, but finite so a wedged sink
+// cannot eat all memory. submit() blocks if it is ever reached.
+constexpr std::size_t kTaskCapacity = 1 << 16;
+
+LocalizerPool::LocalizerPool(const FlockLocalizer& localizer, std::size_t num_threads,
+                             ResultFn on_result)
+    : localizer_(&localizer), on_result_(std::move(on_result)), tasks_(kTaskCapacity) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+LocalizerPool::~LocalizerPool() { shutdown(); }
+
+void LocalizerPool::submit(EpochSnapshot snapshot) { tasks_.push_wait(std::move(snapshot)); }
+
+void LocalizerPool::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  tasks_.close();  // workers drain the backlog, then exit
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void LocalizerPool::worker_loop() {
+  std::vector<EpochSnapshot> batch;
+  for (;;) {
+    batch.clear();
+    if (tasks_.pop_batch(batch, 1) == 0) return;
+    EpochSnapshot& snap = batch.front();
+    LocalizationResult result = localizer_->localize(snap.input);
+    on_result_(std::move(snap), std::move(result));
+  }
+}
+
+}  // namespace flock

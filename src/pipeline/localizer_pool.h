@@ -1,0 +1,47 @@
+// Inference worker pool: per-shard FlockLocalizer runs for closed epochs.
+//
+// Shard workers hand their epoch snapshots here; K pool threads run the
+// (read-only, therefore shareable) FlockLocalizer over each snapshot and
+// forward (snapshot, result) to the result sink. Inference is the expensive
+// stage, so it gets its own pool: a slow localization of epoch E never
+// blocks the shards from decoding epoch E+1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/flock_localizer.h"
+#include "pipeline/ingest_queue.h"
+#include "pipeline/sharded_collector.h"
+
+namespace flock {
+
+class LocalizerPool {
+ public:
+  using ResultFn = std::function<void(EpochSnapshot, LocalizationResult)>;
+
+  LocalizerPool(const FlockLocalizer& localizer, std::size_t num_threads, ResultFn on_result);
+  ~LocalizerPool();
+
+  LocalizerPool(const LocalizerPool&) = delete;
+  LocalizerPool& operator=(const LocalizerPool&) = delete;
+
+  // Enqueue one per-shard inference task; never drops.
+  void submit(EpochSnapshot snapshot);
+
+  // Finish all queued tasks and join. Call only after producers are done.
+  void shutdown();
+
+ private:
+  void worker_loop();
+
+  const FlockLocalizer* localizer_;
+  ResultFn on_result_;
+  BoundedQueue<EpochSnapshot> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopped_ = false;
+};
+
+}  // namespace flock

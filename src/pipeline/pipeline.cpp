@@ -1,0 +1,73 @@
+#include "pipeline/pipeline.h"
+
+namespace flock {
+
+StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
+                                     PipelineConfig config)
+    : config_(config),
+      localizer_(config.localizer),
+      sink_(std::make_unique<ResultSink>(config.num_shards,
+                                         config.merge_equivalence_classes ? &router : nullptr)),
+      pool_(std::make_unique<LocalizerPool>(
+          localizer_, config.localizer_threads,
+          [this](EpochSnapshot snap, LocalizationResult result) {
+            sink_->add(snap, result);
+          })),
+      shards_(std::make_unique<ShardedCollector>(
+          topo, router, config.num_shards, config.shard_queue_capacity, config.collector,
+          [this](EpochSnapshot snap) {
+            // Empty shards skip inference; the sink still needs their vote
+            // so the epoch completes.
+            if (snap.input.num_flows() == 0) {
+              sink_->add(snap, LocalizationResult{});
+            } else {
+              pool_->submit(std::move(snap));
+            }
+          })),
+      queue_(config.ingest_capacity),
+      scheduler_(std::make_unique<EpochScheduler>(queue_, *shards_, config.epoch)) {}
+
+StreamingPipeline::~StreamingPipeline() { stop(); }
+
+bool StreamingPipeline::offer(IngestDatagram datagram) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  IngestItem item;
+  item.datagram = std::move(datagram);
+  return queue_.try_push(std::move(item));
+}
+
+bool StreamingPipeline::offer_wait(IngestDatagram datagram) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  IngestItem item;
+  item.datagram = std::move(datagram);
+  return queue_.push_wait(std::move(item));
+}
+
+void StreamingPipeline::close_epoch() {
+  IngestItem item;
+  item.epoch_boundary = true;
+  queue_.push_wait(std::move(item));
+}
+
+void StreamingPipeline::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  scheduler_->stop();  // drains the ingest queue, flushes the final epoch
+  shards_->stop();     // drains shard queues (incl. trailing barriers)
+  pool_->shutdown();   // finishes all queued inference
+}
+
+PipelineStats StreamingPipeline::stats() const {
+  PipelineStats s;
+  const auto q = queue_.stats();
+  s.offered = offered_.load(std::memory_order_relaxed);
+  s.dropped = q.dropped;
+  s.accepted = s.offered - s.dropped;
+  s.dispatched = scheduler_->datagrams_dispatched();
+  s.records_decoded = shards_->records_decoded();
+  s.malformed_messages = shards_->malformed_messages();
+  s.epochs_closed = scheduler_->epochs_closed();
+  return s;
+}
+
+}  // namespace flock

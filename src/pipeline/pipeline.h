@@ -1,0 +1,99 @@
+// StreamingPipeline: the paper's deployment loop (§5) as a continuously
+// running, multi-threaded service.
+//
+//   agents ──> IngestQueue ──> EpochScheduler ──> ShardedCollector (N shards)
+//   (many      (bounded,       (1 dispatcher:     (decode IPFIX + join ECMP,
+//   producer    drops are       routes by rack,    one Collector per shard)
+//   threads)    counted)        closes epochs)          │ epoch barrier
+//                                                       ▼
+//              merged diagnosis <── ResultSink <── LocalizerPool (K threads,
+//              per epoch           (union +        per-shard FlockLocalizer)
+//                                   equivalence-
+//                                   class dedup)
+//
+// Thread model: producers call offer() concurrently; one dispatcher thread
+// orders datagrams and epoch boundaries; N shard workers decode and join;
+// K localizer threads run inference; consumers read merged EpochResults
+// from the sink. The shared EcmpRouter is internally synchronized, so
+// passive-record joins from all shards intern path sets safely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/flock_localizer.h"
+#include "pipeline/epoch_scheduler.h"
+#include "pipeline/ingest_queue.h"
+#include "pipeline/localizer_pool.h"
+#include "pipeline/result_sink.h"
+#include "pipeline/sharded_collector.h"
+#include "telemetry/collector.h"
+#include "topology/ecmp.h"
+#include "topology/topology.h"
+
+namespace flock {
+
+struct PipelineConfig {
+  std::int32_t num_shards = 4;
+  std::size_t ingest_capacity = 4096;       // datagrams; beyond this, offer() drops
+  std::size_t shard_queue_capacity = 1024;  // per shard; beyond this, dispatch blocks
+  std::size_t localizer_threads = 2;
+  EpochPolicy epoch;                        // automatic boundaries (manual always works)
+  CollectorOptions collector;
+  FlockOptions localizer;
+  // Collapse ECMP-indistinguishable components in the merged diagnosis.
+  // Costs all ToR-pair path sets at construction; leave off for topologies
+  // where that is prohibitive.
+  bool merge_equivalence_classes = false;
+};
+
+struct PipelineStats {
+  std::uint64_t offered = 0;     // datagrams presented to offer()
+  std::uint64_t accepted = 0;    // entered the ingest queue
+  std::uint64_t dropped = 0;     // rejected by the full/closed queue
+  std::uint64_t dispatched = 0;  // routed to shards
+  std::uint64_t records_decoded = 0;
+  std::uint64_t malformed_messages = 0;
+  std::uint64_t epochs_closed = 0;
+};
+
+class StreamingPipeline {
+ public:
+  StreamingPipeline(const Topology& topo, EcmpRouter& router, PipelineConfig config);
+  ~StreamingPipeline();
+
+  StreamingPipeline(const StreamingPipeline&) = delete;
+  StreamingPipeline& operator=(const StreamingPipeline&) = delete;
+
+  // Producer API (thread-safe). offer() is the lossy UDP-like edge: false
+  // means the datagram was dropped (and counted). offer_wait() blocks until
+  // accepted — for lossless feeding in tests and benchmarks; it returns
+  // false (also a counted drop) only if the pipeline stopped while waiting.
+  bool offer(IngestDatagram datagram);
+  bool offer_wait(IngestDatagram datagram);
+
+  // Manually close the current epoch after everything offered so far.
+  void close_epoch();
+
+  // Flush a final partial epoch, finish all inference, join every thread.
+  // Idempotent; the destructor calls it.
+  void stop();
+
+  ResultSink& results() { return *sink_; }
+  const ShardedCollector& shards() const { return *shards_; }
+  PipelineStats stats() const;
+
+ private:
+  PipelineConfig config_;
+  FlockLocalizer localizer_;
+  std::unique_ptr<ResultSink> sink_;
+  std::unique_ptr<LocalizerPool> pool_;
+  std::unique_ptr<ShardedCollector> shards_;
+  IngestQueue queue_;
+  std::unique_ptr<EpochScheduler> scheduler_;
+  std::atomic<std::uint64_t> offered_{0};
+  bool stopped_ = false;
+};
+
+}  // namespace flock

@@ -1,0 +1,93 @@
+#include "pipeline/result_sink.h"
+
+#include <algorithm>
+
+namespace flock {
+
+ResultSink::ResultSink(std::int32_t num_shards, EcmpRouter* router)
+    : num_shards_(num_shards) {
+  if (router != nullptr) {
+    const auto classes = ecmp_equivalence_classes(*router);
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      for (ComponentId c : classes[i]) class_of_[c] = static_cast<std::int32_t>(i);
+    }
+  }
+}
+
+void ResultSink::add(const EpochSnapshot& snapshot, const LocalizationResult& result) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto [it, inserted] = pending_.try_emplace(snapshot.epoch);
+  Pending& p = it->second;
+  if (inserted) {
+    p.remaining = num_shards_;
+    p.partial.epoch = snapshot.epoch;
+    p.partial.per_shard_predicted.resize(static_cast<std::size_t>(num_shards_));
+  }
+  p.since_close = snapshot.since_close;  // same start time from every shard
+  p.partial.log_likelihood += result.log_likelihood;
+  p.partial.hypotheses_scanned += result.hypotheses_scanned;
+  p.partial.flows += snapshot.input.num_flows();
+  p.partial.unresolved += snapshot.unresolved;
+  p.partial.max_shard_localize_seconds =
+      std::max(p.partial.max_shard_localize_seconds, result.seconds);
+  p.partial.predicted.insert(p.partial.predicted.end(), result.predicted.begin(),
+                             result.predicted.end());
+  p.partial.per_shard_predicted[static_cast<std::size_t>(snapshot.shard)] = result.predicted;
+
+  if (--p.remaining > 0) return;
+
+  // Last shard of the epoch: merge. Union + exact dedup first.
+  EpochResult merged = std::move(p.partial);
+  const Stopwatch since_close = p.since_close;
+  pending_.erase(it);
+  std::sort(merged.predicted.begin(), merged.predicted.end());
+  merged.predicted.erase(std::unique(merged.predicted.begin(), merged.predicted.end()),
+                         merged.predicted.end());
+  if (!class_of_.empty()) {
+    // Keep the smallest predicted member of each equivalence class (the ids
+    // are sorted, so first occurrence wins); classless components pass
+    // through.
+    std::vector<ComponentId> deduped;
+    std::unordered_map<std::int32_t, bool> seen_class;
+    deduped.reserve(merged.predicted.size());
+    for (ComponentId c : merged.predicted) {
+      const auto cls = class_of_.find(c);
+      if (cls == class_of_.end()) {
+        deduped.push_back(c);
+      } else if (!seen_class[cls->second]) {
+        seen_class[cls->second] = true;
+        deduped.push_back(c);
+      } else {
+        ++merged.equivalent_merged;
+      }
+    }
+    merged.predicted = std::move(deduped);
+  }
+  merged.close_to_merge_seconds = since_close.seconds();
+  completed_.push_back(std::move(merged));
+  lock.unlock();
+  cv_.notify_all();
+}
+
+void ResultSink::wait_for_epochs(std::size_t count) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return completed_.size() >= count; });
+}
+
+std::size_t ResultSink::completed_epochs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_.size();
+}
+
+std::vector<EpochResult> ResultSink::completed() const {
+  std::vector<EpochResult> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = completed_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EpochResult& a, const EpochResult& b) { return a.epoch < b.epoch; });
+  return out;
+}
+
+}  // namespace flock

@@ -1,0 +1,71 @@
+// Terminal stage of the streaming pipeline: merge per-shard localization
+// results into one diagnosis per epoch and account per-epoch latency.
+//
+// Each epoch produces exactly num_shards results (empty shards included).
+// The merge is the union of the shard hypotheses with duplicates removed;
+// optionally, components that passive ECMP telemetry cannot distinguish
+// (ecmp_equivalence_classes) are collapsed to one representative per class —
+// two shards blaming different members of the same class are reporting the
+// same physical ambiguity, not two faults.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/inference_input.h"
+#include "pipeline/sharded_collector.h"
+#include "topology/ecmp.h"
+
+namespace flock {
+
+struct EpochResult {
+  std::uint64_t epoch = 0;
+  std::vector<ComponentId> predicted;  // merged union, sorted, deduped
+  double log_likelihood = 0.0;         // sum over shards (per-shard model scores)
+  std::int64_t hypotheses_scanned = 0;
+  std::uint64_t flows = 0;             // flow observations across shards
+  std::uint64_t unresolved = 0;        // records no shard could join
+  std::uint64_t equivalent_merged = 0; // components collapsed by class dedup
+  double close_to_merge_seconds = 0.0; // epoch close -> merged diagnosis ready
+  double max_shard_localize_seconds = 0.0;
+  std::vector<std::vector<ComponentId>> per_shard_predicted;
+};
+
+class ResultSink {
+ public:
+  // When `router` is non-null, ECMP equivalence classes are computed up
+  // front (requires all ToR-pair path sets; affordable at service start) and
+  // used to dedup the merged hypothesis.
+  ResultSink(std::int32_t num_shards, EcmpRouter* router);
+
+  // Called from localizer-pool (or shard) threads.
+  void add(const EpochSnapshot& snapshot, const LocalizationResult& result);
+
+  // Block until at least `count` epochs have fully merged.
+  void wait_for_epochs(std::size_t count);
+
+  std::size_t completed_epochs() const;
+
+  // All merged epochs so far, ordered by epoch id.
+  std::vector<EpochResult> completed() const;
+
+ private:
+  struct Pending {
+    std::int32_t remaining = 0;
+    EpochResult partial;
+    Stopwatch since_close;
+  };
+
+  std::int32_t num_shards_;
+  std::unordered_map<ComponentId, std::int32_t> class_of_;  // empty when dedup off
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::vector<EpochResult> completed_;
+};
+
+}  // namespace flock

@@ -1,0 +1,95 @@
+#include "pipeline/sharded_collector.h"
+
+#include "telemetry/flow_record.h"
+
+namespace flock {
+
+ShardedCollector::ShardedCollector(const Topology& topo, EcmpRouter& router,
+                                   std::int32_t num_shards, std::size_t shard_queue_capacity,
+                                   CollectorOptions collector_options, SnapshotFn on_snapshot)
+    : topo_(&topo), on_snapshot_(std::move(on_snapshot)) {
+  if (num_shards < 1) num_shards = 1;
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (std::int32_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(
+        std::make_unique<Shard>(shard_queue_capacity, topo, router, collector_options));
+  }
+  for (std::int32_t s = 0; s < num_shards; ++s) {
+    Shard* shard = shards_[static_cast<std::size_t>(s)].get();
+    shard->worker = std::thread([this, shard, s] { worker_loop(*shard, s); });
+  }
+}
+
+ShardedCollector::~ShardedCollector() { stop(); }
+
+std::int32_t ShardedCollector::shard_of(std::uint32_t source_addr) const {
+  const auto n = static_cast<std::int32_t>(shards_.size());
+  const NodeId node = addr_to_node(source_addr);
+  if (node >= 0 && node < topo_->num_nodes() && topo_->is_host(node)) {
+    return topo_->tor_of(node) % n;
+  }
+  return static_cast<std::int32_t>(source_addr % static_cast<std::uint32_t>(n));
+}
+
+void ShardedCollector::dispatch_batch(std::int32_t shard_id,
+                                      std::vector<IngestDatagram> datagrams) {
+  std::vector<Item> items;
+  items.reserve(datagrams.size());
+  for (IngestDatagram& d : datagrams) {
+    Item item;
+    item.kind = Item::Kind::kDatagram;
+    item.datagram = std::move(d);
+    items.push_back(std::move(item));
+  }
+  shards_[static_cast<std::size_t>(shard_id)]->queue.push_many(std::move(items));
+}
+
+void ShardedCollector::close_epoch(std::uint64_t epoch, Stopwatch since_close) {
+  for (auto& shard : shards_) {
+    Item item;
+    item.kind = Item::Kind::kBarrier;
+    item.epoch = epoch;
+    item.since_close = since_close;
+    shard->queue.push_wait(std::move(item));
+  }
+}
+
+void ShardedCollector::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // close() lets each worker drain what is already queued (including any
+  // trailing barrier) before its pop returns 0.
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedCollector::worker_loop(Shard& shard, std::int32_t shard_id) {
+  std::vector<Item> batch;
+  for (;;) {
+    batch.clear();
+    if (shard.queue.pop_batch(batch, 256) == 0) return;
+    for (Item& item : batch) {
+      if (item.kind == Item::Kind::kDatagram) {
+        const std::size_t before = shard.collector.pending_records();
+        if (shard.collector.ingest(item.datagram.bytes)) {
+          records_decoded_.fetch_add(shard.collector.pending_records() - before,
+                                     std::memory_order_relaxed);
+        } else {
+          malformed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        shard.datagrams.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        EpochSnapshot snap{item.epoch, shard_id, shard.collector.drain_into_input(), 0,
+                           item.since_close};
+        const std::uint64_t unresolved_total = shard.collector.unresolved_records();
+        snap.unresolved = unresolved_total - shard.unresolved_mark;
+        shard.unresolved_mark = unresolved_total;
+        on_snapshot_(std::move(snap));
+      }
+    }
+  }
+}
+
+}  // namespace flock

@@ -1,0 +1,111 @@
+// Sharded decode+join stage of the streaming pipeline.
+//
+// The single-threaded Collector (telemetry/collector) decodes IPFIX and
+// joins passive records against ECMP routes; here N shards each own one
+// Collector plus a worker thread and do that work in parallel. Datagrams
+// are partitioned by the exporter's rack (ToR of the source host), so all
+// records from one rack land on one shard: partitioning is a pure function
+// of the source address (deterministic across runs), and a shard's passive
+// joins hit a small set of ToR-pair path sets (cache locality in the shared
+// EcmpRouter, which is internally synchronized).
+//
+// Epoch boundaries arrive as in-band barrier items on every shard queue, so
+// each shard snapshots exactly the records dispatched before the barrier —
+// no pausing, no global stop-the-world.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/inference_input.h"
+#include "pipeline/ingest_queue.h"
+#include "telemetry/collector.h"
+#include "topology/ecmp.h"
+#include "topology/topology.h"
+
+namespace flock {
+
+// One shard's view of one closed epoch, ready for inference.
+struct EpochSnapshot {
+  std::uint64_t epoch = 0;
+  std::int32_t shard = 0;
+  InferenceInput input;
+  std::uint64_t unresolved = 0;   // records this shard failed to join this epoch
+  Stopwatch since_close;          // started when the scheduler closed the epoch
+};
+
+class ShardedCollector {
+ public:
+  // Called on a shard worker thread once per (epoch, shard).
+  using SnapshotFn = std::function<void(EpochSnapshot)>;
+
+  ShardedCollector(const Topology& topo, EcmpRouter& router, std::int32_t num_shards,
+                   std::size_t shard_queue_capacity, CollectorOptions collector_options,
+                   SnapshotFn on_snapshot);
+  ~ShardedCollector();
+
+  ShardedCollector(const ShardedCollector&) = delete;
+  ShardedCollector& operator=(const ShardedCollector&) = delete;
+
+  std::int32_t num_shards() const { return static_cast<std::int32_t>(shards_.size()); }
+
+  // Deterministic partition function: ToR of the source host when the
+  // address maps to a host, otherwise a modulus of the raw address.
+  std::int32_t shard_of(std::uint32_t source_addr) const;
+
+  // Route a pre-bucketed batch to one shard in order, with a single queue
+  // lock and worker wakeup — the dispatcher buckets by shard_of() so that
+  // consecutive datagrams for different shards do not each wake a sleeping
+  // worker. Blocks while the shard queue is full (backpressure toward the
+  // ingest edge); never drops while the pipeline is running.
+  void dispatch_batch(std::int32_t shard, std::vector<IngestDatagram> datagrams);
+
+  // Insert an epoch barrier into every shard queue. Each shard will snapshot
+  // its collector state into an EpochSnapshot and invoke the callback.
+  void close_epoch(std::uint64_t epoch, Stopwatch since_close);
+
+  // Drain all queues, process remaining items, and join the workers.
+  void stop();
+
+  // Monotonic counters (safe to read concurrently).
+  std::uint64_t records_decoded() const { return records_decoded_.load(std::memory_order_relaxed); }
+  std::uint64_t malformed_messages() const { return malformed_.load(std::memory_order_relaxed); }
+  std::uint64_t shard_datagrams(std::int32_t shard) const {
+    return shards_[static_cast<std::size_t>(shard)]->datagrams.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Item {
+    enum class Kind : std::uint8_t { kDatagram, kBarrier } kind = Kind::kDatagram;
+    IngestDatagram datagram;
+    std::uint64_t epoch = 0;
+    Stopwatch since_close;
+  };
+
+  struct Shard {
+    Shard(std::size_t capacity, const Topology& topo, EcmpRouter& router,
+          CollectorOptions options)
+        : queue(capacity), collector(topo, router, options) {}
+    BoundedQueue<Item> queue;
+    Collector collector;                     // owned exclusively by the worker
+    std::thread worker;
+    std::atomic<std::uint64_t> datagrams{0};
+    std::uint64_t unresolved_mark = 0;       // worker-local epoch watermark
+  };
+
+  void worker_loop(Shard& shard, std::int32_t shard_id);
+
+  const Topology* topo_;
+  SnapshotFn on_snapshot_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> records_decoded_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  bool stopped_ = false;
+};
+
+}  // namespace flock

@@ -101,6 +101,59 @@ void append_record(std::vector<std::uint8_t>& msg, const FlowRecord& r) {
 
 }  // namespace
 
+std::optional<std::uint32_t> peek_export_time(const std::vector<std::uint8_t>& message) {
+  if (message.size() < 16) return std::nullopt;
+  const std::uint16_t version = static_cast<std::uint16_t>((message[0] << 8) | message[1]);
+  if (version != kIpfixVersion) return std::nullopt;
+  return (static_cast<std::uint32_t>(message[4]) << 24) |
+         (static_cast<std::uint32_t>(message[5]) << 16) |
+         (static_cast<std::uint32_t>(message[6]) << 8) | static_cast<std::uint32_t>(message[7]);
+}
+
+std::optional<std::uint32_t> peek_record_count(const std::vector<std::uint8_t>& message) {
+  Reader r{message.data(), message.size()};
+  std::uint16_t version, length;
+  std::uint32_t export_time, sequence, domain;
+  if (!r.u16(version) || !r.u16(length) || !r.u32(export_time) || !r.u32(sequence) ||
+      !r.u32(domain)) {
+    return std::nullopt;
+  }
+  if (version != kIpfixVersion || length != message.size()) return std::nullopt;
+
+  // Template id -> record length, for templates announced in this message.
+  std::unordered_map<std::uint16_t, std::size_t> record_lengths;
+  std::uint32_t records = 0;
+  while (r.remaining > 0) {
+    std::uint16_t set_id, set_len;
+    if (!r.u16(set_id) || !r.u16(set_len) || set_len < 4 ||
+        static_cast<std::size_t>(set_len - 4) > r.remaining) {
+      return std::nullopt;
+    }
+    Reader set{r.p, static_cast<std::size_t>(set_len - 4)};
+    if (!r.skip(set_len - 4)) return std::nullopt;
+    if (set_id == 2) {
+      while (set.remaining >= 4) {
+        std::uint16_t tid, field_count;
+        if (!set.u16(tid) || !set.u16(field_count)) return std::nullopt;
+        std::size_t record_length = 0;
+        for (std::uint16_t f = 0; f < field_count; ++f) {
+          std::uint16_t id, flen;
+          if (!set.u16(id) || !set.u16(flen)) return std::nullopt;
+          if ((id & 0x8000u) && !set.skip(4)) return std::nullopt;
+          record_length += flen;
+        }
+        record_lengths[tid] = record_length;
+      }
+    } else if (set_id >= 256) {
+      const auto it = record_lengths.find(set_id);
+      if (it != record_lengths.end() && it->second > 0) {
+        records += static_cast<std::uint32_t>(set.remaining / it->second);
+      }
+    }
+  }
+  return records;
+}
+
 std::vector<std::vector<std::uint8_t>> IpfixEncoder::encode(
     const std::vector<FlowRecord>& records, std::uint32_t export_time) {
   std::vector<std::vector<std::uint8_t>> messages;

@@ -49,6 +49,22 @@ class IpfixEncoder {
   std::uint32_t sequence_ = 0;
 };
 
+// Read the export-time field out of a message header without decoding the
+// body (bytes 4..7, big-endian). Returns nullopt when the buffer is too
+// short or not an IPFIX message. The streaming pipeline's epoch scheduler
+// uses this as the virtual clock: epochs close when the exporters' clocks
+// advance past the boundary, independent of collector wall time.
+std::optional<std::uint32_t> peek_export_time(const std::vector<std::uint8_t>& message);
+
+// Count the data records of a message from its set headers alone, using only
+// templates announced in the same message (our encoder re-announces the
+// template in every message, making this exact; data sets whose template is
+// unknown count zero). Returns nullopt on framing errors. The streaming
+// pipeline's record-count epoch policy uses this at dispatch time, so epoch
+// boundaries are an exact function of the datagram sequence rather than of
+// asynchronous decode progress.
+std::optional<std::uint32_t> peek_record_count(const std::vector<std::uint8_t>& message);
+
 class IpfixDecoder {
  public:
   struct Stats {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 namespace flock {
@@ -39,6 +40,7 @@ std::vector<std::int32_t> EcmpRouter::bfs_from(NodeId dst_sw) const {
 }
 
 std::int32_t EcmpRouter::switch_distance(NodeId src_sw, NodeId dst_sw) {
+  std::unique_lock lock(mutex_);
   auto it = dist_cache_.find(dst_sw);
   if (it == dist_cache_.end()) it = dist_cache_.emplace(dst_sw, bfs_from(dst_sw)).first;
   std::int32_t d = it->second[static_cast<std::size_t>(src_sw)];
@@ -46,12 +48,38 @@ std::int32_t EcmpRouter::switch_distance(NodeId src_sw, NodeId dst_sw) {
   return d;
 }
 
+const PathSet& EcmpRouter::path_set(PathSetId id) const {
+  std::shared_lock lock(mutex_);
+  return path_sets_[static_cast<std::size_t>(id)];
+}
+
+const Path& EcmpRouter::path(PathId id) const {
+  std::shared_lock lock(mutex_);
+  return paths_[static_cast<std::size_t>(id)];
+}
+
+std::int32_t EcmpRouter::num_path_sets() const {
+  std::shared_lock lock(mutex_);
+  return static_cast<std::int32_t>(path_sets_.size());
+}
+
+std::int32_t EcmpRouter::num_paths() const {
+  std::shared_lock lock(mutex_);
+  return static_cast<std::int32_t>(paths_.size());
+}
+
 PathSetId EcmpRouter::path_set_between(NodeId src_sw, NodeId dst_sw) {
   if (!topo_->is_switch(src_sw) || !topo_->is_switch(dst_sw)) {
     throw std::invalid_argument("path_set_between: endpoints must be switches");
   }
-  auto key = pair_key(src_sw, dst_sw);
-  auto it = cache_.find(key);
+  const auto key = pair_key(src_sw, dst_sw);
+  {
+    std::shared_lock lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto it = cache_.find(key);  // re-check: another interner may have won
   if (it != cache_.end()) return it->second;
   PathSetId id = enumerate_paths(src_sw, dst_sw);
   cache_.emplace(key, id);

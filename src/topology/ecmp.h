@@ -9,9 +9,18 @@
 // A Path is the sequence of *components* (link and device ids interleaved,
 // inclusive of both endpoint switch devices) along one switch-to-switch
 // shortest path. Host access links are kept separate, on the flow record.
+//
+// Thread-safety: the router is shared by every collector shard of the
+// streaming pipeline, so all interning and lookup methods may be called
+// concurrently. Lookups of already-interned paths take a shared lock;
+// interning a new path set takes an exclusive lock. Paths and path sets are
+// stored in deques so references returned by path()/path_set() stay valid
+// while other threads intern.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -46,11 +55,11 @@ class EcmpRouter {
   // set is the single path [device(tor)].
   PathSetId host_pair_path_set(NodeId src_host, NodeId dst_host);
 
-  const PathSet& path_set(PathSetId id) const { return path_sets_[static_cast<std::size_t>(id)]; }
-  const Path& path(PathId id) const { return paths_[static_cast<std::size_t>(id)]; }
+  const PathSet& path_set(PathSetId id) const;
+  const Path& path(PathId id) const;
 
-  std::int32_t num_path_sets() const { return static_cast<std::int32_t>(path_sets_.size()); }
-  std::int32_t num_paths() const { return static_cast<std::int32_t>(paths_.size()); }
+  std::int32_t num_path_sets() const;
+  std::int32_t num_paths() const;
 
   // Materialize the path sets of every ordered ToR pair (and, for Fig 5c,
   // the equivalence-class computation needs them all). Expensive on big
@@ -66,11 +75,14 @@ class EcmpRouter {
   // unreachable). Hosts never appear as intermediate nodes (degree 1).
   std::vector<std::int32_t> bfs_from(NodeId dst_sw) const;
 
+  // Requires mutex_ held exclusively.
   PathSetId enumerate_paths(NodeId src_sw, NodeId dst_sw);
 
   const Topology* topo_;
-  std::vector<Path> paths_;
-  std::vector<PathSet> path_sets_;
+  mutable std::shared_mutex mutex_;
+  // Deques: stable element references under concurrent interning.
+  std::deque<Path> paths_;
+  std::deque<PathSet> path_sets_;
   std::unordered_map<std::uint64_t, PathSetId> cache_;
   // Per-destination BFS distance cache (dst -> distances); bounded reuse for
   // build_all_tor_pairs.
