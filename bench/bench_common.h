@@ -7,9 +7,12 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/netbouncer.h"
 #include "baselines/sherlock.h"
@@ -80,6 +83,41 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
             << "(reproduces " << paper_ref << ")\n"
             << "==============================================================\n";
 }
+
+// Machine-readable bench output for the CI regression gate. When the
+// FLOCK_BENCH_JSON environment variable names a file, rows accumulate and
+// are written there as {"bench": <name>, "rows": [{k: v, ...}, ...]};
+// scripts/check_bench_regression.py merges these files and compares
+// records_per_sec against the committed baseline.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add_row(std::vector<std::pair<std::string, double>> fields) {
+    rows_.push_back(std::move(fields));
+  }
+
+  // Writes the collected rows; no-op unless FLOCK_BENCH_JSON is set.
+  void write() const {
+    const char* path = std::getenv("FLOCK_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return;
+    std::ofstream out(path);
+    out << "{\"bench\": \"" << bench_ << "\", \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << (r ? ", " : "") << "{";
+      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+        out << (f ? ", " : "") << "\"" << rows_[r][f].first << "\": " << rows_[r][f].second;
+      }
+      out << "}";
+    }
+    out << "]}\n";
+    std::cout << "\nbench JSON written to " << path << "\n";
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+};
 
 inline std::string fmt_acc(const Accuracy& a) {
   return "p=" + Table::num(a.precision, 3) + " r=" + Table::num(a.recall, 3) +

@@ -1,0 +1,183 @@
+// Streaming pipeline under Zipf-skewed rack load: work stealing vs the pure
+// rack-affine partition, 1 -> 8 shards.
+//
+// The paper's deployment (§5) assumes pods ≫ shards, so partitioning by
+// source rack balances the collector shards. Real traffic is rack-skewed;
+// here each rack's record volume follows Zipf(s=1.2) over the 18 ToRs of the
+// default Clos, which puts ~36% of all records on the hottest rack and
+// leaves most shards idle while one drowns. Every configuration runs the
+// identical skewed datagram sequence twice — stealing disabled, then enabled
+// — and reports the throughput ratio.
+//
+// The stealing win is shard parallelism, so it needs cores: with >= 3
+// hardware threads the 4-shard ratio must reach 1.3x (CI enforces this); on
+// 1-2 cores the run only enforces that stealing is not a regression (>=
+// 0.75x, noise floor included) since there is no spare core for a thief to
+// run on.
+#include <cmath>
+#include <map>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "pipeline/pipeline.h"
+#include "telemetry/agent.h"
+#include "telemetry/ipfix.h"
+
+int main() {
+  using namespace flock;
+  using namespace flock::bench;
+
+  print_header("Streaming pipeline under Zipf(1.2) rack skew: work stealing on/off",
+               "the §5 service when pods >> shards is violated");
+
+  const Topology topo = make_three_tier_clos(default_clos());
+  const std::int64_t num_flows = scaled_flows(40000);
+  constexpr double kZipfExponent = 1.2;
+
+  // Base workload: one passive telemetry burst, uniform across hosts.
+  std::vector<IngestDatagram> base;
+  {
+    EcmpRouter router(topo);
+    Rng rng(29);
+    DropRateConfig rates;
+    rates.bad_min = 5e-3;
+    rates.bad_max = 1e-2;
+    GroundTruth truth = make_silent_link_drops(topo, 2, rates, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = num_flows;
+    ProbeConfig probes;
+    probes.enabled = false;
+    const Trace trace = simulate(topo, router, std::move(truth), traffic, probes, rng);
+    std::unordered_map<NodeId, Agent> agents;
+    for (NodeId h : topo.hosts()) {
+      AgentConfig cfg;
+      cfg.observation_domain = static_cast<std::uint32_t>(h);
+      agents.emplace(h, Agent(topo, cfg));
+    }
+    for (const SimFlow& f : trace.flows) {
+      SimFlow passive = f;
+      passive.taken_path = -1;
+      agents.at(f.src_host).observe(passive);
+    }
+    for (NodeId h : topo.hosts()) {
+      for (auto& msg : agents.at(h).flush(1700000000)) {
+        base.push_back({node_to_addr(h), std::move(msg)});
+      }
+    }
+  }
+
+  // Skew it: the rack of Zipf rank k (racks ranked by ToR node id) gets
+  // weight k^-1.2; each datagram is replicated proportionally, so per-rack
+  // record volume is Zipf(1.2) and the hottest rack carries ~36% of records.
+  std::map<NodeId, std::size_t> rack_rank;  // ToR node id -> dense Zipf rank
+  for (NodeId h : topo.hosts()) rack_rank.emplace(topo.tor_of(h), 0);
+  {
+    std::size_t rank = 0;
+    for (auto& [tor, r] : rack_rank) r = rank++;
+  }
+  const std::size_t num_tors = rack_rank.size();
+  std::vector<IngestDatagram> datagrams;
+  std::uint64_t total_records = 0;
+  for (const IngestDatagram& d : base) {
+    const std::size_t rank = rack_rank.at(topo.tor_of(addr_to_node(d.source_addr)));
+    const double weight = std::pow(static_cast<double>(rank + 1), -kZipfExponent);
+    const auto copies = std::max<std::int64_t>(1, std::llround(25.0 * weight));
+    const std::uint64_t records = peek_record_count(d.bytes).value_or(0);
+    for (std::int64_t c = 0; c < copies; ++c) {
+      datagrams.push_back(d);
+      total_records += records;
+    }
+  }
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "workload: " << datagrams.size() << " datagrams, " << total_records
+            << " flow records across " << num_tors << " racks (Zipf " << kZipfExponent
+            << "), " << cores << " hardware threads\n\n";
+
+  Table table({"shards", "steal", "epochs", "stolen", "seconds", "records/s", "steal gain"});
+  BenchJson json("pipeline_skew");
+  constexpr int kReps = 5;  // best-of-5: scheduling noise dominates short runs
+  double gain_at_4 = 0.0;
+  for (const std::int32_t shards : {1, 2, 4, 8}) {
+    double off_seconds = 0.0;
+    for (const bool steal : {false, true}) {
+      double best_seconds = 0.0;
+      std::uint64_t epochs_closed = 0, stolen = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        EcmpRouter router(topo);
+        router.build_all_tor_pairs();  // steady-state service: routes already interned
+
+        PipelineConfig config;
+        config.num_shards = shards;
+        config.steal_batch = steal ? 256 : 0;
+        config.localizer.params.p_g = 1e-4;
+        config.localizer.params.p_b = 6e-3;
+        config.localizer.params.rho = 1e-3;
+        config.epoch.record_limit = total_records / 4 + 1;
+        config.shard_queue_capacity = 4096;
+        config.localizer_threads = 1;
+
+        StreamingPipeline pipeline(topo, router, config);
+        Stopwatch watch;  // timed region: ingest -> final merged diagnosis
+        const std::size_t half = datagrams.size() / 2;
+        auto feed = [&pipeline, &datagrams](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) pipeline.offer_wait(datagrams[i]);
+        };
+        std::thread producer_a(feed, 0, half);
+        std::thread producer_b(feed, half, datagrams.size());
+        producer_a.join();
+        producer_b.join();
+        pipeline.stop();
+        const double seconds = watch.seconds();
+
+        const auto stats = pipeline.stats();
+        if (stats.records_decoded != total_records || stats.dropped != 0 ||
+            pipeline.results().completed_epochs() == 0) {
+          std::cerr << "workload not fully processed: decoded " << stats.records_decoded
+                    << "/" << total_records << ", dropped " << stats.dropped << "\n";
+          return 1;
+        }
+        if (!steal && stats.batches_stolen != 0) {
+          std::cerr << "steal_batch=0 must disable stealing\n";
+          return 1;
+        }
+        if (rep == 0 || seconds < best_seconds) {
+          best_seconds = seconds;
+          epochs_closed = stats.epochs_closed;
+          stolen = stats.batches_stolen;
+        }
+      }
+      if (!steal) off_seconds = best_seconds;
+      const double gain = steal ? off_seconds / best_seconds : 1.0;
+      if (steal && shards == 4) gain_at_4 = gain;
+      table.add_row({Table::integer(shards), steal ? "on" : "off",
+                     Table::integer(static_cast<long long>(epochs_closed)),
+                     Table::integer(static_cast<long long>(stolen)),
+                     Table::num(best_seconds, 3),
+                     Table::num(static_cast<double>(total_records) / best_seconds, 0),
+                     steal ? Table::num(gain, 2) : "-"});
+      json.add_row({{"shards", static_cast<double>(shards)},
+                    {"steal", steal ? 1.0 : 0.0},
+                    {"seconds", best_seconds},
+                    {"records_per_sec", static_cast<double>(total_records) / best_seconds}});
+    }
+  }
+  table.print(std::cout);
+  json.write();
+
+  const double required = cores >= 3 ? 1.3 : 0.75;
+  std::cout << "\nsteal gain at 4 shards: " << Table::num(gain_at_4, 2) << " (required >= "
+            << required << " on " << cores << " hardware threads";
+  if (cores < 3) {
+    std::cout << "; stealing is shard *parallelism* — with no spare core for a thief,"
+                 "\n parity is the ceiling and only a regression would be a failure";
+  }
+  std::cout << ")\n";
+  if (gain_at_4 < required) {
+    std::cerr << "FAIL: steal gain " << gain_at_4 << " below required " << required << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -65,6 +65,7 @@ int main() {
             << " flow records\n\n";
 
   Table table({"shards", "epochs", "seconds", "records/s", "speedup", "close->merge ms"});
+  BenchJson json("pipeline_throughput");
   double base_seconds = 0.0;
   constexpr int kReps = 3;  // best-of-3: scheduling noise dominates short runs
   for (const std::int32_t shards : {1, 2, 4, 8}) {
@@ -118,14 +119,18 @@ int main() {
     }
 
     if (shards == 1) base_seconds = best_seconds;
+    const double records_per_sec = static_cast<double>(total_records) / best_seconds;
     table.add_row({Table::integer(shards),
                    Table::integer(static_cast<long long>(epochs_closed)),
-                   Table::num(best_seconds, 3),
-                   Table::num(static_cast<double>(total_records) / best_seconds, 0),
+                   Table::num(best_seconds, 3), Table::num(records_per_sec, 0),
                    Table::num(base_seconds / best_seconds, 2), Table::num(merge_ms, 1)});
+    json.add_row({{"shards", static_cast<double>(shards)},
+                  {"seconds", best_seconds},
+                  {"records_per_sec", records_per_sec}});
   }
   table.print(std::cout);
   std::cout << "\n(speedup is relative to the 1-shard configuration; on a single core it\n"
                "measures pipeline overhead, on N cores it measures shard parallelism)\n";
+  json.write();
   return 0;
 }

@@ -36,6 +36,10 @@ int main() {
   PipelineConfig config;
   config.num_shards = 4;
   config.epoch.virtual_seconds = 10;  // one epoch per reporting interval
+  // Wall-clock backstop: if exporters go quiet mid-epoch (outage, partition)
+  // the collected evidence still becomes a diagnosis within 30s.
+  config.epoch.deadline = std::chrono::seconds(30);
+  config.steal_batch = 128;  // idle shards steal from skewed racks
   config.localizer.params.p_g = 1e-4;
   config.localizer.params.p_b = 6e-3;
   config.localizer.params.rho = 1e-3;
@@ -94,7 +98,9 @@ int main() {
 
   const auto stats = pipeline.stats();
   std::cout << "service processed " << stats.records_decoded << " records in "
-            << stats.epochs_closed << " epochs (" << stats.dropped << " datagrams dropped)\n";
+            << stats.epochs_closed << " epochs (" << stats.dropped << " datagrams dropped, "
+            << stats.batches_stolen << " batches stolen by idle shards, "
+            << stats.deadline_epochs << " deadline-flushed epochs)\n";
   std::cout << "injected failure (from interval 1): " << topo.component_name(true_failure)
             << "\n\n";
 

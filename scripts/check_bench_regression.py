@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the streaming pipeline.
+
+Merges the per-bench JSON files that pipeline_throughput / pipeline_skew
+write when FLOCK_BENCH_JSON is set into one artifact (BENCH_pipeline.json),
+then compares every row's records_per_sec against the committed baseline
+(bench/pipeline_baseline.json): the job fails if any configuration regresses
+more than --tolerance (default 20%) below baseline.
+
+Rows are matched by bench name plus every non-measured field (shards, steal,
+...), so adding new configurations never breaks the gate — only rows present
+in the baseline are enforced.
+
+Environment:
+  BENCH_REGRESSION_TOLERANCE  override the default 0.20
+  BENCH_BASELINE_SKIP=1       merge only, skip the gate (machines much slower
+                              than the baseline recorder)
+"""
+
+import argparse
+import json
+import os
+import sys
+
+METRIC = "records_per_sec"
+MEASURED = {METRIC, "seconds"}  # every other field identifies the row
+
+
+def row_key(bench, row):
+    return (bench,) + tuple(sorted((k, v) for k, v in row.items() if k not in MEASURED))
+
+
+def fmt_key(key):
+    return key[0] + "".join(f" {k}={v:g}" for k, v in key[1:])
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+", help="per-bench JSON files (FLOCK_BENCH_JSON output)")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--out", default="BENCH_pipeline.json", help="merged artifact path")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_TOLERANCE", "0.20")),
+        help="allowed fractional drop below baseline (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    benches = [load(path) for path in args.inputs]
+    with open(args.out, "w") as f:
+        json.dump({"benches": benches}, f, indent=2)
+        f.write("\n")
+    print(f"merged {len(benches)} bench report(s) into {args.out}")
+
+    if os.environ.get("BENCH_BASELINE_SKIP") == "1":
+        print("BENCH_BASELINE_SKIP=1: regression gate skipped")
+        return 0
+
+    current = {}
+    for bench in benches:
+        for row in bench.get("rows", []):
+            current[row_key(bench["bench"], row)] = row.get(METRIC)
+
+    baseline = load(args.baseline)
+    failures = []
+    for bench in baseline.get("benches", []):
+        for row in bench.get("rows", []):
+            base = row.get(METRIC)
+            if base is None:
+                continue
+            key = row_key(bench["bench"], row)
+            cur = current.get(key)
+            if cur is None:
+                failures.append(f"{fmt_key(key)}: missing from current run")
+                print(f"FAIL {fmt_key(key)}: missing from current run")
+                continue
+            floor = base * (1.0 - args.tolerance)
+            ok = cur >= floor
+            print(
+                f"{'ok  ' if ok else 'FAIL'} {fmt_key(key)}: "
+                f"{cur:,.0f} rec/s vs baseline {base:,.0f} (floor {floor:,.0f})"
+            )
+            if not ok:
+                failures.append(
+                    f"{fmt_key(key)}: {cur:,.0f} rec/s is more than "
+                    f"{args.tolerance:.0%} below baseline {base:,.0f}"
+                )
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond {args.tolerance:.0%} tolerance:")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+    print("\nno throughput regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,20 @@
 #include "pipeline/epoch_scheduler.h"
 
+#include <algorithm>
+
 #include "telemetry/ipfix.h"
 
 namespace flock {
 
-EpochScheduler::EpochScheduler(IngestQueue& queue, ShardedCollector& shards, EpochPolicy policy)
-    : queue_(&queue), shards_(&shards), policy_(policy) {
+namespace {
+// Idle wake period while a deadline is armed. The dispatcher never sleeps
+// past this, so a deadline is honored within one poll interval even when the
+// injected clock (tests) jumps arbitrarily while the real queue stays quiet.
+constexpr std::chrono::microseconds kDeadlinePoll{5000};
+}  // namespace
+
+EpochScheduler::EpochScheduler(IngestQueue& queue, ShardExecutor& shards, EpochPolicy policy)
+    : queue_(&queue), shards_(&shards), policy_(std::move(policy)) {
   buckets_.resize(static_cast<std::size_t>(shards.num_shards()));
   thread_ = std::thread([this] { run(); });
 }
@@ -17,6 +26,10 @@ void EpochScheduler::stop() {
   stopped_ = true;
   queue_->close();
   if (thread_.joinable()) thread_.join();
+}
+
+std::chrono::steady_clock::time_point EpochScheduler::now() const {
+  return policy_.clock ? policy_.clock() : std::chrono::steady_clock::now();
 }
 
 void EpochScheduler::flush_buckets() {
@@ -34,14 +47,36 @@ void EpochScheduler::close_now() {
   records_since_close_ = 0;
   items_since_close_ = 0;
   have_window_start_ = false;  // every boundary restarts the virtual-time window
+  deadline_armed_ = false;     // and disarms the wall-clock timer
   epochs_closed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void EpochScheduler::run() {
+  const bool deadline_mode = policy_.deadline.count() > 0;
   std::vector<IngestItem> batch;
   for (;;) {
     batch.clear();
-    if (queue_->pop_batch(batch, 256) == 0) break;  // closed and drained
+    std::size_t n;
+    if (deadline_mode && deadline_armed_) {
+      n = queue_->pop_batch_for(batch, 256, kDeadlinePoll);
+      if (n == 0 && !queue_->is_closed()) {  // timed out, queue still open
+        if (now() >= deadline_at_) {         // quiet period: flush the open epoch
+          deadline_epochs_.fetch_add(1, std::memory_order_relaxed);
+          close_now();
+        }
+        continue;
+      }
+      if (n == 0) {
+        // Closed — but items may have raced in between the timed-out pop
+        // and the close. pop_batch's 0 atomically means closed AND drained,
+        // so one blocking drain pop cannot lose accepted datagrams.
+        n = queue_->pop_batch(batch, 256);
+        if (n == 0) break;
+      }
+    } else {
+      n = queue_->pop_batch(batch, 256);
+      if (n == 0) break;  // closed and drained
+    }
     for (IngestItem& item : batch) {
       if (item.epoch_boundary) {
         close_now();  // manual boundaries always close, even an empty epoch
@@ -71,12 +106,22 @@ void EpochScheduler::run() {
       const auto shard = static_cast<std::size_t>(shards_->shard_of(item.datagram.source_addr));
       buckets_[shard].push_back(std::move(item.datagram));
       ++items_since_close_;
+      if (deadline_mode && !deadline_armed_) {
+        // First datagram of the epoch arms the timer; an idle pipeline with
+        // no open epoch never emits deadline epochs.
+        deadline_armed_ = true;
+        deadline_at_ = now() + policy_.deadline;
+      }
       if (policy_.record_limit > 0) {
         records_since_close_ += records;
         if (records_since_close_ >= policy_.record_limit) close_now();
       }
     }
     flush_buckets();  // bounded buffering: at most one ingest batch
+    if (deadline_mode && deadline_armed_ && now() >= deadline_at_) {
+      deadline_epochs_.fetch_add(1, std::memory_order_relaxed);
+      close_now();
+    }
   }
   flush_buckets();
   if (items_since_close_ > 0) close_now();  // flush the final partial epoch

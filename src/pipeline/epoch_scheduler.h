@@ -2,7 +2,7 @@
 //
 // One dispatcher thread pops datagrams from the ingest queue in arrival
 // order, routes each to its collector shard, and decides where epochs end.
-// Two boundary policies compose (either, both, or neither may be active):
+// Three boundary policies compose (any subset may be active):
 //
 //   * virtual time — the IPFIX export-time header is the clock. The first
 //     datagram opens a window; the first datagram at or past
@@ -16,6 +16,12 @@
 //     (telemetry/ipfix peek_record_count), so the cut is an exact,
 //     deterministic function of the datagram sequence, independent of how
 //     far ahead of the decoders the dispatcher runs.
+//   * wall-clock deadline — a steady-clock timer arms when the first
+//     datagram of an epoch is dispatched; once `deadline` elapses, the epoch
+//     closes even if no further datagrams arrive, so quiet periods still
+//     flush diagnoses. Unlike the two policies above this one is
+//     deliberately *not* a function of the datagram sequence (that is its
+//     point); an idle pipeline with no open epoch never emits empty epochs.
 //
 // Manual boundaries (StreamingPipeline::close_epoch) travel in-band through
 // the ingest queue and are handled here too, so every policy shares one
@@ -23,7 +29,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <thread>
 
 #include "pipeline/ingest_queue.h"
@@ -32,14 +40,18 @@
 namespace flock {
 
 struct EpochPolicy {
-  std::uint64_t record_limit = 0;    // 0 = disabled
-  std::uint32_t virtual_seconds = 0; // 0 = disabled
+  std::uint64_t record_limit = 0;          // 0 = disabled
+  std::uint32_t virtual_seconds = 0;       // 0 = disabled
+  std::chrono::milliseconds deadline{0};   // 0 = disabled (wall clock)
+  // Time source for the deadline policy; nullptr = std::chrono::steady_clock.
+  // Injectable so deadline behavior is testable with a fake clock.
+  std::function<std::chrono::steady_clock::time_point()> clock;
 };
 
 class EpochScheduler {
  public:
   // Starts the dispatcher thread immediately.
-  EpochScheduler(IngestQueue& queue, ShardedCollector& shards, EpochPolicy policy);
+  EpochScheduler(IngestQueue& queue, ShardExecutor& shards, EpochPolicy policy);
   ~EpochScheduler();
 
   EpochScheduler(const EpochScheduler&) = delete;
@@ -50,6 +62,9 @@ class EpochScheduler {
   void stop();
 
   std::uint64_t epochs_closed() const { return epochs_closed_.load(std::memory_order_relaxed); }
+  std::uint64_t deadline_epochs() const {
+    return deadline_epochs_.load(std::memory_order_relaxed);
+  }
   std::uint64_t datagrams_dispatched() const {
     return dispatched_.load(std::memory_order_relaxed);
   }
@@ -58,11 +73,13 @@ class EpochScheduler {
   void run();
   void flush_buckets();
   void close_now();
+  std::chrono::steady_clock::time_point now() const;
 
   IngestQueue* queue_;
-  ShardedCollector* shards_;
+  ShardExecutor* shards_;
   EpochPolicy policy_;
   std::atomic<std::uint64_t> epochs_closed_{0};
+  std::atomic<std::uint64_t> deadline_epochs_{0};
   std::atomic<std::uint64_t> dispatched_{0};
   // Dispatcher-thread state.
   std::uint64_t next_epoch_ = 0;
@@ -70,6 +87,8 @@ class EpochScheduler {
   std::uint64_t items_since_close_ = 0;
   bool have_window_start_ = false;
   std::uint32_t window_start_ = 0;
+  bool deadline_armed_ = false;
+  std::chrono::steady_clock::time_point deadline_at_{};
   // Per-shard dispatch buckets: datagrams accumulate here during one ingest
   // batch and are handed to each shard with one lock/wakeup. Flushed before
   // every epoch barrier, so epoch contents are unaffected.

@@ -11,6 +11,7 @@
 // edge, where dropping is a deliberate, observable decision.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -114,6 +115,32 @@ class BoundedQueue {
     }
     if (n > 0) producer_cv_.notify_all();
     return n;
+  }
+
+  // pop_batch with a wait bound, for consumers that must wake on wall-clock
+  // deadlines even when no items arrive. Returns the number popped; 0 means
+  // either end-of-stream (closed and drained — check is_closed()) or a
+  // timeout with an empty queue.
+  std::size_t pop_batch_for(std::vector<T>& out, std::size_t max,
+                            std::chrono::microseconds timeout) {
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      consumer_cv_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+      while (n < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++n;
+      }
+      stats_.popped += n;
+    }
+    if (n > 0) producer_cv_.notify_all();
+    return n;
+  }
+
+  bool is_closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
   }
 
   // After close, pushes fail and pops drain the remaining items then return 0.

@@ -13,8 +13,11 @@ StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
           [this](EpochSnapshot snap, LocalizationResult result) {
             sink_->add(snap, result);
           })),
-      shards_(std::make_unique<ShardedCollector>(
-          topo, router, config.num_shards, config.shard_queue_capacity, config.collector,
+      shards_(std::make_unique<ShardExecutor>(
+          topo, router,
+          ShardExecutorOptions{config.num_shards, config.shard_queue_capacity,
+                               config.steal_batch},
+          config.collector,
           [this](EpochSnapshot snap) {
             // Empty shards skip inference; the sink still needs their vote
             // so the epoch completes.
@@ -67,6 +70,10 @@ PipelineStats StreamingPipeline::stats() const {
   s.records_decoded = shards_->records_decoded();
   s.malformed_messages = shards_->malformed_messages();
   s.epochs_closed = scheduler_->epochs_closed();
+  s.deadline_epochs = scheduler_->deadline_epochs();
+  s.batches_stolen = shards_->batches_stolen();
+  s.datagrams_stolen = shards_->datagrams_stolen();
+  s.steal_attempts = shards_->steal_attempts();
   return s;
 }
 

@@ -1,9 +1,9 @@
 // StreamingPipeline: the paper's deployment loop (§5) as a continuously
 // running, multi-threaded service.
 //
-//   agents ──> IngestQueue ──> EpochScheduler ──> ShardedCollector (N shards)
-//   (many      (bounded,       (1 dispatcher:     (decode IPFIX + join ECMP,
-//   producer    drops are       routes by rack,    one Collector per shard)
+//   agents ──> IngestQueue ──> EpochScheduler ──> ShardExecutor (N shards)
+//   (many      (bounded,       (1 dispatcher:     (decode IPFIX + join ECMP;
+//   producer    drops are       routes by rack,    idle shards steal batches)
 //   threads)    counted)        closes epochs)          │ epoch barrier
 //                                                       ▼
 //              merged diagnosis <── ResultSink <── LocalizerPool (K threads,
@@ -38,6 +38,10 @@ struct PipelineConfig {
   std::int32_t num_shards = 4;
   std::size_t ingest_capacity = 4096;       // datagrams; beyond this, offer() drops
   std::size_t shard_queue_capacity = 1024;  // per shard; beyond this, dispatch blocks
+  // Work stealing: max datagrams an idle shard takes from the most-loaded
+  // shard per steal (whole dispatch batches, at least one). 0 disables
+  // stealing — each shard then processes exactly its rack-affine partition.
+  std::size_t steal_batch = 128;
   std::size_t localizer_threads = 2;
   EpochPolicy epoch;                        // automatic boundaries (manual always works)
   CollectorOptions collector;
@@ -56,6 +60,10 @@ struct PipelineStats {
   std::uint64_t records_decoded = 0;
   std::uint64_t malformed_messages = 0;
   std::uint64_t epochs_closed = 0;
+  std::uint64_t deadline_epochs = 0;    // of those, closed by the wall-clock deadline
+  std::uint64_t batches_stolen = 0;     // decode+join batches executed by thieves
+  std::uint64_t datagrams_stolen = 0;   // datagrams inside those batches
+  std::uint64_t steal_attempts = 0;     // victim scans that found a candidate
 };
 
 class StreamingPipeline {
@@ -81,7 +89,7 @@ class StreamingPipeline {
   void stop();
 
   ResultSink& results() { return *sink_; }
-  const ShardedCollector& shards() const { return *shards_; }
+  const ShardExecutor& shards() const { return *shards_; }
   PipelineStats stats() const;
 
  private:
@@ -89,7 +97,7 @@ class StreamingPipeline {
   FlockLocalizer localizer_;
   std::unique_ptr<ResultSink> sink_;
   std::unique_ptr<LocalizerPool> pool_;
-  std::unique_ptr<ShardedCollector> shards_;
+  std::unique_ptr<ShardExecutor> shards_;
   IngestQueue queue_;
   std::unique_ptr<EpochScheduler> scheduler_;
   std::atomic<std::uint64_t> offered_{0};

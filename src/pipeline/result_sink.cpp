@@ -28,6 +28,7 @@ void ResultSink::add(const EpochSnapshot& snapshot, const LocalizationResult& re
   p.partial.hypotheses_scanned += result.hypotheses_scanned;
   p.partial.flows += snapshot.input.num_flows();
   p.partial.unresolved += snapshot.unresolved;
+  p.partial.stolen_batches += snapshot.stolen_batches;
   p.partial.max_shard_localize_seconds =
       std::max(p.partial.max_shard_localize_seconds, result.seconds);
   p.partial.predicted.insert(p.partial.predicted.end(), result.predicted.begin(),
@@ -72,6 +73,11 @@ void ResultSink::add(const EpochSnapshot& snapshot, const LocalizationResult& re
 void ResultSink::wait_for_epochs(std::size_t count) {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return completed_.size() >= count; });
+}
+
+bool ResultSink::wait_for_epochs_for(std::size_t count, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, timeout, [&] { return completed_.size() >= count; });
 }
 
 std::size_t ResultSink::completed_epochs() const {

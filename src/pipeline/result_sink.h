@@ -9,6 +9,7 @@
 // same physical ambiguity, not two faults.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -28,6 +29,7 @@ struct EpochResult {
   std::int64_t hypotheses_scanned = 0;
   std::uint64_t flows = 0;             // flow observations across shards
   std::uint64_t unresolved = 0;        // records no shard could join
+  std::uint64_t stolen_batches = 0;    // decode+join batches executed by thieves
   std::uint64_t equivalent_merged = 0; // components collapsed by class dedup
   double close_to_merge_seconds = 0.0; // epoch close -> merged diagnosis ready
   double max_shard_localize_seconds = 0.0;
@@ -46,6 +48,10 @@ class ResultSink {
 
   // Block until at least `count` epochs have fully merged.
   void wait_for_epochs(std::size_t count);
+
+  // As above with a wait bound; returns false on timeout. For callers (tests,
+  // health checks) that must report a stalled pipeline instead of hanging.
+  bool wait_for_epochs_for(std::size_t count, std::chrono::milliseconds timeout);
 
   std::size_t completed_epochs() const;
 

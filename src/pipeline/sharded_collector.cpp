@@ -1,28 +1,44 @@
 #include "pipeline/sharded_collector.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "telemetry/flow_record.h"
 
 namespace flock {
 
-ShardedCollector::ShardedCollector(const Topology& topo, EcmpRouter& router,
-                                   std::int32_t num_shards, std::size_t shard_queue_capacity,
-                                   CollectorOptions collector_options, SnapshotFn on_snapshot)
-    : topo_(&topo), on_snapshot_(std::move(on_snapshot)) {
-  if (num_shards < 1) num_shards = 1;
-  shards_.reserve(static_cast<std::size_t>(num_shards));
-  for (std::int32_t s = 0; s < num_shards; ++s) {
-    shards_.push_back(
-        std::make_unique<Shard>(shard_queue_capacity, topo, router, collector_options));
+namespace {
+// Idle rescan period when stealing is enabled: an empty shard wakes this
+// often to look for a loaded victim instead of sleeping on its own deque.
+// Consecutive fruitless scans back the period off exponentially to the max,
+// so a fully idle service costs ~20 wakeups/s per worker instead of 2000;
+// any task or successful steal snaps back to the fast poll. A push to the
+// worker's own deque wakes it immediately regardless (condition variable).
+constexpr std::chrono::microseconds kStealPollMin{500};
+constexpr std::chrono::microseconds kStealPollMax{50000};
+}  // namespace
+
+ShardExecutor::ShardExecutor(const Topology& topo, EcmpRouter& router,
+                             ShardExecutorOptions options, CollectorOptions collector_options,
+                             SnapshotFn on_snapshot)
+    : topo_(&topo),
+      router_(&router),
+      collector_options_(collector_options),
+      steal_batch_(options.steal_batch),
+      on_snapshot_(std::move(on_snapshot)) {
+  if (options.num_shards < 1) options.num_shards = 1;
+  shards_.reserve(static_cast<std::size_t>(options.num_shards));
+  for (std::int32_t s = 0; s < options.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options.queue_capacity));
   }
-  for (std::int32_t s = 0; s < num_shards; ++s) {
-    Shard* shard = shards_[static_cast<std::size_t>(s)].get();
-    shard->worker = std::thread([this, shard, s] { worker_loop(*shard, s); });
+  for (std::int32_t s = 0; s < options.num_shards; ++s) {
+    shards_[static_cast<std::size_t>(s)]->worker = std::thread([this, s] { worker_loop(s); });
   }
 }
 
-ShardedCollector::~ShardedCollector() { stop(); }
+ShardExecutor::~ShardExecutor() { stop(); }
 
-std::int32_t ShardedCollector::shard_of(std::uint32_t source_addr) const {
+std::int32_t ShardExecutor::shard_of(std::uint32_t source_addr) const {
   const auto n = static_cast<std::int32_t>(shards_.size());
   const NodeId node = addr_to_node(source_addr);
   if (node >= 0 && node < topo_->num_nodes() && topo_->is_host(node)) {
@@ -31,65 +47,176 @@ std::int32_t ShardedCollector::shard_of(std::uint32_t source_addr) const {
   return static_cast<std::int32_t>(source_addr % static_cast<std::uint32_t>(n));
 }
 
-void ShardedCollector::dispatch_batch(std::int32_t shard_id,
-                                      std::vector<IngestDatagram> datagrams) {
-  std::vector<Item> items;
-  items.reserve(datagrams.size());
-  for (IngestDatagram& d : datagrams) {
-    Item item;
-    item.kind = Item::Kind::kDatagram;
-    item.datagram = std::move(d);
-    items.push_back(std::move(item));
-  }
-  shards_[static_cast<std::size_t>(shard_id)]->queue.push_many(std::move(items));
-}
-
-void ShardedCollector::close_epoch(std::uint64_t epoch, Stopwatch since_close) {
-  for (auto& shard : shards_) {
-    Item item;
-    item.kind = Item::Kind::kBarrier;
-    item.epoch = epoch;
-    item.since_close = since_close;
-    shard->queue.push_wait(std::move(item));
+void ShardExecutor::dispatch_batch(std::int32_t shard_id,
+                                   std::vector<IngestDatagram> datagrams) {
+  if (datagrams.empty()) return;
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_id)];
+  Task task;
+  task.kind = Task::Kind::kBatch;
+  task.origin = shard_id;
+  task.epoch_tag = dispatch_epoch_;
+  task.batch_seq = shard.batches_this_epoch++;
+  task.datagrams = std::move(datagrams);
+  if (!shard.deque.push(std::move(task))) {
+    // Deque closed under the dispatcher (stop() raced a late dispatch): the
+    // batch is discarded, so it must not count toward the epoch's roll call
+    // or a later barrier would wait for work that will never execute.
+    --shard.batches_this_epoch;
   }
 }
 
-void ShardedCollector::stop() {
+void ShardExecutor::close_epoch(std::uint64_t epoch, Stopwatch since_close) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    Task task;
+    task.kind = Task::Kind::kBarrier;
+    task.origin = static_cast<std::int32_t>(s);
+    task.epoch_tag = dispatch_epoch_;
+    task.epoch_id = epoch;
+    task.expected_batches = shard.batches_this_epoch;
+    task.since_close = since_close;
+    shard.batches_this_epoch = 0;
+    shard.deque.push(std::move(task));
+  }
+  ++dispatch_epoch_;
+}
+
+void ShardExecutor::stop() {
   if (stopped_) return;
   stopped_ = true;
   // close() lets each worker drain what is already queued (including any
-  // trailing barrier) before its pop returns 0.
-  for (auto& shard : shards_) shard->queue.close();
+  // trailing barrier) before its pop reports kClosed; thieves keep helping
+  // with other shards' backlogs until nothing stealable remains.
+  for (auto& shard : shards_) shard->deque.close();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
 }
 
-void ShardedCollector::worker_loop(Shard& shard, std::int32_t shard_id) {
-  std::vector<Item> batch;
+void ShardExecutor::worker_loop(std::int32_t shard_id) {
+  // Private scratch collector: decodes and joins any batch, then is drained,
+  // so no state leaks between batches or origins. Joins intern path sets in
+  // the shared (internally synchronized) EcmpRouter.
+  Collector scratch(*topo_, *router_, collector_options_);
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_id)];
+  const bool stealing = steal_batch_ > 0;
+  std::chrono::microseconds poll = kStealPollMin;
   for (;;) {
-    batch.clear();
-    if (shard.queue.pop_batch(batch, 256) == 0) return;
-    for (Item& item : batch) {
-      if (item.kind == Item::Kind::kDatagram) {
-        const std::size_t before = shard.collector.pending_records();
-        if (shard.collector.ingest(item.datagram.bytes)) {
-          records_decoded_.fetch_add(shard.collector.pending_records() - before,
-                                     std::memory_order_relaxed);
-        } else {
-          malformed_.fetch_add(1, std::memory_order_relaxed);
-        }
-        shard.datagrams.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        EpochSnapshot snap{item.epoch, shard_id, shard.collector.drain_into_input(), 0,
-                           item.since_close};
-        const std::uint64_t unresolved_total = shard.collector.unresolved_records();
-        snap.unresolved = unresolved_total - shard.unresolved_mark;
-        shard.unresolved_mark = unresolved_total;
-        on_snapshot_(std::move(snap));
-      }
+    Task task;
+    auto r = shard.deque.pop_front(task, std::chrono::microseconds{0});
+    if (r == StealDeque<Task>::Pop::kTask) {
+      run_task(task, scratch, /*stolen=*/false);
+      poll = kStealPollMin;
+      continue;
+    }
+    if (stealing && try_steal(shard_id, scratch)) {
+      poll = kStealPollMin;
+      continue;
+    }
+    if (r == StealDeque<Task>::Pop::kClosed) return;
+    // Own deque empty and nothing to steal: sleep on the deque — with the
+    // backed-off rescan period when stealing, else until work or close.
+    r = shard.deque.pop_front(
+        task, stealing ? std::optional<std::chrono::microseconds>(poll) : std::nullopt);
+    if (r == StealDeque<Task>::Pop::kTask) {
+      run_task(task, scratch, /*stolen=*/false);
+      poll = kStealPollMin;
+    } else if (r == StealDeque<Task>::Pop::kClosed) {
+      if (!stealing || !try_steal(shard_id, scratch)) return;
+    } else {
+      poll = std::min(poll * 2, kStealPollMax);
     }
   }
+}
+
+bool ShardExecutor::try_steal(std::int32_t thief, Collector& scratch) {
+  // Victim selection: the most-loaded other shard by queued datagram weight.
+  std::int32_t victim = -1;
+  std::size_t best = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (static_cast<std::int32_t>(s) == thief) continue;
+    const std::size_t w = shards_[s]->deque.weight_estimate();
+    if (w > best) {
+      best = w;
+      victim = static_cast<std::int32_t>(s);
+    }
+  }
+  if (victim < 0) return false;
+  steal_attempts_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Task> loot;
+  if (shards_[static_cast<std::size_t>(victim)]->deque.steal(loot, steal_batch_) == 0) {
+    return false;
+  }
+  for (Task& task : loot) {
+    batches_stolen_.fetch_add(1, std::memory_order_relaxed);
+    datagrams_stolen_.fetch_add(task.datagrams.size(), std::memory_order_relaxed);
+    run_task(task, scratch, /*stolen=*/true);
+  }
+  return true;
+}
+
+void ShardExecutor::run_task(Task& task, Collector& scratch, bool stolen) {
+  if (task.kind == Task::Kind::kBarrier) {
+    run_barrier(task);  // barriers are unstealable, so this is the owner
+    return;
+  }
+  const std::uint64_t unresolved_before = scratch.unresolved_records();
+  std::uint64_t malformed = 0;
+  for (const IngestDatagram& d : task.datagrams) {
+    if (!scratch.ingest(d.bytes)) ++malformed;
+  }
+  if (malformed > 0) malformed_.fetch_add(malformed, std::memory_order_relaxed);
+  records_decoded_.fetch_add(scratch.pending_records(), std::memory_order_relaxed);
+  InferenceInput joined = scratch.drain_into_input();
+  const std::uint64_t unresolved = scratch.unresolved_records() - unresolved_before;
+
+  Shard& origin = *shards_[static_cast<std::size_t>(task.origin)];
+  origin.datagrams.fetch_add(task.datagrams.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(origin.acct_mutex);
+    EpochAccount& acct = origin.accounts[task.epoch_tag];
+    acct.parts.push_back(Contribution{task.batch_seq, std::move(joined), unresolved});
+    ++acct.done;
+    if (stolen) ++acct.stolen;
+  }
+  origin.acct_cv.notify_all();
+}
+
+void ShardExecutor::run_barrier(const Task& task) {
+  Shard& shard = *shards_[static_cast<std::size_t>(task.origin)];
+  std::vector<Contribution> parts;
+  std::uint64_t stolen = 0;
+  {
+    std::unique_lock<std::mutex> lock(shard.acct_mutex);
+    EpochAccount& acct = shard.accounts[task.epoch_tag];
+    // Own batches were popped FIFO before this barrier; stolen ones may
+    // still be in flight on a thief. Wait for the epoch's full roll call.
+    shard.acct_cv.wait(lock, [&] { return acct.done == task.expected_batches; });
+    parts = std::move(acct.parts);
+    stolen = acct.stolen;
+    shard.accounts.erase(task.epoch_tag);
+  }
+  // Reassemble in dispatch order: the record sequence is identical to a
+  // never-stolen run, so snapshots are deterministic under stealing.
+  std::sort(parts.begin(), parts.end(), [](const Contribution& a, const Contribution& b) {
+    return a.batch_seq < b.batch_seq;
+  });
+  InferenceInput input(*topo_, *router_);
+  std::uint64_t unresolved = 0;
+  if (parts.size() == 1) {
+    input = std::move(parts[0].input);  // common single-batch epoch: no copy
+    unresolved = parts[0].unresolved;
+  } else {
+    std::size_t total = 0;
+    for (const Contribution& p : parts) total += p.input.num_flows();
+    input.reserve(total);
+    for (const Contribution& p : parts) {
+      for (const FlowObservation& obs : p.input.flows()) input.add(obs);
+      unresolved += p.unresolved;
+    }
+  }
+  on_snapshot_(EpochSnapshot{task.epoch_id, task.origin, std::move(input), unresolved,
+                             task.since_close, stolen});
 }
 
 }  // namespace flock

@@ -1,29 +1,39 @@
-// Sharded decode+join stage of the streaming pipeline.
+// Shard executor: the decode+join stage of the streaming pipeline, run as N
+// shards with per-shard bounded work deques and work stealing.
 //
-// The single-threaded Collector (telemetry/collector) decodes IPFIX and
-// joins passive records against ECMP routes; here N shards each own one
-// Collector plus a worker thread and do that work in parallel. Datagrams
-// are partitioned by the exporter's rack (ToR of the source host), so all
-// records from one rack land on one shard: partitioning is a pure function
-// of the source address (deterministic across runs), and a shard's passive
-// joins hit a small set of ToR-pair path sets (cache locality in the shared
-// EcmpRouter, which is internally synchronized).
+// The dispatcher partitions datagrams by the exporter's rack (ToR of the
+// source host) — a pure function of the source address, so the partition is
+// deterministic and a shard's passive joins hit a small set of ToR-pair path
+// sets. Rack affinity balances load only while pods ≫ shards; under skewed
+// racks it leaves shards idle, so workers steal: when a shard's deque runs
+// dry, it takes decode+join batches from the most-loaded shard.
 //
-// Epoch boundaries arrive as in-band barrier items on every shard queue, so
-// each shard snapshots exactly the records dispatched before the barrier —
-// no pausing, no global stop-the-world.
+// Stealing is transparent to epoch accounting. Every dispatched batch is
+// tagged (origin shard, epoch, batch sequence); whichever worker executes it
+// decodes and joins into a private scratch Collector and files the joined
+// flows under the *origin* shard's (epoch, batch seq) slot. Epoch barriers
+// stay in-band in the origin's deque (never stealable): the owner waits until
+// every batch of the closing epoch has been filed — its own and stolen ones —
+// then concatenates the slots in batch-sequence order. The per-shard record
+// sequence of an epoch is therefore byte-identical whether or not any batch
+// was stolen, which preserves both the sync-path equivalence and the
+// conservation invariant (joined + unresolved + dropped = accepted).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "core/inference_input.h"
 #include "pipeline/ingest_queue.h"
+#include "pipeline/steal_deque.h"
 #include "telemetry/collector.h"
 #include "topology/ecmp.h"
 #include "topology/topology.h"
@@ -35,22 +45,30 @@ struct EpochSnapshot {
   std::uint64_t epoch = 0;
   std::int32_t shard = 0;
   InferenceInput input;
-  std::uint64_t unresolved = 0;   // records this shard failed to join this epoch
-  Stopwatch since_close;          // started when the scheduler closed the epoch
+  std::uint64_t unresolved = 0;      // records this shard failed to join this epoch
+  Stopwatch since_close;             // started when the scheduler closed the epoch
+  std::uint64_t stolen_batches = 0;  // of this shard's batches, executed by thieves
 };
 
-class ShardedCollector {
+struct ShardExecutorOptions {
+  std::int32_t num_shards = 4;
+  std::size_t queue_capacity = 1024;  // datagrams per shard; beyond this, dispatch blocks
+  // Max datagrams taken per steal (whole batches, at least one). 0 disables
+  // stealing: every shard processes exactly its own rack-affine partition.
+  std::size_t steal_batch = 128;
+};
+
+class ShardExecutor {
  public:
-  // Called on a shard worker thread once per (epoch, shard).
+  // Called on a worker thread once per (epoch, shard).
   using SnapshotFn = std::function<void(EpochSnapshot)>;
 
-  ShardedCollector(const Topology& topo, EcmpRouter& router, std::int32_t num_shards,
-                   std::size_t shard_queue_capacity, CollectorOptions collector_options,
-                   SnapshotFn on_snapshot);
-  ~ShardedCollector();
+  ShardExecutor(const Topology& topo, EcmpRouter& router, ShardExecutorOptions options,
+                CollectorOptions collector_options, SnapshotFn on_snapshot);
+  ~ShardExecutor();
 
-  ShardedCollector(const ShardedCollector&) = delete;
-  ShardedCollector& operator=(const ShardedCollector&) = delete;
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
 
   std::int32_t num_shards() const { return static_cast<std::int32_t>(shards_.size()); }
 
@@ -58,53 +76,92 @@ class ShardedCollector {
   // address maps to a host, otherwise a modulus of the raw address.
   std::int32_t shard_of(std::uint32_t source_addr) const;
 
-  // Route a pre-bucketed batch to one shard in order, with a single queue
-  // lock and worker wakeup — the dispatcher buckets by shard_of() so that
-  // consecutive datagrams for different shards do not each wake a sleeping
-  // worker. Blocks while the shard queue is full (backpressure toward the
+  // Enqueue one pre-bucketed batch on its origin shard, tagged with the
+  // current epoch and the next batch sequence number. Dispatcher thread
+  // only. Blocks while the shard deque is full (backpressure toward the
   // ingest edge); never drops while the pipeline is running.
   void dispatch_batch(std::int32_t shard, std::vector<IngestDatagram> datagrams);
 
-  // Insert an epoch barrier into every shard queue. Each shard will snapshot
-  // its collector state into an EpochSnapshot and invoke the callback.
+  // Insert an epoch barrier into every shard deque, carrying the number of
+  // batches dispatched to that shard this epoch. Dispatcher thread only.
   void close_epoch(std::uint64_t epoch, Stopwatch since_close);
 
-  // Drain all queues, process remaining items, and join the workers.
+  // Drain all deques, process remaining work, and join the workers.
   void stop();
 
   // Monotonic counters (safe to read concurrently).
   std::uint64_t records_decoded() const { return records_decoded_.load(std::memory_order_relaxed); }
   std::uint64_t malformed_messages() const { return malformed_.load(std::memory_order_relaxed); }
+  std::uint64_t batches_stolen() const { return batches_stolen_.load(std::memory_order_relaxed); }
+  std::uint64_t datagrams_stolen() const {
+    return datagrams_stolen_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steal_attempts() const { return steal_attempts_.load(std::memory_order_relaxed); }
+  // Datagrams dispatched to (and accounted against) a shard, wherever they
+  // were executed.
   std::uint64_t shard_datagrams(std::int32_t shard) const {
     return shards_[static_cast<std::size_t>(shard)]->datagrams.load(std::memory_order_relaxed);
   }
 
  private:
-  struct Item {
-    enum class Kind : std::uint8_t { kDatagram, kBarrier } kind = Kind::kDatagram;
-    IngestDatagram datagram;
-    std::uint64_t epoch = 0;
+  struct Task {
+    enum class Kind : std::uint8_t { kBatch, kBarrier } kind = Kind::kBatch;
+    std::int32_t origin = 0;
+    std::uint64_t epoch_tag = 0;  // dispatch-time epoch index of this work
+    // kBatch:
+    std::uint64_t batch_seq = 0;  // order within (origin, epoch_tag)
+    std::vector<IngestDatagram> datagrams;
+    // kBarrier:
+    std::uint64_t epoch_id = 0;          // scheduler's epoch id for the snapshot
+    std::uint64_t expected_batches = 0;  // batches dispatched to origin this epoch
     Stopwatch since_close;
+
+    std::size_t weight() const { return kind == Kind::kBatch ? datagrams.size() : 0; }
+    bool stealable() const { return kind == Kind::kBatch; }
+  };
+
+  // Joined output of one executed batch, filed under the origin shard.
+  struct Contribution {
+    std::uint64_t batch_seq = 0;
+    InferenceInput input;
+    std::uint64_t unresolved = 0;
+  };
+
+  struct EpochAccount {
+    std::uint64_t done = 0;    // batches executed (own + stolen)
+    std::uint64_t stolen = 0;  // of those, executed by thieves
+    std::vector<Contribution> parts;
   };
 
   struct Shard {
-    Shard(std::size_t capacity, const Topology& topo, EcmpRouter& router,
-          CollectorOptions options)
-        : queue(capacity), collector(topo, router, options) {}
-    BoundedQueue<Item> queue;
-    Collector collector;                     // owned exclusively by the worker
+    explicit Shard(std::size_t capacity) : deque(capacity) {}
+    StealDeque<Task> deque;
     std::thread worker;
     std::atomic<std::uint64_t> datagrams{0};
-    std::uint64_t unresolved_mark = 0;       // worker-local epoch watermark
+    // Per-epoch contributions, keyed by epoch tag.
+    std::mutex acct_mutex;
+    std::condition_variable acct_cv;
+    std::unordered_map<std::uint64_t, EpochAccount> accounts;
+    std::uint64_t batches_this_epoch = 0;  // dispatcher-thread only
   };
 
-  void worker_loop(Shard& shard, std::int32_t shard_id);
+  void worker_loop(std::int32_t shard_id);
+  void run_task(Task& task, Collector& scratch, bool stolen);
+  void run_barrier(const Task& task);
+  bool try_steal(std::int32_t thief, Collector& scratch);
 
   const Topology* topo_;
+  EcmpRouter* router_;
+  CollectorOptions collector_options_;
+  std::size_t steal_batch_;
   SnapshotFn on_snapshot_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t dispatch_epoch_ = 0;  // dispatcher-thread only
   std::atomic<std::uint64_t> records_decoded_{0};
   std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> batches_stolen_{0};
+  std::atomic<std::uint64_t> datagrams_stolen_{0};
+  std::atomic<std::uint64_t> steal_attempts_{0};
   bool stopped_ = false;
 };
 

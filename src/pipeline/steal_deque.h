@@ -1,0 +1,131 @@
+// Bounded per-shard work deque with stealing — the queueing primitive of the
+// shard executor.
+//
+// Each shard owns one deque. The dispatcher pushes tasks to the back
+// (weight-bounded: pushes block while the queued weight is at capacity, which
+// is the backpressure path toward the ingest edge). The owning worker pops
+// from the front in FIFO order, which is what keeps in-band barrier tasks
+// ordered after every task of their epoch. Thieves steal the *oldest*
+// stealable tasks — the work gating the victim's next barrier — skipping
+// unstealable ones (barriers are pinned to their owner).
+//
+// Task is any movable type exposing:
+//   std::size_t weight() const;   // capacity units (0 = never blocks a push)
+//   bool stealable() const;       // false pins the task to the owner
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace flock {
+
+template <typename Task>
+class StealDeque {
+ public:
+  enum class Pop : std::uint8_t {
+    kTask,    // a task was dequeued
+    kEmpty,   // timed out with nothing queued (queue still open)
+    kClosed,  // closed and fully drained
+  };
+
+  explicit StealDeque(std::size_t weight_capacity)
+      : capacity_(weight_capacity ? weight_capacity : 1) {}
+
+  // Blocking push (dispatcher side). Waits while the queued weight is at
+  // capacity; zero-weight tasks (barriers) are admitted immediately so an
+  // epoch cut can never deadlock against a full queue. Returns false if the
+  // deque was closed (the task is discarded).
+  bool push(Task task) {
+    const std::size_t w = task.weight();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      producer_cv_.wait(lock, [&] { return closed_ || w == 0 || weight_ < capacity_; });
+      if (closed_) return false;
+      tasks_.push_back(std::move(task));
+      set_weight(weight_ + w);
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  // Owner-side pop from the front. timeout == nullopt blocks until a task
+  // arrives or the deque closes; timeout == 0 is a non-blocking poll.
+  Pop pop_front(Task& out, std::optional<std::chrono::microseconds> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto ready = [&] { return closed_ || !tasks_.empty(); };
+    if (!timeout.has_value()) {
+      consumer_cv_.wait(lock, ready);
+    } else if (timeout->count() > 0) {
+      consumer_cv_.wait_for(lock, *timeout, ready);
+    }
+    if (tasks_.empty()) return closed_ ? Pop::kClosed : Pop::kEmpty;
+    out = std::move(tasks_.front());
+    tasks_.pop_front();
+    set_weight(weight_ - out.weight());
+    lock.unlock();
+    producer_cv_.notify_all();
+    return Pop::kTask;
+  }
+
+  // Thief-side steal: remove the oldest stealable tasks until `max_weight`
+  // is reached (always at least one if any task is stealable). Returns the
+  // number of tasks appended to `out`.
+  std::size_t steal(std::vector<Task>& out, std::size_t max_weight) {
+    std::size_t taken = 0;
+    std::size_t taken_weight = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::size_t i = 0;
+      while (i < tasks_.size() && taken_weight < max_weight) {
+        if (!tasks_[i].stealable()) {
+          ++i;
+          continue;
+        }
+        taken_weight += tasks_[i].weight();
+        out.push_back(std::move(tasks_[i]));
+        tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++taken;
+      }
+      set_weight(weight_ - taken_weight);
+    }
+    if (taken > 0) producer_cv_.notify_all();
+    return taken;
+  }
+
+  // After close, pushes fail and owner pops drain the backlog then return
+  // kClosed. Steals keep working on the backlog.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    consumer_cv_.notify_all();
+    producer_cv_.notify_all();
+  }
+
+  // Lock-free load estimate for victim selection (queued weight units).
+  std::size_t weight_estimate() const { return weight_estimate_.load(std::memory_order_relaxed); }
+
+ private:
+  void set_weight(std::size_t w) {
+    weight_ = w;
+    weight_estimate_.store(w, std::memory_order_relaxed);
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable consumer_cv_;
+  std::condition_variable producer_cv_;
+  std::deque<Task> tasks_;
+  std::size_t weight_ = 0;  // guarded by mutex_; mirrored in weight_estimate_
+  std::atomic<std::size_t> weight_estimate_{0};
+  bool closed_ = false;
+};
+
+}  // namespace flock

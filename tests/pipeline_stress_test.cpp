@@ -1,0 +1,383 @@
+// Concurrency coverage for the work-stealing shard executor and the
+// wall-clock epoch deadline (src/pipeline). These tests are built to run
+// under TSan in CI: many producers, stealing enabled, and assertions that
+// pin the conservation invariant (joined + unresolved + dropped = accepted)
+// and the transparency of stealing (identical results with stealing on/off).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "core/flock_localizer.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/steal_deque.h"
+#include "telemetry/agent.h"
+#include "telemetry/collector.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+// --- steal deque --------------------------------------------------------------
+
+struct FakeTask {
+  int id = 0;
+  std::size_t w = 1;
+  bool pinned = false;
+  std::size_t weight() const { return w; }
+  bool stealable() const { return !pinned; }
+};
+
+TEST(StealDeque, StealsOldestStealableAndSkipsPinnedTasks) {
+  StealDeque<FakeTask> dq(64);
+  ASSERT_TRUE(dq.push({1, 4, false}));
+  ASSERT_TRUE(dq.push({2, 4, true}));  // a barrier: pinned to the owner
+  ASSERT_TRUE(dq.push({3, 4, false}));
+  ASSERT_TRUE(dq.push({4, 4, false}));
+  EXPECT_EQ(dq.weight_estimate(), 16u);
+
+  std::vector<FakeTask> loot;
+  // max_weight 5: takes task 1 (reaching 4 < 5) then task 3 (oldest next).
+  EXPECT_EQ(dq.steal(loot, 5), 2u);
+  ASSERT_EQ(loot.size(), 2u);
+  EXPECT_EQ(loot[0].id, 1);
+  EXPECT_EQ(loot[1].id, 3);
+  EXPECT_EQ(dq.weight_estimate(), 8u);
+
+  // The owner still sees FIFO order of what remains: 2 then 4.
+  FakeTask t;
+  ASSERT_EQ(dq.pop_front(t, std::chrono::microseconds{0}), StealDeque<FakeTask>::Pop::kTask);
+  EXPECT_EQ(t.id, 2);
+  ASSERT_EQ(dq.pop_front(t, std::chrono::microseconds{0}), StealDeque<FakeTask>::Pop::kTask);
+  EXPECT_EQ(t.id, 4);
+  EXPECT_EQ(dq.pop_front(t, std::chrono::microseconds{0}), StealDeque<FakeTask>::Pop::kEmpty);
+  dq.close();
+  EXPECT_EQ(dq.pop_front(t, std::nullopt), StealDeque<FakeTask>::Pop::kClosed);
+  EXPECT_FALSE(dq.push({5, 1, false}));
+  loot.clear();
+  EXPECT_EQ(dq.steal(loot, 100), 0u);
+}
+
+TEST(StealDeque, ZeroWeightTasksBypassTheCapacityBound) {
+  StealDeque<FakeTask> dq(4);
+  ASSERT_TRUE(dq.push({1, 4, false}));  // at capacity now
+  ASSERT_TRUE(dq.push({2, 0, true}));   // barrier admitted immediately
+  FakeTask t;
+  ASSERT_EQ(dq.pop_front(t, std::chrono::microseconds{0}), StealDeque<FakeTask>::Pop::kTask);
+  EXPECT_EQ(t.id, 1);
+  ASSERT_EQ(dq.pop_front(t, std::chrono::microseconds{0}), StealDeque<FakeTask>::Pop::kTask);
+  EXPECT_EQ(t.id, 2);
+}
+
+// --- fixture: simulated trace exported as per-agent IPFIX datagrams ----------
+
+struct StreamFixture {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router{topo};
+  std::vector<IngestDatagram> datagrams;
+
+  explicit StreamFixture(std::uint64_t seed = 42, std::int64_t flows = 600) {
+    Rng rng(seed);
+    GroundTruth truth =
+        make_silent_link_drops(topo, 1, DropRateConfig{1e-4, 5e-3, 1e-2}, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = flows;
+    ProbeConfig probe_config;
+    probe_config.enabled = false;
+    const Trace trace = simulate(topo, router, std::move(truth), traffic, probe_config, rng);
+
+    std::unordered_map<NodeId, Agent> agents;
+    for (NodeId h : topo.hosts()) {
+      AgentConfig cfg;
+      cfg.observation_domain = static_cast<std::uint32_t>(h);
+      agents.emplace(h, Agent(topo, cfg));
+    }
+    for (const SimFlow& f : trace.flows) {
+      SimFlow passive = f;
+      passive.taken_path = -1;
+      agents.at(f.src_host).observe(passive);
+    }
+    for (NodeId h : topo.hosts()) {
+      for (auto& msg : agents.at(h).flush(1000)) {
+        datagrams.push_back({node_to_addr(h), std::move(msg)});
+      }
+    }
+  }
+};
+
+FlockOptions test_flock_options() {
+  FlockOptions options;
+  options.params.p_g = 1e-4;
+  options.params.p_b = 6e-3;
+  options.params.rho = 1e-3;
+  return options;
+}
+
+// --- work stealing on the bare executor ---------------------------------------
+
+// Everything is dispatched to shard 0 while shard 1 idles: shard 1 must
+// steal, and the stolen work must land in shard 0's snapshot in the exact
+// order a never-stolen run would produce.
+TEST(ShardExecutor, IdleShardStealsAndSnapshotsStayExact) {
+  StreamFixture fx(/*seed=*/11, /*flows=*/2000);
+  // Each datagram is dispatched kRepeat times: enough CPU-bound decode work
+  // (~100ms) that even a single-core scheduler must run the idle shard's
+  // thread while the victim's backlog is still live.
+  constexpr int kRepeat = 60;
+
+  // Synchronous reference over the identical datagram sequence. Running it
+  // first also interns every path set, so executor joins reuse fixed ids.
+  Collector reference(fx.topo, fx.router);
+  for (const IngestDatagram& d : fx.datagrams) {
+    for (int k = 0; k < kRepeat; ++k) ASSERT_TRUE(reference.ingest(d.bytes));
+  }
+  const InferenceInput expected = reference.drain_into_input();
+
+  std::mutex mu;
+  std::vector<EpochSnapshot> snapshots;
+  ShardExecutorOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 1 << 20;  // no backpressure: queue the skew up front
+  options.steal_batch = 8;
+  std::uint64_t stolen = 0;
+  for (int attempt = 0; attempt < 5 && stolen == 0; ++attempt) {
+    snapshots.clear();
+    ShardExecutor executor(fx.topo, fx.router, options, CollectorOptions{},
+                           [&](EpochSnapshot snap) {
+                             std::lock_guard<std::mutex> lock(mu);
+                             snapshots.push_back(std::move(snap));
+                           });
+    // Many single-datagram batches, all to shard 0 — maximal skew.
+    for (const IngestDatagram& d : fx.datagrams) {
+      for (int k = 0; k < kRepeat; ++k) {
+        executor.dispatch_batch(0, std::vector<IngestDatagram>{d});
+      }
+    }
+    executor.close_epoch(0, Stopwatch{});
+    executor.stop();
+    stolen = executor.batches_stolen();
+
+    ASSERT_EQ(snapshots.size(), 2u);
+    std::sort(snapshots.begin(), snapshots.end(),
+              [](const EpochSnapshot& a, const EpochSnapshot& b) { return a.shard < b.shard; });
+    EXPECT_EQ(snapshots[1].input.num_flows(), 0u);  // shard 1 owned nothing
+    EXPECT_EQ(snapshots[0].stolen_batches, stolen);
+    EXPECT_EQ(executor.shard_datagrams(0), fx.datagrams.size() * kRepeat);
+    EXPECT_EQ(executor.shard_datagrams(1), 0u);
+    EXPECT_EQ(executor.datagrams_stolen(), stolen);  // single-datagram batches
+
+    // Reassembly is order-preserving: flow-for-flow identical to the
+    // synchronous path no matter which worker decoded what.
+    const auto& flows = snapshots[0].input.flows();
+    ASSERT_EQ(flows.size(), expected.flows().size());
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      EXPECT_EQ(flows[i].src_link, expected.flows()[i].src_link);
+      EXPECT_EQ(flows[i].dst_link, expected.flows()[i].dst_link);
+      EXPECT_EQ(flows[i].path_set, expected.flows()[i].path_set);
+      EXPECT_EQ(flows[i].taken_path, expected.flows()[i].taken_path);
+      EXPECT_EQ(flows[i].packets_sent, expected.flows()[i].packets_sent);
+      EXPECT_EQ(flows[i].bad_packets, expected.flows()[i].bad_packets);
+    }
+    EXPECT_EQ(snapshots[0].unresolved + snapshots[1].unresolved,
+              reference.unresolved_records());
+  }
+  // ~100+ single-datagram tasks against a 500us steal poll: an idle shard
+  // that never steals across 5 attempts is a scheduler bug, not bad luck.
+  EXPECT_GT(stolen, 0u);
+}
+
+// --- stealing is transparent to pipeline results ------------------------------
+
+TEST(PipelineStress, StealingOnAndOffProduceIdenticalEpochResults) {
+  // Heavy rack skew: quadruple the traffic of the hosts on shard 0's racks
+  // so the rack-affine partition is unbalanced and stealing has work to do.
+  StreamFixture fx(/*seed=*/13, /*flows=*/1500);
+  std::vector<IngestDatagram> feed = fx.datagrams;
+  for (const IngestDatagram& d : fx.datagrams) {
+    // Same partition function the executor uses: ToR of the source, mod 4.
+    if (fx.topo.tor_of(addr_to_node(d.source_addr)) % 4 == 0) {
+      for (int k = 0; k < 3; ++k) feed.push_back(d);
+    }
+  }
+
+  std::vector<std::vector<ComponentId>> predicted[2];
+  std::vector<std::uint64_t> flows[2], unresolved[2];
+  std::uint64_t stolen_total = 0;
+  for (int run = 0; run < 2; ++run) {
+    PipelineConfig config;
+    config.num_shards = 4;
+    config.localizer = test_flock_options();
+    config.epoch.record_limit = 400;
+    config.steal_batch = run == 0 ? 0 : 64;  // off, then on
+    StreamingPipeline pipeline(fx.topo, fx.router, config);
+    for (const IngestDatagram& d : feed) pipeline.offer_wait(d);
+    pipeline.stop();
+    const auto stats = pipeline.stats();
+    if (run == 0) {
+      EXPECT_EQ(stats.batches_stolen, 0u);  // the knob really disables it
+    } else {
+      stolen_total = stats.batches_stolen;
+    }
+    std::uint64_t epoch_flows = 0, epoch_unresolved = 0, epoch_stolen = 0;
+    for (const auto& e : pipeline.results().completed()) {
+      predicted[run].push_back(e.predicted);
+      flows[run].push_back(e.flows);
+      unresolved[run].push_back(e.unresolved);
+      epoch_flows += e.flows;
+      epoch_unresolved += e.unresolved;
+      epoch_stolen += e.stolen_batches;
+    }
+    // Conservation holds with or without stealing, and the per-epoch steal
+    // accounting agrees with the executor's global counters.
+    EXPECT_EQ(epoch_flows + epoch_unresolved, stats.records_decoded);
+    EXPECT_EQ(epoch_stolen, stats.batches_stolen);
+  }
+  EXPECT_EQ(predicted[0], predicted[1]);
+  EXPECT_EQ(flows[0], flows[1]);
+  EXPECT_EQ(unresolved[0], unresolved[1]);
+  (void)stolen_total;  // steals are timing-dependent; transparency must hold either way
+}
+
+// --- many producers under stealing (the TSan target) --------------------------
+
+TEST(PipelineStress, ManyProducersConserveRecordsUnderStealing) {
+  StreamFixture fx(/*seed=*/17, /*flows=*/2500);
+  PipelineConfig config;
+  config.num_shards = 4;
+  config.localizer = test_flock_options();
+  config.epoch.record_limit = 300;
+  config.steal_batch = 32;
+  config.shard_queue_capacity = 64;  // small queues: exercise backpressure + stealing
+  StreamingPipeline pipeline(fx.topo, fx.router, config);
+
+  constexpr int kProducers = 8;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= fx.datagrams.size()) return;
+        EXPECT_TRUE(pipeline.offer_wait(fx.datagrams[i]));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  pipeline.stop();
+
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats.offered, fx.datagrams.size());
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.dispatched, stats.accepted);
+  EXPECT_EQ(stats.malformed_messages, 0u);
+  EXPECT_GE(stats.epochs_closed, 2u);
+
+  std::uint64_t flows = 0, unresolved = 0, stolen = 0;
+  for (const auto& e : pipeline.results().completed()) {
+    flows += e.flows;
+    unresolved += e.unresolved;
+    stolen += e.stolen_batches;
+  }
+  // Every accepted record is joined into some epoch or counted unresolved —
+  // wherever it was decoded, including stolen batches.
+  EXPECT_EQ(flows + unresolved, stats.records_decoded);
+  EXPECT_EQ(stolen, stats.batches_stolen);
+  EXPECT_EQ(pipeline.results().completed_epochs(), stats.epochs_closed);
+}
+
+// --- wall-clock deadline epochs (fake clock) ----------------------------------
+
+struct FakeClock {
+  std::shared_ptr<std::atomic<std::int64_t>> ns = std::make_shared<std::atomic<std::int64_t>>(0);
+  std::function<std::chrono::steady_clock::time_point()> fn() const {
+    auto state = ns;
+    return [state] {
+      return std::chrono::steady_clock::time_point(
+          std::chrono::nanoseconds(state->load(std::memory_order_relaxed)));
+    };
+  }
+  void advance(std::chrono::milliseconds d) {
+    ns->fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+  }
+};
+
+TEST(PipelineDeadline, DeadlineFlushesQuietPeriodsButNeverEmitsEmptyEpochs) {
+  StreamFixture fx(/*seed=*/19, /*flows=*/400);
+  FakeClock clock;
+  PipelineConfig config;
+  config.num_shards = 2;
+  config.localizer = test_flock_options();
+  config.epoch.deadline = std::chrono::milliseconds(5000);
+  config.epoch.clock = clock.fn();
+  StreamingPipeline pipeline(fx.topo, fx.router, config);
+
+  const std::size_t half = fx.datagrams.size() / 2;
+  ASSERT_GE(half, 2u);
+  for (std::size_t i = 0; i < half; ++i) pipeline.offer_wait(fx.datagrams[i]);
+  // Wait for the dispatcher to route (and therefore arm the deadline)...
+  while (pipeline.stats().dispatched < half) std::this_thread::yield();
+  // ...no wall time passed on the fake clock, so nothing closes on its own.
+  EXPECT_FALSE(pipeline.results().wait_for_epochs_for(1, std::chrono::milliseconds(50)));
+
+  clock.advance(std::chrono::milliseconds(5001));
+  ASSERT_TRUE(pipeline.results().wait_for_epochs_for(1, std::chrono::seconds(10)))
+      << "deadline did not close the epoch";
+
+  // Quiet period with no open epoch: more fake time must NOT emit epochs.
+  clock.advance(std::chrono::milliseconds(60000));
+  EXPECT_FALSE(pipeline.results().wait_for_epochs_for(2, std::chrono::milliseconds(50)));
+
+  // A second burst re-arms the timer.
+  for (std::size_t i = half; i < fx.datagrams.size(); ++i) pipeline.offer_wait(fx.datagrams[i]);
+  while (pipeline.stats().dispatched < fx.datagrams.size()) std::this_thread::yield();
+  clock.advance(std::chrono::milliseconds(5001));
+  ASSERT_TRUE(pipeline.results().wait_for_epochs_for(2, std::chrono::seconds(10)));
+
+  pipeline.stop();
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats.epochs_closed, 2u);
+  EXPECT_EQ(stats.deadline_epochs, 2u);
+  std::uint64_t flows = 0, unresolved = 0;
+  for (const auto& e : pipeline.results().completed()) {
+    flows += e.flows;
+    unresolved += e.unresolved;
+    EXPECT_GT(e.flows + e.unresolved, 0u);  // deadline epochs are never empty
+  }
+  EXPECT_EQ(flows + unresolved, stats.records_decoded);
+}
+
+TEST(PipelineDeadline, DeadlineComposesWithRecordLimit) {
+  // A record-limit cut inside the burst disarms the timer; the tail past the
+  // last full budget is flushed by the deadline instead of waiting forever.
+  StreamFixture fx(/*seed=*/23, /*flows=*/600);
+  FakeClock clock;
+  PipelineConfig config;
+  config.num_shards = 2;
+  config.localizer = test_flock_options();
+  config.epoch.record_limit = 250;
+  config.epoch.deadline = std::chrono::milliseconds(1000);
+  config.epoch.clock = clock.fn();
+  StreamingPipeline pipeline(fx.topo, fx.router, config);
+  for (const IngestDatagram& d : fx.datagrams) pipeline.offer_wait(d);
+  while (pipeline.stats().dispatched < fx.datagrams.size()) std::this_thread::yield();
+  const std::uint64_t count_cuts = pipeline.stats().epochs_closed;
+  EXPECT_GE(count_cuts, 1u);
+
+  clock.advance(std::chrono::milliseconds(1001));
+  ASSERT_TRUE(pipeline.results().wait_for_epochs_for(count_cuts + 1, std::chrono::seconds(10)))
+      << "deadline did not flush the partial tail epoch";
+  pipeline.stop();
+  EXPECT_EQ(pipeline.stats().deadline_epochs, 1u);
+}
+
+}  // namespace
+}  // namespace flock

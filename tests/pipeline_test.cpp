@@ -189,11 +189,12 @@ TEST(Pipeline, AcceptedRecordsAllLandInEpochs) {
   EXPECT_EQ(stats.malformed_messages, 0u);
   EXPECT_GE(stats.epochs_closed, 2u);
 
-  std::uint64_t flows = 0, unresolved = 0;
+  std::uint64_t flows = 0, unresolved = 0, stolen = 0;
   const auto epochs = pipeline.results().completed();
   for (const auto& e : epochs) {
     flows += e.flows;
     unresolved += e.unresolved;
+    stolen += e.stolen_batches;
     // The record-count cut is exact at dispatch time: every epoch but the
     // final flush carries at least the configured record budget.
     if (e.epoch + 1 < epochs.size()) {
@@ -201,8 +202,10 @@ TEST(Pipeline, AcceptedRecordsAllLandInEpochs) {
     }
   }
   // Every decoded record is either joined into some epoch's inference input
-  // or counted unresolved — nothing vanishes between stages.
+  // or counted unresolved — nothing vanishes between stages. Work stealing
+  // (on by default) must keep the books balanced too.
   EXPECT_EQ(flows + unresolved, stats.records_decoded);
+  EXPECT_EQ(stolen, stats.batches_stolen);
   EXPECT_EQ(pipeline.results().completed_epochs(), stats.epochs_closed);
 }
 
