@@ -1,0 +1,179 @@
+// Wait-free-readable building blocks for RCU-style "publish a snapshot"
+// data structures (EcmpRouter's read path is the main customer).
+//
+// Both structures share one discipline: a single serialized writer appends
+// or inserts, then *publishes* with one release store; readers synchronize
+// on that store with an acquire load and never write shared memory at all.
+// Nothing published is ever modified or freed while the structure lives, so
+// readers need no locks, no reference counts, and no hazard pointers —
+// a warm read is a couple of atomic loads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace flock {
+
+// Append-only element store with stable addresses and wait-free reads.
+//
+// Elements live in fixed-size blocks; the block directory is preallocated,
+// so neither appending nor growing ever moves a published element — a
+// `const T&` taken from operator[] stays valid for the structure's lifetime
+// (the property EcmpRouter documents for path()/path_set()).
+//
+// Writer protocol (caller serializes, e.g. under an intern mutex):
+//   append(...); append(...); publish();
+// Readers must only index below size(), whose acquire load synchronizes
+// with publish()'s release store and therefore with every element written
+// before it.
+template <typename T>
+class SnapshotStore {
+ public:
+  static constexpr std::size_t kBlockShift = 9;  // 512 elements per block
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockShift;
+  static constexpr std::size_t kMaxBlocks = std::size_t{1} << 15;  // ~16.7M elements
+
+  SnapshotStore() : blocks_(std::make_unique<std::atomic<T*>[]>(kMaxBlocks)) {
+    for (std::size_t b = 0; b < kMaxBlocks; ++b) blocks_[b].store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~SnapshotStore() {
+    for (std::size_t b = 0; b < kMaxBlocks; ++b) delete[] blocks_[b].load(std::memory_order_relaxed);
+  }
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  // Writer only. The element is constructed but invisible to readers until
+  // publish(); the returned reference is already permanent.
+  T& append(T value) {
+    const std::size_t i = unpublished_;
+    const std::size_t b = i >> kBlockShift;
+    if (b >= kMaxBlocks) throw std::length_error("SnapshotStore: capacity exceeded");
+    T* block = blocks_[b].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      block = new T[kBlockSize];
+      blocks_[b].store(block, std::memory_order_release);
+    }
+    T& slot = block[i & (kBlockSize - 1)];
+    slot = std::move(value);
+    ++unpublished_;
+    return slot;
+  }
+
+  // Writer only: make every append() so far visible to readers.
+  void publish() { size_.store(unpublished_, std::memory_order_release); }
+
+  // Writer only: element count including the unpublished tail.
+  std::size_t writer_size() const { return unpublished_; }
+
+  // Published element count; monotone non-decreasing.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  // Requires i < a size() the caller observed.
+  const T& operator[](std::size_t i) const {
+    return blocks_[i >> kBlockShift].load(std::memory_order_acquire)[i & (kBlockSize - 1)];
+  }
+
+ private:
+  std::unique_ptr<std::atomic<T*>[]> blocks_;
+  std::size_t unpublished_ = 0;          // writer-side size (includes unpublished tail)
+  std::atomic<std::size_t> size_{0};     // reader-visible size
+};
+
+// Open-addressing uint64 -> int32 hash map with wait-free reads and a
+// single serialized writer. Growth republishes a rebuilt table via one
+// release store; retired tables are kept until destruction, so a reader
+// probing an old table still sees every entry that was published in it and
+// simply misses entries inserted later (callers fall back to a locked
+// re-check on miss — the classic RCU read-side pattern).
+class PairIndex {
+ public:
+  explicit PairIndex(std::size_t initial_capacity = 1024) {
+    tables_.push_back(std::make_unique<Table>(initial_capacity));
+    table_.store(tables_.back().get(), std::memory_order_release);
+  }
+
+  PairIndex(const PairIndex&) = delete;
+  PairIndex& operator=(const PairIndex&) = delete;
+
+  // Wait-free. Returns -1 when the key is absent (possibly just not yet
+  // visible — the caller decides whether to take the slow path).
+  std::int32_t find(std::uint64_t key) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    std::size_t i = mix(key) & t->mask;
+    for (;;) {
+      const std::uint64_t k = t->slots[i].key.load(std::memory_order_acquire);
+      if (k == key) return t->slots[i].value.load(std::memory_order_relaxed);
+      if (k == kEmpty) return -1;
+      i = (i + 1) & t->mask;
+    }
+  }
+
+  // Writer only (caller serializes). `key` must not already be present.
+  void insert(std::uint64_t key, std::int32_t value) {
+    Table* t = tables_.back().get();
+    if ((count_ + 1) * 2 > t->mask + 1) t = grow();
+    std::size_t i = mix(key) & t->mask;
+    while (t->slots[i].key.load(std::memory_order_relaxed) != kEmpty) i = (i + 1) & t->mask;
+    // Value first, then the key with release: a reader that acquires the key
+    // is guaranteed to read the matching value.
+    t->slots[i].value.store(value, std::memory_order_relaxed);
+    t->slots[i].key.store(key, std::memory_order_release);
+    ++count_;
+  }
+
+ private:
+  // Valid keys are two non-negative int32 halves, so all-ones never occurs.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  struct Slot {
+    std::atomic<std::uint64_t> key{kEmpty};
+    std::atomic<std::int32_t> value{-1};
+  };
+
+  struct Table {
+    explicit Table(std::size_t capacity)
+        : mask(capacity - 1), slots(std::make_unique<Slot[]>(capacity)) {}
+    std::size_t mask;  // capacity - 1; capacity is a power of two
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  static std::uint64_t mix(std::uint64_t x) {
+    // splitmix64 finalizer: pair keys are two small ints, so spread them.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  Table* grow() {
+    Table* old = tables_.back().get();
+    tables_.push_back(std::make_unique<Table>((old->mask + 1) * 2));
+    Table* bigger = tables_.back().get();
+    for (std::size_t i = 0; i <= old->mask; ++i) {
+      const std::uint64_t k = old->slots[i].key.load(std::memory_order_relaxed);
+      if (k == kEmpty) continue;
+      std::size_t j = mix(k) & bigger->mask;
+      while (bigger->slots[j].key.load(std::memory_order_relaxed) != kEmpty) {
+        j = (j + 1) & bigger->mask;
+      }
+      bigger->slots[j].value.store(old->slots[i].value.load(std::memory_order_relaxed),
+                                   std::memory_order_relaxed);
+      bigger->slots[j].key.store(k, std::memory_order_relaxed);
+    }
+    // The rebuilt table becomes visible in one shot; the old one stays
+    // readable (and owned by tables_) for threads still probing it.
+    table_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<Table*> table_;                   // readers' entry point
+  std::vector<std::unique_ptr<Table>> tables_;  // writer-owned, incl. retired
+  std::size_t count_ = 0;                       // writer only
+};
+
+}  // namespace flock

@@ -1,5 +1,7 @@
 #include "pipeline/localizer_pool.h"
 
+#include <optional>
+
 namespace flock {
 
 // Task backlog bound: effectively unbounded, but finite so a wedged sink
@@ -8,7 +10,12 @@ constexpr std::size_t kTaskCapacity = 1 << 16;
 
 LocalizerPool::LocalizerPool(const FlockLocalizer& localizer, std::size_t num_threads,
                              ResultFn on_result)
-    : localizer_(&localizer), on_result_(std::move(on_result)), tasks_(kTaskCapacity) {
+    : LocalizerPool(
+          [&localizer](const InferenceInput& input) { return localizer.localize(input); },
+          num_threads, std::move(on_result)) {}
+
+LocalizerPool::LocalizerPool(LocalizeFn localize, std::size_t num_threads, ResultFn on_result)
+    : localize_(std::move(localize)), on_result_(std::move(on_result)) {
   if (num_threads < 1) num_threads = 1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
@@ -18,25 +25,49 @@ LocalizerPool::LocalizerPool(const FlockLocalizer& localizer, std::size_t num_th
 
 LocalizerPool::~LocalizerPool() { shutdown(); }
 
-void LocalizerPool::submit(EpochSnapshot snapshot) { tasks_.push_wait(std::move(snapshot)); }
+void LocalizerPool::submit(EpochSnapshot snapshot) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    producer_cv_.wait(lock, [&] { return closed_ || tasks_.size() < kTaskCapacity; });
+    if (closed_) return;  // racing a shutdown: the pipeline is going down anyway
+    // A task older than the newest queued epoch will be dispatched before
+    // work that was submitted earlier — that is the point of the priority
+    // queue, and the counter makes it observable.
+    if (!tasks_.empty() && snapshot.epoch < tasks_.rbegin()->first.first) {
+      priority_reorders_.fetch_add(1, std::memory_order_relaxed);
+    }
+    tasks_.emplace(std::make_pair(snapshot.epoch, next_seq_++), std::move(snapshot));
+  }
+  consumer_cv_.notify_one();
+}
 
 void LocalizerPool::shutdown() {
-  if (stopped_) return;
-  stopped_ = true;
-  tasks_.close();  // workers drain the backlog, then exit
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;  // idempotent
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;  // workers drain the backlog, then exit
+  }
+  consumer_cv_.notify_all();
+  producer_cv_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
 }
 
 void LocalizerPool::worker_loop() {
-  std::vector<EpochSnapshot> batch;
   for (;;) {
-    batch.clear();
-    if (tasks_.pop_batch(batch, 1) == 0) return;
-    EpochSnapshot& snap = batch.front();
-    LocalizationResult result = localizer_->localize(snap.input);
-    on_result_(std::move(snap), std::move(result));
+    std::optional<EpochSnapshot> snap;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      consumer_cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // closed and drained
+      auto oldest = tasks_.begin();
+      snap.emplace(std::move(oldest->second));
+      tasks_.erase(oldest);
+    }
+    producer_cv_.notify_one();
+    LocalizationResult result = localize_(snap->input);
+    on_result_(std::move(*snap), std::move(result));
   }
 }
 

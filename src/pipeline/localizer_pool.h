@@ -5,15 +5,27 @@
 // forward (snapshot, result) to the result sink. Inference is the expensive
 // stage, so it gets its own pool: a slow localization of epoch E never
 // blocks the shards from decoding epoch E+1.
+//
+// Dispatch order is *age-priority*, not FIFO: the queue orders tasks by
+// (epoch id, submission sequence), so the oldest epoch's remaining shards
+// always run next and a slow epoch can never be starved of workers by the
+// newer epochs piling up behind it — the ResultSink merges complete in
+// (near-)epoch order instead of stalling on epoch E while E+1..E+k finish.
+// Within an epoch, submission order is preserved (FIFO). Tasks that jump
+// ahead of an already-queued newer epoch are counted in priority_reorders().
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/flock_localizer.h"
-#include "pipeline/ingest_queue.h"
 #include "pipeline/sharded_collector.h"
 
 namespace flock {
@@ -21,27 +33,49 @@ namespace flock {
 class LocalizerPool {
  public:
   using ResultFn = std::function<void(EpochSnapshot, LocalizationResult)>;
+  // Injectable inference stage; tests substitute slow/blocking localizers to
+  // pin down the dispatch order.
+  using LocalizeFn = std::function<LocalizationResult(const InferenceInput&)>;
 
   LocalizerPool(const FlockLocalizer& localizer, std::size_t num_threads, ResultFn on_result);
+  LocalizerPool(LocalizeFn localize, std::size_t num_threads, ResultFn on_result);
   ~LocalizerPool();
 
   LocalizerPool(const LocalizerPool&) = delete;
   LocalizerPool& operator=(const LocalizerPool&) = delete;
 
-  // Enqueue one per-shard inference task; never drops.
+  // Enqueue one per-shard inference task; never drops. Blocks only if the
+  // (effectively unbounded) backlog bound is ever reached.
   void submit(EpochSnapshot snapshot);
 
   // Finish all queued tasks and join. Call only after producers are done.
+  // Idempotent and safe to race from multiple threads; the destructor calls
+  // it too.
   void shutdown();
+
+  // Tasks dispatched ahead of an already-queued newer epoch.
+  std::uint64_t priority_reorders() const {
+    return priority_reorders_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop();
 
-  const FlockLocalizer* localizer_;
+  LocalizeFn localize_;
   ResultFn on_result_;
-  BoundedQueue<EpochSnapshot> tasks_;
+
+  // Age-ordered task queue: keyed by (epoch id, submission seq) so begin()
+  // is always the oldest epoch's earliest-submitted task.
+  mutable std::mutex mutex_;
+  std::condition_variable consumer_cv_;
+  std::condition_variable producer_cv_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, EpochSnapshot> tasks_;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+
   std::vector<std::thread> workers_;
-  bool stopped_ = false;
+  std::atomic<std::uint64_t> priority_reorders_{0};
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace flock

@@ -5,6 +5,7 @@ namespace flock {
 StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
                                      PipelineConfig config)
     : config_(config),
+      router_(&router),
       localizer_(config.localizer),
       sink_(std::make_unique<ResultSink>(config.num_shards,
                                          config.merge_equivalence_classes ? &router : nullptr)),
@@ -74,6 +75,9 @@ PipelineStats StreamingPipeline::stats() const {
   s.batches_stolen = shards_->batches_stolen();
   s.datagrams_stolen = shards_->datagrams_stolen();
   s.steal_attempts = shards_->steal_attempts();
+  s.router_index_publishes = router_->index_publishes();
+  s.router_read_retries = router_->read_retries();
+  s.priority_reorders = pool_->priority_reorders();
   return s;
 }
 

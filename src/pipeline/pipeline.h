@@ -13,9 +13,10 @@
 //
 // Thread model: producers call offer() concurrently; one dispatcher thread
 // orders datagrams and epoch boundaries; N shard workers decode and join;
-// K localizer threads run inference; consumers read merged EpochResults
-// from the sink. The shared EcmpRouter is internally synchronized, so
-// passive-record joins from all shards intern path sets safely.
+// K localizer threads run inference in oldest-epoch-first order; consumers
+// read merged EpochResults from the sink. The shared EcmpRouter gives the
+// join hot path wait-free snapshot reads — shards only serialize on the
+// router when interning a previously unseen ToR pair.
 #pragma once
 
 #include <atomic>
@@ -64,6 +65,13 @@ struct PipelineStats {
   std::uint64_t batches_stolen = 0;     // decode+join batches executed by thieves
   std::uint64_t datagrams_stolen = 0;   // datagrams inside those batches
   std::uint64_t steal_attempts = 0;     // victim scans that found a candidate
+  // Shared-router read path (see topology/ecmp.h): snapshots published by
+  // interning writers, and lookups that missed the wait-free index.
+  std::uint64_t router_index_publishes = 0;
+  std::uint64_t router_read_retries = 0;
+  // Localizer tasks dispatched ahead of an already-queued newer epoch
+  // (age-priority queue; see pipeline/localizer_pool.h).
+  std::uint64_t priority_reorders = 0;
 };
 
 class StreamingPipeline {
@@ -94,6 +102,7 @@ class StreamingPipeline {
 
  private:
   PipelineConfig config_;
+  EcmpRouter* router_;
   FlockLocalizer localizer_;
   std::unique_ptr<ResultSink> sink_;
   std::unique_ptr<LocalizerPool> pool_;

@@ -95,8 +95,11 @@ void ShardExecutor::stop() {
 
 void ShardExecutor::worker_loop(std::int32_t shard_id) {
   // Private scratch collector: decodes and joins any batch, then is drained,
-  // so no state leaks between batches or origins. Joins intern path sets in
-  // the shared (internally synchronized) EcmpRouter.
+  // so no state leaks between batches or origins. Joins resolve path sets in
+  // the shared EcmpRouter, whose warm lookups are wait-free snapshot reads —
+  // N shards joining concurrently never serialize on a router lock once the
+  // ToR pairs they touch are interned (only a cold pair takes the intern
+  // mutex, counted in PipelineStats::router_read_retries).
   Collector scratch(*topo_, *router_, collector_options_);
   Shard& shard = *shards_[static_cast<std::size_t>(shard_id)];
   const bool stealing = steal_batch_ > 0;

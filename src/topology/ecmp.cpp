@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace flock {
 namespace {
@@ -16,7 +16,7 @@ std::uint64_t pair_key(NodeId a, NodeId b) {
 
 }  // namespace
 
-EcmpRouter::EcmpRouter(const Topology& topo) : topo_(&topo) {}
+EcmpRouter::EcmpRouter(const Topology& topo, RouterReadMode mode) : topo_(&topo), mode_(mode) {}
 
 std::vector<std::int32_t> EcmpRouter::bfs_from(NodeId dst_sw) const {
   std::vector<std::int32_t> dist(static_cast<std::size_t>(topo_->num_nodes()), -1);
@@ -40,7 +40,7 @@ std::vector<std::int32_t> EcmpRouter::bfs_from(NodeId dst_sw) const {
 }
 
 std::int32_t EcmpRouter::switch_distance(NodeId src_sw, NodeId dst_sw) {
-  std::unique_lock lock(mutex_);
+  std::lock_guard<std::mutex> lock(intern_mutex_);
   auto it = dist_cache_.find(dst_sw);
   if (it == dist_cache_.end()) it = dist_cache_.emplace(dst_sw, bfs_from(dst_sw)).first;
   std::int32_t d = it->second[static_cast<std::size_t>(src_sw)];
@@ -49,23 +49,19 @@ std::int32_t EcmpRouter::switch_distance(NodeId src_sw, NodeId dst_sw) {
 }
 
 const PathSet& EcmpRouter::path_set(PathSetId id) const {
-  std::shared_lock lock(mutex_);
-  return path_sets_[static_cast<std::size_t>(id)];
+  return locked_read([&]() -> const PathSet& { return path_sets_[static_cast<std::size_t>(id)]; });
 }
 
 const Path& EcmpRouter::path(PathId id) const {
-  std::shared_lock lock(mutex_);
-  return paths_[static_cast<std::size_t>(id)];
+  return locked_read([&]() -> const Path& { return paths_[static_cast<std::size_t>(id)]; });
 }
 
 std::int32_t EcmpRouter::num_path_sets() const {
-  std::shared_lock lock(mutex_);
-  return static_cast<std::int32_t>(path_sets_.size());
+  return locked_read([&] { return static_cast<std::int32_t>(path_sets_.size()); });
 }
 
 std::int32_t EcmpRouter::num_paths() const {
-  std::shared_lock lock(mutex_);
-  return static_cast<std::int32_t>(paths_.size());
+  return locked_read([&] { return static_cast<std::int32_t>(paths_.size()); });
 }
 
 PathSetId EcmpRouter::path_set_between(NodeId src_sw, NodeId dst_sw) {
@@ -73,16 +69,31 @@ PathSetId EcmpRouter::path_set_between(NodeId src_sw, NodeId dst_sw) {
     throw std::invalid_argument("path_set_between: endpoints must be switches");
   }
   const auto key = pair_key(src_sw, dst_sw);
+  // Warm path: wait-free in snapshot mode, shared-locked in baseline mode.
   {
-    std::shared_lock lock(mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    const std::int32_t id = locked_read([&] { return cache_.find(key); });
+    if (id >= 0) return id;
   }
-  std::unique_lock lock(mutex_);
-  auto it = cache_.find(key);  // re-check: another interner may have won
-  if (it != cache_.end()) return it->second;
-  PathSetId id = enumerate_paths(src_sw, dst_sw);
-  cache_.emplace(key, id);
+  read_retries_.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(intern_mutex_);
+  {
+    const std::int32_t id = cache_.find(key);  // re-check: another interner may have won
+    if (id >= 0) return id;
+  }
+  const PathSetId id = enumerate_paths(src_sw, dst_sw);
+  {
+    // Publish order matters: element stores become visible before the index
+    // entry, so a reader that finds the key can dereference immediately. In
+    // baseline mode the exclusive lock stands in for that ordering, exactly
+    // like the old design.
+    std::unique_lock<std::shared_mutex> publish_lock(rw_mutex_, std::defer_lock);
+    if (mode_ == RouterReadMode::kSharedMutexBaseline) publish_lock.lock();
+    paths_.publish();
+    path_sets_.publish();
+    cache_.insert(key, id);
+  }
+  index_publishes_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
@@ -93,8 +104,8 @@ PathSetId EcmpRouter::enumerate_paths(NodeId src_sw, NodeId dst_sw) {
   if (src_sw == dst_sw) {
     Path p;
     p.comps.push_back(topo_->device_component(src_sw));
-    paths_.push_back(std::move(p));
-    set.paths.push_back(static_cast<PathId>(paths_.size() - 1));
+    paths_.append(std::move(p));
+    set.paths.push_back(static_cast<PathId>(paths_.writer_size() - 1));
   } else {
     auto dit = dist_cache_.find(dst_sw);
     if (dit == dist_cache_.end()) dit = dist_cache_.emplace(dst_sw, bfs_from(dst_sw)).first;
@@ -118,8 +129,8 @@ PathSetId EcmpRouter::enumerate_paths(NodeId src_sw, NodeId dst_sw) {
       if (f.node == dst_sw) {
         Path p;
         p.comps = comps;
-        paths_.push_back(std::move(p));
-        set.paths.push_back(static_cast<PathId>(paths_.size() - 1));
+        paths_.append(std::move(p));
+        set.paths.push_back(static_cast<PathId>(paths_.writer_size() - 1));
         stack.pop_back();
         if (!stack.empty()) comps.resize(stack.back().comps_mark);
         continue;
@@ -143,8 +154,8 @@ PathSetId EcmpRouter::enumerate_paths(NodeId src_sw, NodeId dst_sw) {
     }
     std::sort(set.paths.begin(), set.paths.end());
   }
-  path_sets_.push_back(std::move(set));
-  return static_cast<PathSetId>(path_sets_.size() - 1);
+  path_sets_.append(std::move(set));
+  return static_cast<PathSetId>(path_sets_.writer_size() - 1);
 }
 
 PathSetId EcmpRouter::host_pair_path_set(NodeId src_host, NodeId dst_host) {
@@ -164,18 +175,27 @@ void EcmpRouter::build_all_tor_pairs() {
 std::vector<std::vector<ComponentId>> ecmp_equivalence_classes(EcmpRouter& router) {
   const Topology& topo = router.topology();
   router.build_all_tor_pairs();
-  // signature[c] = sorted list of (path set id, number of paths containing c)
-  std::map<ComponentId, std::vector<std::pair<PathSetId, std::int32_t>>> signature;
+  // signature[c] = sorted list of ((src, dst) pair key, number of paths
+  // containing c). Keying by the switch pair — not the path-set id — makes
+  // the signature (and therefore the class partition and its order)
+  // independent of the order in which pairs were interned.
+  std::map<ComponentId, std::vector<std::pair<std::uint64_t, std::int32_t>>> signature;
   for (PathSetId ps = 0; ps < router.num_path_sets(); ++ps) {
+    const PathSet& set = router.path_set(ps);
+    const std::uint64_t key = pair_key(set.src_sw, set.dst_sw);
     std::map<ComponentId, std::int32_t> counts;
-    for (PathId pid : router.path_set(ps).paths) {
+    for (PathId pid : set.paths) {
       for (ComponentId c : router.path(pid).comps) counts[c]++;
     }
-    for (const auto& [c, cnt] : counts) signature[c].emplace_back(ps, cnt);
+    for (const auto& [c, cnt] : counts) signature[c].emplace_back(key, cnt);
+  }
+  for (auto& [c, sig] : signature) {
+    (void)c;
+    std::sort(sig.begin(), sig.end());
   }
   // Group by identical signature. Components not on any ToR-pair path (e.g.
   // host links) are excluded.
-  std::map<std::vector<std::pair<PathSetId, std::int32_t>>, std::vector<ComponentId>> groups;
+  std::map<std::vector<std::pair<std::uint64_t, std::int32_t>>, std::vector<ComponentId>> groups;
   for (auto& [c, sig] : signature) {
     if (topo.is_link_component(c) && topo.is_host_link(topo.component_link(c))) continue;
     groups[sig].push_back(c);

@@ -10,21 +10,32 @@
 // inclusive of both endpoint switch devices) along one switch-to-switch
 // shortest path. Host access links are kept separate, on the flow record.
 //
-// Thread-safety: the router is shared by every collector shard of the
-// streaming pipeline, so all interning and lookup methods may be called
-// concurrently. Lookups of already-interned paths take a shared lock;
-// interning a new path set takes an exclusive lock. Paths and path sets are
-// stored in deques so references returned by path()/path_set() stay valid
-// while other threads intern.
+// Thread-safety / read path: the router is shared by every collector shard
+// of the streaming pipeline, and after warm-up virtually every call is a
+// lookup of something already interned. Those lookups are wait-free: paths
+// and path sets live in append-only SnapshotStores (stable addresses, so
+// references returned by path()/path_set() stay valid forever), and the
+// pair -> path-set cache is a lock-free-readable PairIndex. Interning a new
+// pair serializes writers on a small mutex, appends the new paths/sets, and
+// *publishes* them with release stores (counted by index_publishes()); a
+// reader that misses the wait-free index falls back to the locked slow path
+// (counted by read_retries()).
+//
+// RouterReadMode::kSharedMutexBaseline retains the pre-snapshot design —
+// every lookup under a std::shared_mutex — over the identical storage, as a
+// measured baseline for bench/micro_router_reads.cpp and an A/B lever for
+// the pipeline equivalence tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/snapshot_store.h"
 #include "topology/topology.h"
 
 namespace flock {
@@ -40,24 +51,34 @@ struct PathSet {
   std::vector<PathId> paths;
 };
 
+enum class RouterReadMode {
+  kSnapshot,            // wait-free warm lookups (default)
+  kSharedMutexBaseline  // every lookup under a reader-writer lock
+};
+
 class EcmpRouter {
  public:
-  explicit EcmpRouter(const Topology& topo);
+  explicit EcmpRouter(const Topology& topo, RouterReadMode mode = RouterReadMode::kSnapshot);
 
   const Topology& topology() const { return *topo_; }
+  RouterReadMode read_mode() const { return mode_; }
 
   // Path set between two switches (lazily computed, cached, symmetric in the
   // sense that (a,b) and (b,a) are cached independently but have mirrored
-  // paths). Throws if the switches are disconnected.
+  // paths). Throws if the switches are disconnected. Wait-free once the pair
+  // is interned (snapshot mode).
   PathSetId path_set_between(NodeId src_sw, NodeId dst_sw);
 
   // Path set between the ToRs of two hosts. For hosts on the same ToR the
   // set is the single path [device(tor)].
   PathSetId host_pair_path_set(NodeId src_host, NodeId dst_host);
 
+  // Wait-free (snapshot mode); the returned references stay valid for the
+  // router's lifetime, across any amount of concurrent interning.
   const PathSet& path_set(PathSetId id) const;
   const Path& path(PathId id) const;
 
+  // Published counts; monotone non-decreasing under concurrent interning.
   std::int32_t num_path_sets() const;
   std::int32_t num_paths() const;
 
@@ -70,30 +91,60 @@ class EcmpRouter {
   // tests; throws if disconnected.
   std::int32_t switch_distance(NodeId src_sw, NodeId dst_sw);
 
+  // Times the writer published a new snapshot (== path sets interned).
+  std::uint64_t index_publishes() const {
+    return index_publishes_.load(std::memory_order_relaxed);
+  }
+  // Lookups the wait-free index missed, forcing the locked slow path (cold
+  // pairs plus the rare race with a concurrent interner).
+  std::uint64_t read_retries() const { return read_retries_.load(std::memory_order_relaxed); }
+
  private:
+  // Runs a read over the published snapshot state: bare in snapshot mode,
+  // under the shared lock in baseline mode. Keeping one body per accessor
+  // stops the two read modes from silently diverging.
+  template <typename F>
+  auto locked_read(F&& read) const -> decltype(read()) {
+    if (mode_ == RouterReadMode::kSharedMutexBaseline) {
+      std::shared_lock lock(rw_mutex_);
+      return read();
+    }
+    return read();
+  }
+
   // BFS over the switch-only graph from dst, returning distances (-1 if
   // unreachable). Hosts never appear as intermediate nodes (degree 1).
   std::vector<std::int32_t> bfs_from(NodeId dst_sw) const;
 
-  // Requires mutex_ held exclusively.
+  // Requires intern_mutex_ held. Appends without publishing.
   PathSetId enumerate_paths(NodeId src_sw, NodeId dst_sw);
 
   const Topology* topo_;
-  mutable std::shared_mutex mutex_;
-  // Deques: stable element references under concurrent interning.
-  std::deque<Path> paths_;
-  std::deque<PathSet> path_sets_;
-  std::unordered_map<std::uint64_t, PathSetId> cache_;
+  const RouterReadMode mode_;
+  // Writer serialization for interning and the BFS distance cache. In
+  // baseline mode, rw_mutex_ additionally wraps reads (shared) and snapshot
+  // publication (exclusive), reproducing the old read-path contention.
+  mutable std::mutex intern_mutex_;
+  mutable std::shared_mutex rw_mutex_;
+  SnapshotStore<Path> paths_;
+  SnapshotStore<PathSet> path_sets_;
+  PairIndex cache_;
   // Per-destination BFS distance cache (dst -> distances); bounded reuse for
-  // build_all_tor_pairs.
+  // build_all_tor_pairs. Guarded by intern_mutex_.
   std::unordered_map<NodeId, std::vector<std::int32_t>> dist_cache_;
+  std::atomic<std::uint64_t> index_publishes_{0};
+  std::atomic<std::uint64_t> read_retries_{0};
 };
 
 // Components that are indistinguishable from passive ECMP telemetry: two
 // components are in the same class iff they appear in the same ToR-pair path
 // sets with the same per-set path-membership counts. Used for Fig 5c's
 // "theoretical max precision" line. Host access links are excluded (each is
-// trivially distinguishable by its endpoint flows).
+// trivially distinguishable by its endpoint flows). The result is a pure
+// function of the topology: signatures are keyed by (src, dst) switch pair,
+// not by path-set id, so the partition and its ordering are byte-identical
+// no matter in which order — or from how many threads — the path sets were
+// interned.
 std::vector<std::vector<ComponentId>> ecmp_equivalence_classes(EcmpRouter& router);
 
 // Best achievable precision for a passive-only scheme that must reach 100%

@@ -294,6 +294,83 @@ TEST(PipelineStress, ManyProducersConserveRecordsUnderStealing) {
   EXPECT_EQ(pipeline.results().completed_epochs(), stats.epochs_closed);
 }
 
+// --- snapshot router vs shared_mutex baseline ---------------------------------
+
+// Full pipeline, 8 producers, stealing on, against the wait-free snapshot
+// router and the shared_mutex baseline read mode: per-epoch results must be
+// identical. The feed is constructed so each run is deterministic despite 8
+// concurrent producers: producer p offers exactly the datagrams of shard p's
+// rack partition (in fixture order), so every shard's intra-epoch record
+// sequence is one producer's sequential offer order, and epoch boundaries
+// are closed manually between producer phases, after all threads joined.
+TEST(PipelineStress, SnapshotAndSharedMutexRoutersProduceIdenticalEpochs) {
+  StreamFixture fx(/*seed=*/31, /*flows=*/2000);
+  constexpr std::int32_t kShards = 8;
+  constexpr int kPhases = 3;
+
+  // Rack partition, mirroring ShardExecutor::shard_of.
+  std::vector<std::vector<IngestDatagram>> per_shard(kShards);
+  for (const IngestDatagram& d : fx.datagrams) {
+    per_shard[static_cast<std::size_t>(
+                  fx.topo.tor_of(addr_to_node(d.source_addr)) % kShards)]
+        .push_back(d);
+  }
+
+  struct EpochDigest {
+    std::vector<ComponentId> predicted;
+    std::vector<std::vector<ComponentId>> per_shard_predicted;
+    std::uint64_t flows = 0;
+    std::uint64_t unresolved = 0;
+    bool operator==(const EpochDigest&) const = default;
+  };
+  std::vector<EpochDigest> digests[2];
+
+  int run = 0;
+  for (const RouterReadMode mode :
+       {RouterReadMode::kSnapshot, RouterReadMode::kSharedMutexBaseline}) {
+    EcmpRouter router(fx.topo, mode);
+    PipelineConfig config;
+    config.num_shards = kShards;
+    config.localizer = test_flock_options();
+    config.steal_batch = 32;
+    StreamingPipeline pipeline(fx.topo, router, config);
+
+    for (int phase = 0; phase < kPhases; ++phase) {
+      std::vector<std::thread> producers;
+      producers.reserve(kShards);
+      for (std::int32_t s = 0; s < kShards; ++s) {
+        producers.emplace_back([&, s] {
+          const auto& mine = per_shard[static_cast<std::size_t>(s)];
+          const std::size_t begin = mine.size() * static_cast<std::size_t>(phase) / kPhases;
+          const std::size_t end = mine.size() * (static_cast<std::size_t>(phase) + 1) / kPhases;
+          for (std::size_t i = begin; i < end; ++i) EXPECT_TRUE(pipeline.offer_wait(mine[i]));
+        });
+      }
+      for (std::thread& t : producers) t.join();
+      pipeline.close_epoch();  // boundary lands after every phase datagram
+    }
+    pipeline.stop();
+
+    const auto stats = pipeline.stats();
+    EXPECT_EQ(stats.dropped, 0u);
+    EXPECT_EQ(stats.epochs_closed, static_cast<std::uint64_t>(kPhases));
+    EXPECT_GT(stats.router_index_publishes, 0u);  // joins interned ToR pairs
+    if (mode == RouterReadMode::kSnapshot) {
+      // Warm joins are wait-free: only cold pairs (plus publish races) miss
+      // the index, so retries stay bounded by the interned pair count.
+      EXPECT_LE(stats.router_read_retries,
+                stats.router_index_publishes + stats.records_decoded / 2);
+    }
+    for (const auto& e : pipeline.results().completed()) {
+      digests[run].push_back(
+          EpochDigest{e.predicted, e.per_shard_predicted, e.flows, e.unresolved});
+    }
+    ++run;
+  }
+  ASSERT_EQ(digests[0].size(), static_cast<std::size_t>(kPhases));
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
 // --- wall-clock deadline epochs (fake clock) ----------------------------------
 
 struct FakeClock {

@@ -1,0 +1,212 @@
+// Concurrency and order-invariance coverage for EcmpRouter's wait-free
+// snapshot read path (topology/ecmp.h, common/snapshot_store.h). Built to
+// run under TSan/ASan in CI: reader threads hammer warm lookups while other
+// threads intern fresh ToR pairs, and every invariant the pipeline relies on
+// is asserted — no torn reads, monotone published counts, references that
+// stay valid across snapshot publishes, and equivalence-class results that
+// do not depend on interning order or concurrency.
+#include "topology/ecmp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+ThreeTierClosConfig small_clos() {
+  ThreeTierClosConfig cfg;
+  cfg.pods = 6;
+  cfg.tors_per_pod = 3;
+  cfg.aggs_per_pod = 3;
+  cfg.cores = 9;
+  cfg.hosts_per_tor = 3;
+  return cfg;
+}
+
+std::vector<NodeId> tors_of(const Topology& topo) {
+  std::vector<NodeId> tors;
+  for (NodeId sw : topo.switches()) {
+    if (topo.node(sw).kind == NodeKind::kTor) tors.push_back(sw);
+  }
+  return tors;
+}
+
+// Every ordered ToR pair, in a deterministic shuffled order.
+std::vector<std::pair<NodeId, NodeId>> shuffled_pairs(const std::vector<NodeId>& tors,
+                                                      std::uint32_t seed) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId a : tors) {
+    for (NodeId b : tors) pairs.emplace_back(a, b);
+  }
+  std::mt19937 rng(seed);
+  std::shuffle(pairs.begin(), pairs.end(), rng);
+  return pairs;
+}
+
+// Readers resolve already-interned pairs and check structural invariants
+// while interners publish new snapshots underneath them. Exercised in both
+// read modes: the snapshot path is the one under test, the shared_mutex
+// baseline keeps the comparison implementation honest on the same storage.
+TEST(RouterConcurrency, ReadersSeeUntornSnapshotsWhileInternersPublish) {
+  const Topology topo = make_three_tier_clos(small_clos());
+  const std::vector<NodeId> tors = tors_of(topo);
+  ASSERT_GE(tors.size(), 12u);
+
+  for (const RouterReadMode mode :
+       {RouterReadMode::kSnapshot, RouterReadMode::kSharedMutexBaseline}) {
+    EcmpRouter router(topo, mode);
+
+    // Warm a seed set serially so readers always have resolvable pairs.
+    std::vector<std::pair<NodeId, NodeId>> warm;
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        warm.emplace_back(tors[i], tors[j]);
+        router.path_set_between(tors[i], tors[j]);
+      }
+    }
+    // References taken before any concurrent interning must survive it.
+    const PathSetId pinned_id = router.path_set_between(warm[1].first, warm[1].second);
+    const PathSet& pinned = router.path_set(pinned_id);
+    const std::vector<PathId> pinned_paths = pinned.paths;
+    const Path& pinned_path = router.path(pinned_paths.front());
+    const std::vector<ComponentId> pinned_comps = pinned_path.comps;
+
+    const auto cold = shuffled_pairs(tors, /*seed=*/7);
+    constexpr int kInterners = 2;
+    constexpr int kReaders = 4;
+    // Each reader runs at least this many iterations even if the interners
+    // finish first (loaded schedulers can park a reader for the entire
+    // interning phase), and the interners wait for every reader to start,
+    // so reads and publishes genuinely overlap instead of racing past each
+    // other.
+    constexpr std::uint64_t kMinReadsPerReader = 200;
+    std::atomic<int> readers_started{0};
+    std::atomic<bool> interning_done{false};
+    std::atomic<std::uint64_t> reads{0};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kInterners; ++t) {
+      threads.emplace_back([&, t] {
+        while (readers_started.load(std::memory_order_acquire) < kReaders) {
+          std::this_thread::yield();
+        }
+        for (std::size_t i = static_cast<std::size_t>(t); i < cold.size(); i += kInterners) {
+          router.path_set_between(cold[i].first, cold[i].second);
+        }
+      });
+    }
+    for (int t = 0; t < kReaders; ++t) {
+      threads.emplace_back([&, t] {
+        std::mt19937 rng(100u + static_cast<std::uint32_t>(t));
+        std::int32_t last_sets = 0, last_paths = 0;
+        readers_started.fetch_add(1, std::memory_order_release);
+        for (std::uint64_t iter = 0;
+             iter < kMinReadsPerReader || !interning_done.load(std::memory_order_acquire);
+             ++iter) {
+          const auto& [a, b] = warm[rng() % warm.size()];
+          const PathSetId id = router.path_set_between(a, b);
+          const PathSet& ps = router.path_set(id);
+          // Untorn: the set must belong to the pair we asked for and be
+          // fully formed, no matter how many publishes raced this read.
+          ASSERT_EQ(ps.src_sw, a);
+          ASSERT_EQ(ps.dst_sw, b);
+          ASSERT_FALSE(ps.paths.empty());
+          const Path& p = router.path(ps.paths.front());
+          ASSERT_FALSE(p.comps.empty());
+          ASSERT_EQ(p.comps.front(), topo.device_component(a));
+          ASSERT_EQ(p.comps.back(), topo.device_component(b));
+          // Published counts are monotone under concurrent interning.
+          const std::int32_t sets = router.num_path_sets();
+          const std::int32_t paths = router.num_paths();
+          ASSERT_GE(sets, last_sets);
+          ASSERT_GE(paths, last_paths);
+          last_sets = sets;
+          last_paths = paths;
+          reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (int t = 0; t < kInterners; ++t) threads[static_cast<std::size_t>(t)].join();
+    interning_done.store(true, std::memory_order_release);
+    for (std::size_t t = kInterners; t < threads.size(); ++t) threads[t].join();
+
+    EXPECT_GE(reads.load(), kMinReadsPerReader * kReaders);
+    const std::size_t total = tors.size() * tors.size();
+    EXPECT_EQ(router.num_path_sets(), static_cast<std::int32_t>(total));
+    EXPECT_EQ(router.index_publishes(), static_cast<std::uint64_t>(total));
+
+    // The early references are still the same objects with the same bytes.
+    EXPECT_EQ(&router.path_set(pinned_id), &pinned);
+    EXPECT_EQ(pinned.paths, pinned_paths);
+    EXPECT_EQ(&router.path(pinned_paths.front()), &pinned_path);
+    EXPECT_EQ(pinned_path.comps, pinned_comps);
+  }
+}
+
+TEST(RouterConcurrency, WarmLookupsNeverTakeTheSlowPath) {
+  const Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  const std::vector<NodeId> tors = tors_of(topo);
+  EXPECT_EQ(router.index_publishes(), 0u);
+
+  router.path_set_between(tors[0], tors[1]);  // cold: one retry, one publish
+  EXPECT_EQ(router.index_publishes(), 1u);
+  EXPECT_EQ(router.read_retries(), 1u);
+
+  for (int i = 0; i < 100; ++i) router.path_set_between(tors[0], tors[1]);
+  EXPECT_EQ(router.read_retries(), 1u);  // warm hits are wait-free index hits
+  EXPECT_EQ(router.index_publishes(), 1u);
+}
+
+// The class partition is a function of the topology alone: interning order,
+// and serial vs concurrent warm-up, must produce byte-identical results.
+TEST(RouterConcurrency, EquivalenceClassesInvariantToInterningOrderAndConcurrency) {
+  const Topology topo = make_three_tier_clos(small_clos());
+  const std::vector<NodeId> tors = tors_of(topo);
+
+  // Reference: serial natural-order warm-up inside ecmp_equivalence_classes.
+  EcmpRouter serial(topo);
+  const auto reference = ecmp_equivalence_classes(serial);
+  ASSERT_FALSE(reference.empty());
+
+  // Shuffled serial interning first, classes second.
+  EcmpRouter shuffled(topo);
+  for (const auto& [a, b] : shuffled_pairs(tors, /*seed=*/12345)) {
+    shuffled.path_set_between(a, b);
+  }
+  EXPECT_EQ(ecmp_equivalence_classes(shuffled), reference);
+
+  // Concurrent warm-up: 4 threads intern interleaved shuffled slices.
+  EcmpRouter concurrent(topo);
+  const auto pairs = shuffled_pairs(tors, /*seed=*/999);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < pairs.size(); i += kThreads) {
+        concurrent.path_set_between(pairs[i].first, pairs[i].second);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ecmp_equivalence_classes(concurrent), reference);
+
+  // theoretical_max_precision inherits the invariance for any truth set.
+  std::vector<ComponentId> truth;
+  for (const auto& cls : reference) {
+    truth.push_back(cls.front());
+    if (truth.size() == 3) break;
+  }
+  EXPECT_DOUBLE_EQ(theoretical_max_precision(ecmp_equivalence_classes(shuffled), truth),
+                   theoretical_max_precision(reference, truth));
+}
+
+}  // namespace
+}  // namespace flock
