@@ -56,8 +56,8 @@ int run() {
   Table table({"scheme", "input", "link-fraction", "precision", "recall", "fscore"});
   std::map<std::string, std::vector<double>> mean_err;
   for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
-    const auto test =
-        make_env(device_config(scaled_flows(40000), fraction, 3000 + static_cast<std::uint64_t>(fraction * 100)));
+    const auto test = make_env(device_config(
+        scaled_flows(40000), fraction, 3000 + static_cast<std::uint64_t>(fraction * 100)));
     auto run_one = [&](const char* scheme, const char* input, const Localizer& loc,
                        std::uint32_t telemetry) {
       ViewOptions view;

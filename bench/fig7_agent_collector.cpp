@@ -47,8 +47,9 @@ int run() {
       agent.observe(passive);
     }
     const double secs = watch.seconds();
-    table.add_row({"agent observe/aggregate", human_count(static_cast<double>(trace.flows.size())),
-                   Table::num(secs, 3), human_count(static_cast<double>(trace.flows.size()) / secs) + "/s"});
+    table.add_row({"agent observe/aggregate",
+                   human_count(static_cast<double>(trace.flows.size())), Table::num(secs, 3),
+                   human_count(static_cast<double>(trace.flows.size()) / secs) + "/s"});
 
     // --- agent encode -------------------------------------------------------
     Stopwatch encode_watch;
@@ -56,7 +57,8 @@ int run() {
     const double enc_secs = encode_watch.seconds();
     std::size_t bytes = 0;
     for (const auto& m : messages) bytes += m.size();
-    table.add_row({"agent IPFIX encode", human_count(static_cast<double>(messages.size())) + " msgs",
+    table.add_row({"agent IPFIX encode",
+                   human_count(static_cast<double>(messages.size())) + " msgs",
                    Table::num(enc_secs, 3),
                    human_count(static_cast<double>(bytes) / enc_secs) + " B/s"});
 

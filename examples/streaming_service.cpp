@@ -101,14 +101,24 @@ int main() {
             << stats.epochs_closed << " epochs (" << stats.dropped << " datagrams dropped, "
             << stats.batches_stolen << " batches stolen by idle shards, "
             << stats.deadline_epochs << " deadline-flushed epochs)\n";
+  // Columnar-table dedup: identical observations collapse into weighted rows
+  // before inference (see core/flow_table.h).
+  std::cout << "inference saw " << stats.inference_observations
+            << " observations as " << stats.inference_rows << " weighted rows ("
+            << (stats.inference_rows > 0
+                    ? static_cast<double>(stats.inference_observations) /
+                          static_cast<double>(stats.inference_rows)
+                    : 0.0)
+            << "x dedup)\n";
   std::cout << "injected failure (from interval 1): " << topo.component_name(true_failure)
             << "\n\n";
 
   bool found_failure = false;
   bool healthy_epoch_quiet = true;
   for (const auto& epoch : pipeline.results().completed()) {
-    std::cout << "epoch " << epoch.epoch << ": " << epoch.flows << " flows, "
-              << epoch.close_to_merge_seconds * 1e3 << " ms close->merge, diagnosis:";
+    std::cout << "epoch " << epoch.epoch << ": " << epoch.flows << " flows in " << epoch.rows
+              << " rows, " << epoch.close_to_merge_seconds * 1e3
+              << " ms close->merge, diagnosis:";
     if (epoch.predicted.empty()) std::cout << " (healthy)";
     for (ComponentId c : epoch.predicted) std::cout << " " << topo.component_name(c);
     if (epoch.equivalent_merged > 0) {

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Tool-independent mechanical format checks for the whole C++ tree.
+
+clang-format (see .clang-format) is authoritative for layout, but CI only
+enforces it on files a change touches — tool versions drift and historical
+code should not fail a new PR. The invariants below are version-proof and
+hold tree-wide, so they are enforced everywhere, always:
+
+  * no tab characters
+  * no trailing whitespace
+  * LF line endings (no CR)
+  * every file ends with exactly one newline
+  * no line longer than 100 columns
+
+Run with no arguments to check the default roots (src tests bench examples),
+or pass explicit files/directories.
+"""
+
+import os
+import sys
+
+ROOTS = ["src", "tests", "bench", "examples"]
+EXTENSIONS = (".h", ".cpp")
+MAX_COLUMNS = 100
+
+
+def collect(paths):
+    out = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for base, _, names in sorted(os.walk(path)):
+            for name in sorted(names):
+                if name.endswith(EXTENSIONS):
+                    out.append(os.path.join(base, name))
+    return out
+
+
+def check(path):
+    problems = []
+    with open(path, "rb") as f:
+        raw = f.read()
+    if b"\r" in raw:
+        problems.append("CR line ending")
+    if not raw.endswith(b"\n"):
+        problems.append("missing final newline")
+    elif raw.endswith(b"\n\n"):
+        problems.append("trailing blank line(s) at EOF")
+    for lineno, line in enumerate(raw.split(b"\n")[:-1], start=1):
+        if b"\t" in line:
+            problems.append(f"line {lineno}: tab character")
+        if line != line.rstrip():
+            problems.append(f"line {lineno}: trailing whitespace")
+        columns = len(line.decode("utf-8", "replace"))
+        if columns > MAX_COLUMNS:
+            problems.append(f"line {lineno}: {columns} columns (max {MAX_COLUMNS})")
+    return problems
+
+
+def main():
+    targets = sys.argv[1:] or ROOTS
+    files = collect(targets)
+    if not files:
+        print("no files to check")
+        return 1
+    failures = 0
+    for path in files:
+        for problem in check(path):
+            print(f"{path}: {problem}")
+            failures += 1
+    print(f"checked {len(files)} files: ", end="")
+    if failures:
+        print(f"{failures} problem(s)")
+        return 1
+    print("clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,32 +38,42 @@ Problem build_problem(const InferenceInput& input) {
   prob.paths_of_link.resize(static_cast<std::size_t>(topo.num_links()));
   std::unordered_map<std::uint64_t, std::int32_t> index;
 
-  for (const FlowObservation& obs : input.flows()) {
-    if (!obs.path_known() || obs.packets_sent == 0) continue;
-    std::vector<LinkId> links;
-    for (ComponentId c : input.known_path_components(obs)) {
-      if (topo.is_link_component(c)) links.push_back(topo.component_link(c));
-    }
-    const std::uint64_t h = hash_links(links);
-    auto it = index.find(h);
-    std::int32_t pi;
-    if (it == index.end() ||
-        prob.paths[static_cast<std::size_t>(it->second)].links != links) {
-      pi = static_cast<std::int32_t>(prob.paths.size());
-      index.emplace(h, pi);
-      PathAgg agg;
-      agg.links = links;
-      prob.paths.push_back(std::move(agg));
-      for (LinkId l : prob.paths.back().links) {
-        auto& list = prob.paths_of_link[static_cast<std::size_t>(l)];
-        if (list.empty() || list.back() != pi) list.push_back(pi);
+  // Group-major scan: rows of a group with the same taken path share their
+  // link sequence, and dedup weights scale the packet aggregates.
+  for (const FlowGroup& group : input.table().groups()) {
+    FlowObservation obs;
+    obs.path_set = group.path_set;
+    obs.src_link = group.src_link;
+    obs.dst_link = group.dst_link;
+    for (std::size_t r = 0; r < group.size(); ++r) {
+      if (group.taken_path[r] < 0 || group.packets[r] == 0) continue;
+      obs.taken_path = group.taken_path[r];
+      std::vector<LinkId> links;
+      for (ComponentId c : input.known_path_components(obs)) {
+        if (topo.is_link_component(c)) links.push_back(topo.component_link(c));
       }
-    } else {
-      pi = it->second;
+      const std::uint64_t h = hash_links(links);
+      auto it = index.find(h);
+      std::int32_t pi;
+      if (it == index.end() ||
+          prob.paths[static_cast<std::size_t>(it->second)].links != links) {
+        pi = static_cast<std::int32_t>(prob.paths.size());
+        index.emplace(h, pi);
+        PathAgg agg;
+        agg.links = links;
+        prob.paths.push_back(std::move(agg));
+        for (LinkId l : prob.paths.back().links) {
+          auto& list = prob.paths_of_link[static_cast<std::size_t>(l)];
+          if (list.empty() || list.back() != pi) list.push_back(pi);
+        }
+      } else {
+        pi = it->second;
+      }
+      auto& agg = prob.paths[static_cast<std::size_t>(pi)];
+      const double weight = group.weight[r];
+      agg.sent += weight * static_cast<double>(group.packets[r]);
+      agg.good += weight * static_cast<double>(group.packets[r] - group.bad[r]);
     }
-    auto& agg = prob.paths[static_cast<std::size_t>(pi)];
-    agg.sent += obs.packets_sent;
-    agg.good += static_cast<double>(obs.packets_sent - obs.bad_packets);
   }
 
   for (LinkId l = 0; l < topo.num_links(); ++l) {

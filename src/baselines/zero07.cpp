@@ -10,23 +10,37 @@ namespace flock {
 LocalizationResult Zero07Localizer::localize(const InferenceInput& input) const {
   Stopwatch watch;
   const Topology& topo = input.topology();
+  const EcmpRouter& router = input.router();
   // 007 ranks *links*; device failures surface as several of the device's
   // links ranking high (the App A.1 metric then grants partial credit).
   std::vector<double> score(static_cast<std::size_t>(topo.num_links()), 0.0);
   std::int64_t flagged = 0;
 
-  for (const FlowObservation& obs : input.flows()) {
-    if (!obs.path_known() || obs.bad_packets == 0) continue;
-    ++flagged;
-    const auto comps = input.known_path_components(obs);
-    std::int64_t links_on_path = 0;
-    for (ComponentId c : comps) {
-      if (topo.is_link_component(c)) ++links_on_path;
-    }
-    if (links_on_path == 0) continue;
-    const double vote = 1.0 / static_cast<double>(links_on_path);
-    for (ComponentId c : comps) {
-      if (topo.is_link_component(c)) score[static_cast<std::size_t>(c)] += vote;
+  // Group-major scan: the link list of a taken path is a function of
+  // (path_set, taken_path, endpoints), i.e. constant per row; weighted rows
+  // vote once with their dedup multiplicity.
+  for (const FlowGroup& group : input.table().groups()) {
+    for (std::size_t r = 0; r < group.size(); ++r) {
+      if (group.taken_path[r] < 0 || group.bad[r] == 0) continue;
+      const std::uint32_t weight = group.weight[r];
+      flagged += weight;
+      std::int64_t links_on_path = 0;
+      const PathSet& set = router.path_set(group.path_set);
+      const Path& p = router.path(set.paths[static_cast<std::size_t>(group.taken_path[r])]);
+      auto count_link = [&](ComponentId c) {
+        if (topo.is_link_component(c)) ++links_on_path;
+      };
+      if (group.src_link != kInvalidComponent) count_link(group.src_link);
+      for (ComponentId c : p.comps) count_link(c);
+      if (group.dst_link != kInvalidComponent) count_link(group.dst_link);
+      if (links_on_path == 0) continue;
+      const double vote = static_cast<double>(weight) / static_cast<double>(links_on_path);
+      auto vote_link = [&](ComponentId c) {
+        if (topo.is_link_component(c)) score[static_cast<std::size_t>(c)] += vote;
+      };
+      if (group.src_link != kInvalidComponent) vote_link(group.src_link);
+      for (ComponentId c : p.comps) vote_link(c);
+      if (group.dst_link != kInvalidComponent) vote_link(group.dst_link);
     }
   }
 

@@ -1,0 +1,104 @@
+// Open-addressing hash map from a caller-packed 192-bit key to a
+// non-negative int64 value, tuned for the FlowTable build hot path: one
+// probe per lookup in the warm case, no per-node allocation, no erase
+// support. The three uint64 key words are compared exactly — hashing only
+// picks the probe start, so collisions never merge distinct keys.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flock {
+
+class FlatMap192 {
+ public:
+  // Values are caller indices; kAbsent marks both empty slots and misses.
+  static constexpr std::int64_t kAbsent = -1;
+
+  FlatMap192() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void reserve(std::size_t expected) {
+    std::size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < expected * kMaxLoadDen) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  // Value of `key`, or kAbsent when missing.
+  std::int64_t find(std::uint64_t k1, std::uint64_t k2, std::uint64_t k3) const {
+    if (slots_.empty()) return kAbsent;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = mix(k1, k2, k3) & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (s.value == kAbsent) return kAbsent;
+      if (s.k1 == k1 && s.k2 == k2 && s.k3 == k3) return s.value;
+    }
+  }
+
+  // Reference to the value slot of `key`, inserting kAbsent first if the key
+  // is new — the caller tests for kAbsent and assigns the real value. The
+  // reference is invalidated by the next slot()/reserve() call.
+  std::int64_t& slot(std::uint64_t k1, std::uint64_t k2, std::uint64_t k3) {
+    if (slots_.empty() || (size_ + 1) * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = mix(k1, k2, k3) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.value == kAbsent) {
+        s.k1 = k1;
+        s.k2 = k2;
+        s.k3 = k3;
+        ++size_;
+        return s.value;
+      }
+      if (s.k1 == k1 && s.k2 == k2 && s.k3 == k3) return s.value;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+  // Grow past 7/8 load: probes stay short while wasting < 2x memory.
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 8;
+
+  struct Slot {
+    std::uint64_t k1 = 0;
+    std::uint64_t k2 = 0;
+    std::uint64_t k3 = 0;
+    std::int64_t value = kAbsent;
+  };
+
+  static std::uint64_t mix(std::uint64_t k1, std::uint64_t k2, std::uint64_t k3) {
+    std::uint64_t h = k1 * 0x9E3779B97F4A7C15ull + (k2 ^ 0x94D049BB133111EBull);
+    h += k3 * 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBull;
+    h ^= h >> 31;
+    return h;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.value == kAbsent) continue;
+      for (std::size_t i = mix(s.k1, s.k2, s.k3) & mask;; i = (i + 1) & mask) {
+        if (slots_[i].value == kAbsent) {
+          slots_[i] = s;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace flock

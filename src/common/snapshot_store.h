@@ -37,11 +37,15 @@ class SnapshotStore {
   static constexpr std::size_t kMaxBlocks = std::size_t{1} << 15;  // ~16.7M elements
 
   SnapshotStore() : blocks_(std::make_unique<std::atomic<T*>[]>(kMaxBlocks)) {
-    for (std::size_t b = 0; b < kMaxBlocks; ++b) blocks_[b].store(nullptr, std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kMaxBlocks; ++b) {
+      blocks_[b].store(nullptr, std::memory_order_relaxed);
+    }
   }
 
   ~SnapshotStore() {
-    for (std::size_t b = 0; b < kMaxBlocks; ++b) delete[] blocks_[b].load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kMaxBlocks; ++b) {
+      delete[] blocks_[b].load(std::memory_order_relaxed);
+    }
   }
 
   SnapshotStore(const SnapshotStore&) = delete;

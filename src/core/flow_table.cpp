@@ -1,0 +1,113 @@
+#include "core/flow_table.h"
+
+#include "core/inference_input.h"
+
+namespace flock {
+
+namespace {
+
+std::uint64_t pack(std::int32_t hi, std::int32_t lo) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(hi)) << 32) |
+         static_cast<std::uint32_t>(lo);
+}
+
+std::uint64_t pack(std::uint32_t hi, std::uint32_t lo) {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+std::int64_t encode_row(std::int32_t group, std::int32_t row) {
+  return (static_cast<std::int64_t>(group) << 32) | static_cast<std::uint32_t>(row);
+}
+
+}  // namespace
+
+std::int32_t FlowTable::group_of(PathSetId path_set, ComponentId src_link,
+                                 ComponentId dst_link) {
+  std::int64_t& slot = group_index_.slot(pack(path_set, src_link),
+                                         static_cast<std::uint32_t>(dst_link), 0);
+  if (slot != FlatMap192::kAbsent) return static_cast<std::int32_t>(slot);
+  const auto gi = static_cast<std::int32_t>(groups_.size());
+  slot = gi;
+  FlowGroup group;
+  group.path_set = path_set;
+  group.src_link = src_link;
+  group.dst_link = dst_link;
+  groups_.push_back(std::move(group));
+  return gi;
+}
+
+void FlowTable::add_row(PathSetId path_set, ComponentId src_link, ComponentId dst_link,
+                        std::int32_t taken_path, std::uint32_t packets, std::uint32_t bad,
+                        std::uint32_t weight) {
+  if (dedup_) {
+    std::int64_t& slot = row_index_.slot(pack(path_set, src_link), pack(dst_link, taken_path),
+                                         pack(packets, bad));
+    if (slot != FlatMap192::kAbsent) {
+      // Warm path: the row exists; bump its dedup weight.
+      const auto gi = static_cast<std::size_t>(slot >> 32);
+      const auto ri = static_cast<std::size_t>(slot & 0xffffffff);
+      groups_[gi].weight[ri] += weight;
+      return;
+    }
+    const std::int32_t gi = group_of(path_set, src_link, dst_link);
+    FlowGroup& group = groups_[static_cast<std::size_t>(gi)];
+    slot = encode_row(gi, static_cast<std::int32_t>(group.size()));
+    group.taken_path.push_back(taken_path);
+    group.packets.push_back(packets);
+    group.bad.push_back(bad);
+    group.weight.push_back(weight);
+  } else {
+    const std::int32_t gi = group_of(path_set, src_link, dst_link);
+    FlowGroup& group = groups_[static_cast<std::size_t>(gi)];
+    group.taken_path.push_back(taken_path);
+    group.packets.push_back(packets);
+    group.bad.push_back(bad);
+    group.weight.push_back(weight);
+  }
+  ++rows_;
+}
+
+void FlowTable::add(const FlowObservation& obs) {
+  add_row(obs.path_set, obs.src_link, obs.dst_link, obs.taken_path, obs.packets_sent,
+          obs.bad_packets, 1);
+  ++observations_;
+}
+
+void FlowTable::reserve(std::size_t expected_observations) {
+  if (dedup_) row_index_.reserve(expected_observations);
+}
+
+void FlowTable::merge_from(FlowTable&& other) {
+  if (groups_.empty() && dedup_ == other.dedup_) {
+    *this = std::move(other);
+    return;
+  }
+  for (FlowGroup& src : other.groups_) {
+    for (std::size_t r = 0; r < src.size(); ++r) {
+      add_row(src.path_set, src.src_link, src.dst_link, src.taken_path[r], src.packets[r],
+              src.bad[r], src.weight[r]);
+    }
+  }
+  observations_ += other.observations_;
+  other = FlowTable(other.dedup_);
+}
+
+std::vector<FlowObservation> FlowTable::expanded() const {
+  std::vector<FlowObservation> out;
+  out.reserve(observations_);
+  for (const FlowGroup& group : groups_) {
+    FlowObservation obs;
+    obs.path_set = group.path_set;
+    obs.src_link = group.src_link;
+    obs.dst_link = group.dst_link;
+    for (std::size_t r = 0; r < group.size(); ++r) {
+      obs.taken_path = group.taken_path[r];
+      obs.packets_sent = group.packets[r];
+      obs.bad_packets = group.bad[r];
+      for (std::uint32_t w = 0; w < group.weight[r]; ++w) out.push_back(obs);
+    }
+  }
+  return out;
+}
+
+}  // namespace flock

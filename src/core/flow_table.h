@@ -1,0 +1,99 @@
+// Columnar storage for flow observations: the epoch unit that travels from
+// the collector shards to the inference engine.
+//
+// The paper's key structural facts (§3.2-§3.3) are baked into the layout
+// instead of rediscovered per flow:
+//   * Millions of flows share one interned PathSet per ToR pair, and a
+//     flow's likelihood depends on the hypothesis only through the shared
+//     bad-path count b — so observations are stored *group-major*, grouped
+//     by (path_set, src_link, dst_link), the full routing identity of a
+//     flow. Every inference quantity that is constant across a group
+//     (endpoint fail state, candidate width, path membership) is computed
+//     once per group, never once per flow.
+//   * Within a group, observations that are byte-identical after the
+//     routing join — same (taken_path, packets_sent, bad_packets) — are
+//     indistinguishable to every scheme, so they collapse into one weighted
+//     row. Passive-heavy epochs (many small flows between few hot host
+//     pairs, mostly with zero drops) shrink by an order of magnitude.
+//
+// Rows are stored as structure-of-arrays columns so the engines' inner
+// loops scan contiguous memory. add() maintains the grouping and dedup
+// incrementally (two flat-map probes per observation), which is what lets
+// each collector shard build its epoch's table while records stream in and
+// hand it to the localizer pool by move. Group order and row order are
+// first-seen order: the table is a deterministic function of the
+// observation sequence, and merge_from() of per-batch tables in dispatch
+// order reproduces exactly the table a single sequential build would have
+// produced (the pipeline's determinism and steal-transparency invariants
+// rest on this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/ids.h"
+
+namespace flock {
+
+struct FlowObservation;  // core/inference_input.h
+
+// One (path_set, src_link, dst_link) group and its row columns. weight[i]
+// counts how many raw observations collapsed into row i.
+struct FlowGroup {
+  PathSetId path_set = kInvalidPathSet;
+  ComponentId src_link = kInvalidComponent;
+  ComponentId dst_link = kInvalidComponent;
+  std::vector<std::int32_t> taken_path;
+  std::vector<std::uint32_t> packets;
+  std::vector<std::uint32_t> bad;
+  std::vector<std::uint32_t> weight;
+
+  std::size_t size() const { return taken_path.size(); }
+};
+
+class FlowTable {
+ public:
+  // dedup=false keeps one row per raw observation (still grouped); the
+  // inference microbench uses it as the measured A/B lever for the weighted
+  // dedup win.
+  explicit FlowTable(bool dedup = true) : dedup_(dedup) {}
+
+  void add(const FlowObservation& obs);
+
+  // Capacity hint in raw observations.
+  void reserve(std::size_t expected_observations);
+
+  // Append another table built over the same topology/routing view, exactly
+  // as if other's observations had been add()ed here in expansion order.
+  // Consumes other's rows (cheap: group/row merge, never per-observation).
+  void merge_from(FlowTable&& other);
+
+  const std::vector<FlowGroup>& groups() const { return groups_; }
+  std::size_t num_groups() const { return groups_.size(); }
+  std::size_t num_rows() const { return rows_; }
+  std::uint64_t num_observations() const { return observations_; }
+  bool dedup_enabled() const { return dedup_; }
+
+  // The observation multiset, materialized row-per-observation (weight-w
+  // rows repeat w times) in group-major first-seen order. Test/debug path:
+  // hot consumers iterate groups() instead.
+  std::vector<FlowObservation> expanded() const;
+
+ private:
+  std::int32_t group_of(PathSetId path_set, ComponentId src_link, ComponentId dst_link);
+  void add_row(PathSetId path_set, ComponentId src_link, ComponentId dst_link,
+               std::int32_t taken_path, std::uint32_t packets, std::uint32_t bad,
+               std::uint32_t weight);
+
+  bool dedup_;
+  std::vector<FlowGroup> groups_;
+  std::size_t rows_ = 0;
+  std::uint64_t observations_ = 0;
+  FlatMap192 group_index_;  // (path_set | src_link, dst_link) -> group
+  // Full observation identity -> (group, row): the warm add() path is one
+  // probe + one weight bump; the group map is only consulted on row misses.
+  FlatMap192 row_index_;    // (path_set | src_link, dst_link | taken_path, packets | bad)
+};
+
+}  // namespace flock

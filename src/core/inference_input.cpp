@@ -6,8 +6,9 @@ namespace flock {
 
 std::vector<ComponentId> InferenceInput::known_path_components(const FlowObservation& obs) const {
   if (!obs.path_known()) throw std::invalid_argument("known_path_components: path unknown");
-  const PathSet& ps = router_->path_set(obs.path_set);
-  const Path& p = router_->path(ps.paths[static_cast<std::size_t>(obs.taken_path)]);
+  const EcmpRouter& router = *ctx_->router;
+  const PathSet& ps = router.path_set(obs.path_set);
+  const Path& p = router.path(ps.paths[static_cast<std::size_t>(obs.taken_path)]);
   std::vector<ComponentId> comps;
   comps.reserve(p.comps.size() + 2);
   if (obs.src_link != kInvalidComponent) comps.push_back(obs.src_link);
@@ -18,7 +19,7 @@ std::vector<ComponentId> InferenceInput::known_path_components(const FlowObserva
 
 std::int32_t InferenceInput::width(const FlowObservation& obs) const {
   if (obs.path_known()) return 1;
-  return static_cast<std::int32_t>(router_->path_set(obs.path_set).paths.size());
+  return static_cast<std::int32_t>(ctx_->router->path_set(obs.path_set).paths.size());
 }
 
 }  // namespace flock

@@ -1,5 +1,5 @@
 // The input to every fault localization scheme: the topology/routing view
-// plus one observation per monitored flow (§2.2).
+// plus the columnar FlowTable of observations for one epoch (§2.2).
 //
 // A flow observation carries the metric pair (bad_packets, packets_sent) and
 // its routing information:
@@ -9,12 +9,28 @@
 //     telemetry P).
 // Host access links are carried separately from the interned switch-level
 // path sets so that millions of flows can share one PathSet per ToR pair.
+//
+// Observations are stored group-major and weight-deduplicated (see
+// core/flow_table.h); FlowObservation is the ingestion/expansion unit, not
+// the storage unit.
+//
+// Lifetime: an InferenceInput does not own the Topology or the EcmpRouter —
+// epochs are cheap, routing state is not. What it *does* own, explicitly, is
+// a shared InferenceContext binding: every input minted for an epoch holds a
+// shared_ptr to the context naming the (topology, router) pair it was joined
+// against, so the binding provably travels with the snapshot across the
+// localizer-pool thread boundary. The referents must outlive every holder of
+// the context; StreamingPipeline asserts at teardown that no context
+// reference escaped it (see pipeline.h).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/ids.h"
+#include "core/flow_table.h"
 #include "topology/ecmp.h"
 #include "topology/topology.h"
 
@@ -32,18 +48,51 @@ struct FlowObservation {
   bool path_known() const { return taken_path >= 0; }
 };
 
+// The (topology, router) pair an epoch's observations were joined against.
+// Shared by every InferenceInput of a pipeline run; the pointees are borrowed
+// and must outlive all holders.
+struct InferenceContext {
+  const Topology* topo = nullptr;
+  const EcmpRouter* router = nullptr;
+};
+
 class InferenceInput {
  public:
-  InferenceInput(const Topology& topo, const EcmpRouter& router)
-      : topo_(&topo), router_(&router) {}
+  // Standalone use (tests, examples, the synchronous eval path): mints a
+  // private context over the caller's objects. dedup_rows=false keeps one
+  // row per observation — the measured A/B lever of bench/micro_inference.
+  InferenceInput(const Topology& topo, const EcmpRouter& router, bool dedup_rows = true)
+      : ctx_(std::make_shared<const InferenceContext>(InferenceContext{&topo, &router})),
+        table_(dedup_rows) {}
 
-  const Topology& topology() const { return *topo_; }
-  const EcmpRouter& router() const { return *router_; }
+  // Pipeline use: every epoch snapshot shares one context so outstanding
+  // references are countable at teardown.
+  explicit InferenceInput(std::shared_ptr<const InferenceContext> ctx)
+      : ctx_(std::move(ctx)) {}
 
-  void add(FlowObservation obs) { flows_.push_back(obs); }
-  void reserve(std::size_t n) { flows_.reserve(n); }
-  const std::vector<FlowObservation>& flows() const { return flows_; }
-  std::size_t num_flows() const { return flows_.size(); }
+  const Topology& topology() const { return *ctx_->topo; }
+  const EcmpRouter& router() const { return *ctx_->router; }
+  const std::shared_ptr<const InferenceContext>& context() const { return ctx_; }
+
+  void add(const FlowObservation& obs) { table_.add(obs); }
+  void reserve(std::size_t n) { table_.reserve(n); }
+
+  const FlowTable& table() const { return table_; }
+
+  // Raw observation count (dedup weights included) and stored row count.
+  std::size_t num_flows() const { return static_cast<std::size_t>(table_.num_observations()); }
+  std::size_t num_rows() const { return table_.num_rows(); }
+
+  // Append another input joined against the same (topology, router) pair,
+  // as if its observations had been add()ed here (the epoch-barrier merge).
+  void merge_from(InferenceInput&& other) {
+    assert(ctx_->topo == other.ctx_->topo && ctx_->router == other.ctx_->router);
+    table_.merge_from(std::move(other.table_));
+  }
+
+  // The observation multiset as per-flow records, for tests and reference
+  // computations; hot paths iterate table().groups().
+  std::vector<FlowObservation> expanded_flows() const { return table_.expanded(); }
 
   // Materialized component sequence of a known-path flow: src access link,
   // every link/device of the taken switch path, dst access link.
@@ -53,9 +102,8 @@ class InferenceInput {
   std::int32_t width(const FlowObservation& obs) const;
 
  private:
-  const Topology* topo_;
-  const EcmpRouter* router_;
-  std::vector<FlowObservation> flows_;
+  std::shared_ptr<const InferenceContext> ctx_;
+  FlowTable table_;
 };
 
 // Result of one localization run.

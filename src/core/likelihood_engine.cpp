@@ -14,6 +14,19 @@ double LikelihoodEngine::flow_ll(std::int64_t bad_paths, std::int64_t total_path
   return flow_log_likelihood_delta(bad_paths, total_paths, s);
 }
 
+double LikelihoodEngine::ugroup_sum(const UnknownGroup& g, std::int64_t bad_paths,
+                                    std::int64_t total_paths) const {
+  if (bad_paths <= 0) return 0.0;
+  if (bad_paths >= total_paths) return g.sum_ws;
+  const double* s = u_s_.data();
+  const double* wt = u_weight_.data();
+  double total = 0.0;
+  for (std::int32_t i = g.row_begin; i < g.row_end; ++i) {
+    total += wt[i] * flow_log_likelihood_delta(bad_paths, total_paths, s[i]);
+  }
+  return total;
+}
+
 LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParams& params,
                                    bool maintain_delta)
     : input_(&input), params_(params), maintain_delta_(maintain_delta) {
@@ -22,16 +35,9 @@ LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParam
   n_comps_ = topo.num_components();
   failed_.assign(static_cast<std::size_t>(n_comps_), 0);
 
-  const auto& flows = input.flows();
-  const std::size_t m = flows.size();
-  s_flow_.resize(m);
-  is_known_.resize(m);
-  known_fail_count_.assign(m, 0);
-  endpoint_fail_count_.assign(m, 0);
-  known_comp_offset_.assign(m + 1, 0);
-  known_flows_of_comp_.resize(static_cast<std::size_t>(n_comps_));
   ps_of_comp_.resize(static_cast<std::size_t>(n_comps_));
-  endpoint_flows_of_comp_.resize(static_cast<std::size_t>(n_comps_));
+  endpoint_ugroups_of_comp_.resize(static_cast<std::size_t>(n_comps_));
+  kentries_of_comp_.resize(static_cast<std::size_t>(n_comps_));
   ps_state_index_.assign(static_cast<std::size_t>(router.num_path_sets()), -1);
   path_fail_count_.assign(static_cast<std::size_t>(router.num_paths()), 0);
   scratch_epoch_.assign(static_cast<std::size_t>(n_comps_), 0);
@@ -41,55 +47,94 @@ LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParam
   const double log_ratio_bad = std::log(params_.p_b / params_.p_g);
   const double log_ratio_good = std::log1p(-params_.p_b) - std::log1p(-params_.p_g);
 
-  // Pass 1: per-flow evidence, path-set registration, known-path sizing.
-  std::size_t known_total = 0;
-  for (std::size_t f = 0; f < m; ++f) {
-    const FlowObservation& obs = flows[f];
-    if (obs.bad_packets > obs.packets_sent) {
-      throw std::invalid_argument("LikelihoodEngine: bad_packets > packets_sent");
-    }
-    s_flow_[f] = static_cast<double>(obs.bad_packets) * log_ratio_bad +
-                 static_cast<double>(obs.packets_sent - obs.bad_packets) * log_ratio_good;
-    is_known_[f] = obs.path_known() ? 1 : 0;
-    if (obs.path_known()) {
-      const PathSet& set = router.path_set(obs.path_set);
-      const Path& p = router.path(set.paths[static_cast<std::size_t>(obs.taken_path)]);
-      known_total += p.comps.size() + (obs.src_link != kInvalidComponent ? 1u : 0u) +
-                     (obs.dst_link != kInvalidComponent ? 1u : 0u);
-    } else {
-      auto& idx = ps_state_index_[static_cast<std::size_t>(obs.path_set)];
-      if (idx < 0) {
-        idx = static_cast<std::int32_t>(ps_states_.size());
-        ps_states_.emplace_back();
-        used_path_sets_.push_back(obs.path_set);
-      }
-      ps_states_[static_cast<std::size_t>(idx)].flows.push_back(static_cast<FlowId>(f));
-      if (obs.src_link != kInvalidComponent) {
-        endpoint_flows_of_comp_[static_cast<std::size_t>(obs.src_link)].push_back(
-            static_cast<FlowId>(f));
-      }
-      if (obs.dst_link != kInvalidComponent) {
-        endpoint_flows_of_comp_[static_cast<std::size_t>(obs.dst_link)].push_back(
-            static_cast<FlowId>(f));
-      }
-    }
-  }
+  const FlowTable& table = input.table();
+  u_s_.reserve(table.num_rows());
+  u_weight_.reserve(table.num_rows());
 
-  // Pass 2: flatten known-path component lists + inverted index.
-  known_comp_data_.reserve(known_total);
-  for (std::size_t f = 0; f < m; ++f) {
-    known_comp_offset_[f] = static_cast<std::int32_t>(known_comp_data_.size());
-    if (!is_known_[f]) continue;
-    for (ComponentId c : input.known_path_components(flows[f])) {
-      known_comp_data_.push_back(c);
-      known_flows_of_comp_[static_cast<std::size_t>(c)].push_back(static_cast<FlowId>(f));
+  // Scratch for the known-path entries of one group: (taken_path, entry).
+  std::vector<std::pair<std::int32_t, std::int32_t>> group_entries;
+
+  for (const FlowGroup& group : table.groups()) {
+    // Unknown-path rows: one UnknownGroup with contiguous evidence columns.
+    const auto row_begin = static_cast<std::int32_t>(u_s_.size());
+    double sum_ws = 0.0;
+    group_entries.clear();
+    for (std::size_t r = 0; r < group.size(); ++r) {
+      const std::uint32_t packets = group.packets[r];
+      const std::uint32_t bad = group.bad[r];
+      if (bad > packets) {
+        throw std::invalid_argument("LikelihoodEngine: bad_packets > packets_sent");
+      }
+      const double s = static_cast<double>(bad) * log_ratio_bad +
+                       static_cast<double>(packets - bad) * log_ratio_good;
+      const double weight = static_cast<double>(group.weight[r]);
+      const std::int32_t tp = group.taken_path[r];
+      if (tp < 0) {
+        u_s_.push_back(s);
+        u_weight_.push_back(weight);
+        sum_ws += weight * s;
+        continue;
+      }
+      // Known-path row: find or create the (group, taken_path) entry. The
+      // distinct taken paths per group are bounded by the ECMP width, so a
+      // linear scan beats a map here.
+      std::int32_t ei = -1;
+      for (const auto& [entry_tp, entry_idx] : group_entries) {
+        if (entry_tp == tp) {
+          ei = entry_idx;
+          break;
+        }
+      }
+      if (ei < 0) {
+        ei = static_cast<std::int32_t>(kentries_.size());
+        group_entries.emplace_back(tp, ei);
+        KnownEntry entry;
+        entry.comp_begin = static_cast<std::int32_t>(kcomp_data_.size());
+        if (group.src_link != kInvalidComponent) kcomp_data_.push_back(group.src_link);
+        const PathSet& set = router.path_set(group.path_set);
+        const Path& p = router.path(set.paths[static_cast<std::size_t>(tp)]);
+        kcomp_data_.insert(kcomp_data_.end(), p.comps.begin(), p.comps.end());
+        if (group.dst_link != kInvalidComponent) kcomp_data_.push_back(group.dst_link);
+        entry.comp_end = static_cast<std::int32_t>(kcomp_data_.size());
+        kentries_.push_back(entry);
+        for (std::int32_t i = entry.comp_begin; i < entry.comp_end; ++i) {
+          kentries_of_comp_[static_cast<std::size_t>(kcomp_data_[static_cast<std::size_t>(i)])]
+              .push_back(ei);
+        }
+      }
+      kentries_[static_cast<std::size_t>(ei)].sum_ws += weight * s;
+    }
+    const auto row_end = static_cast<std::int32_t>(u_s_.size());
+    if (row_end == row_begin) continue;
+
+    const auto gi = static_cast<std::int32_t>(ugroups_.size());
+    UnknownGroup g;
+    g.path_set = group.path_set;
+    g.src_link = group.src_link;
+    g.dst_link = group.dst_link;
+    g.row_begin = row_begin;
+    g.row_end = row_end;
+    g.sum_ws = sum_ws;
+    ugroups_.push_back(g);
+
+    auto& idx = ps_state_index_[static_cast<std::size_t>(group.path_set)];
+    if (idx < 0) {
+      idx = static_cast<std::int32_t>(ps_states_.size());
+      ps_states_.emplace_back();
+      used_path_sets_.push_back(group.path_set);
+    }
+    ps_states_[static_cast<std::size_t>(idx)].ugroups.push_back(gi);
+    if (group.src_link != kInvalidComponent) {
+      endpoint_ugroups_of_comp_[static_cast<std::size_t>(group.src_link)].push_back(gi);
+    }
+    if (group.dst_link != kInvalidComponent) {
+      endpoint_ugroups_of_comp_[static_cast<std::size_t>(group.dst_link)].push_back(gi);
     }
   }
-  known_comp_offset_[m] = static_cast<std::int32_t>(known_comp_data_.size());
 
   // Path-set universes + comp -> path-set index.
   for (PathSetId ps : used_path_sets_) {
-    PathSetState& st = ps_states_[static_cast<std::size_t>(ps_state_index_[static_cast<std::size_t>(ps)])];
+    PathSetState& st = ps_state_mut(ps);
     ++epoch_;
     for (PathId pid : router.path_set(ps).paths) {
       for (ComponentId c : router.path(pid).comps) {
@@ -107,8 +152,8 @@ LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParam
   if (maintain_delta_) {
     delta_.assign(static_cast<std::size_t>(n_comps_), 0.0);
     for (PathSetId ps : used_path_sets_) apply_pathset_contribs(ps, +1.0);
-    for (std::size_t f = 0; f < m; ++f) {
-      if (is_known_[f]) apply_known_flow_contribs(static_cast<FlowId>(f), +1.0);
+    for (std::size_t ei = 0; ei < kentries_.size(); ++ei) {
+      apply_kentry_contribs(static_cast<std::int32_t>(ei), +1.0);
     }
   }
 }
@@ -174,46 +219,35 @@ std::int32_t LikelihoodEngine::counter_crit(ComponentId c) const {
   return scratch_epoch_[i] == epoch_ ? scratch_crit_[i] : 0;
 }
 
-std::int64_t LikelihoodEngine::flow_bad_paths(FlowId f) const {
-  const FlowObservation& obs = input_->flows()[static_cast<std::size_t>(f)];
-  const std::int64_t w = input_->width(obs);
-  if (endpoint_fail_count_[static_cast<std::size_t>(f)] > 0) return w;
-  return ps_state(obs.path_set).bad_paths;
-}
-
 void LikelihoodEngine::apply_pathset_contribs(PathSetId ps, double sign) {
   const EcmpRouter& router = input_->router();
   const PathSetState& st = ps_state(ps);
-  if (st.flows.empty()) return;
+  if (st.ugroups.empty()) return;
   const auto w = static_cast<std::int64_t>(router.path_set(ps).paths.size());
   const std::int64_t b = st.bad_paths;
   compute_counters(ps);
   sum_memo_.clear();
 
-  const auto& flows = input_->flows();
   double sum_at_b = 0.0;
-  for (FlowId fid : st.flows) {
-    const auto fi = static_cast<std::size_t>(fid);
-    const FlowObservation& obs = flows[fi];
-    const double s = s_flow_[fi];
-    const std::int32_t efc = endpoint_fail_count_[fi];
-    if (efc == 0) {
-      const double fb = flow_ll(b, w, s);
+  for (std::int32_t gi : st.ugroups) {
+    const UnknownGroup& g = ugroups_[static_cast<std::size_t>(gi)];
+    if (g.endpoint_fail_count == 0) {
+      const double fb = ugroup_sum(g, b, w);
       sum_at_b += fb;
-      if (obs.src_link != kInvalidComponent) {
-        delta_[static_cast<std::size_t>(obs.src_link)] += sign * (s - fb);
+      if (g.src_link != kInvalidComponent) {
+        delta_[static_cast<std::size_t>(g.src_link)] += sign * (g.sum_ws - fb);
       }
-      if (obs.dst_link != kInvalidComponent) {
-        delta_[static_cast<std::size_t>(obs.dst_link)] += sign * (s - fb);
+      if (g.dst_link != kInvalidComponent) {
+        delta_[static_cast<std::size_t>(g.dst_link)] += sign * (g.sum_ws - fb);
       }
-    } else if (efc == 1) {
-      // Exactly one failed endpoint e: removing e drops the flow back to the
-      // path-set's bad count; all other flips are no-ops for this flow.
+    } else if (g.endpoint_fail_count == 1) {
+      // Exactly one failed endpoint e: removing e drops the group back to the
+      // path-set's bad count; all other flips are no-ops for these flows.
       const ComponentId e =
-          (obs.src_link != kInvalidComponent && failed_[static_cast<std::size_t>(obs.src_link)])
-              ? obs.src_link
-              : obs.dst_link;
-      delta_[static_cast<std::size_t>(e)] += sign * (flow_ll(b, w, s) - s);
+          (g.src_link != kInvalidComponent && failed_[static_cast<std::size_t>(g.src_link)])
+              ? g.src_link
+              : g.dst_link;
+      delta_[static_cast<std::size_t>(e)] += sign * (ugroup_sum(g, b, w) - g.sum_ws);
     }
   }
   sum_memo_.emplace(b, sum_at_b);
@@ -222,9 +256,9 @@ void LikelihoodEngine::apply_pathset_contribs(PathSetId ps, double sign) {
     auto it = sum_memo_.find(x);
     if (it != sum_memo_.end()) return it->second;
     double total = 0.0;
-    for (FlowId fid : st.flows) {
-      const auto fi = static_cast<std::size_t>(fid);
-      if (endpoint_fail_count_[fi] == 0) total += flow_ll(x, w, s_flow_[fi]);
+    for (std::int32_t gi : st.ugroups) {
+      const UnknownGroup& g = ugroups_[static_cast<std::size_t>(gi)];
+      if (g.endpoint_fail_count == 0) total += ugroup_sum(g, x, w);
     }
     sum_memo_.emplace(x, total);
     return total;
@@ -238,73 +272,74 @@ void LikelihoodEngine::apply_pathset_contribs(PathSetId ps, double sign) {
   }
 }
 
-void LikelihoodEngine::apply_unknown_flow_contribs(FlowId f, double sign) {
+void LikelihoodEngine::apply_ugroup_contribs(std::int32_t gi, double sign) {
   const EcmpRouter& router = input_->router();
-  const auto fi = static_cast<std::size_t>(f);
-  const FlowObservation& obs = input_->flows()[fi];
-  const auto w = static_cast<std::int64_t>(router.path_set(obs.path_set).paths.size());
-  const double s = s_flow_[fi];
-  const std::int32_t efc = endpoint_fail_count_[fi];
-  const PathSetState& st = ps_state(obs.path_set);
+  const UnknownGroup& g = ugroups_[static_cast<std::size_t>(gi)];
+  const auto w = static_cast<std::int64_t>(router.path_set(g.path_set).paths.size());
+  const PathSetState& st = ps_state(g.path_set);
   const std::int64_t b = st.bad_paths;
-  if (efc == 0) {
-    const double fb = flow_ll(b, w, s);
-    compute_counters(obs.path_set);
+  if (g.endpoint_fail_count == 0) {
+    const double fb = ugroup_sum(g, b, w);
+    compute_counters(g.path_set);
+    sum_memo_.clear();
     for (ComponentId c : st.universe) {
       const std::int64_t x = failed_[static_cast<std::size_t>(c)] ? b - counter_crit(c)
                                                                   : b + counter_good(c);
       if (x == b) continue;
-      delta_[static_cast<std::size_t>(c)] += sign * (flow_ll(x, w, s) - fb);
+      auto it = sum_memo_.find(x);
+      const double fx = it != sum_memo_.end() ? it->second
+                                              : sum_memo_.emplace(x, ugroup_sum(g, x, w))
+                                                    .first->second;
+      delta_[static_cast<std::size_t>(c)] += sign * (fx - fb);
     }
-    if (obs.src_link != kInvalidComponent) {
-      delta_[static_cast<std::size_t>(obs.src_link)] += sign * (s - fb);
+    if (g.src_link != kInvalidComponent) {
+      delta_[static_cast<std::size_t>(g.src_link)] += sign * (g.sum_ws - fb);
     }
-    if (obs.dst_link != kInvalidComponent) {
-      delta_[static_cast<std::size_t>(obs.dst_link)] += sign * (s - fb);
+    if (g.dst_link != kInvalidComponent) {
+      delta_[static_cast<std::size_t>(g.dst_link)] += sign * (g.sum_ws - fb);
     }
-  } else if (efc == 1) {
+  } else if (g.endpoint_fail_count == 1) {
     const ComponentId e =
-        (obs.src_link != kInvalidComponent && failed_[static_cast<std::size_t>(obs.src_link)])
-            ? obs.src_link
-            : obs.dst_link;
-    delta_[static_cast<std::size_t>(e)] += sign * (flow_ll(b, w, s) - s);
+        (g.src_link != kInvalidComponent && failed_[static_cast<std::size_t>(g.src_link)])
+            ? g.src_link
+            : g.dst_link;
+    delta_[static_cast<std::size_t>(e)] += sign * (ugroup_sum(g, b, w) - g.sum_ws);
   }
-  // efc == 2: every flip leaves all w paths bad; no contributions at all.
+  // endpoint_fail_count == 2: every flip leaves all w paths bad; no
+  // contributions at all.
 }
 
-void LikelihoodEngine::apply_known_flow_contribs(FlowId f, double sign) {
-  const auto fi = static_cast<std::size_t>(f);
-  const double s = s_flow_[fi];
-  const std::int32_t k = known_fail_count_[fi];
-  const auto begin = static_cast<std::size_t>(known_comp_offset_[fi]);
-  const auto end = static_cast<std::size_t>(known_comp_offset_[fi + 1]);
-  if (k == 0) {
-    // Adding any component of the path takes the flow from good to bad.
+void LikelihoodEngine::apply_kentry_contribs(std::int32_t ei, double sign) {
+  const KnownEntry& e = kentries_[static_cast<std::size_t>(ei)];
+  const auto begin = static_cast<std::size_t>(e.comp_begin);
+  const auto end = static_cast<std::size_t>(e.comp_end);
+  if (e.fail_count == 0) {
+    // Adding any component of the path takes every row from good to bad.
     for (std::size_t i = begin; i < end; ++i) {
-      delta_[static_cast<std::size_t>(known_comp_data_[i])] += sign * s;
+      delta_[static_cast<std::size_t>(kcomp_data_[i])] += sign * e.sum_ws;
     }
-  } else if (k == 1) {
-    // Removing the unique failed component heals the flow; other flips no-op.
+  } else if (e.fail_count == 1) {
+    // Removing the unique failed component heals the path; other flips no-op.
     for (std::size_t i = begin; i < end; ++i) {
-      const ComponentId c = known_comp_data_[i];
+      const ComponentId c = kcomp_data_[i];
       if (failed_[static_cast<std::size_t>(c)]) {
-        delta_[static_cast<std::size_t>(c)] += sign * (-s);
+        delta_[static_cast<std::size_t>(c)] += sign * (-e.sum_ws);
         break;
       }
     }
   }
-  // k >= 2: the path stays bad under any single flip.
+  // fail_count >= 2: the path stays bad under any single flip.
 }
 
 double LikelihoodEngine::compute_flip_delta_ll(ComponentId c) const {
   const EcmpRouter& router = input_->router();
-  const auto& flows = input_->flows();
+  const auto ci = static_cast<std::size_t>(c);
   const bool c_failed = failed(c);
   double total = 0.0;
 
-  for (PathSetId ps : ps_of_comp_[static_cast<std::size_t>(c)]) {
+  for (PathSetId ps : ps_of_comp_[ci]) {
     const PathSetState& st = ps_state(ps);
-    if (st.flows.empty()) continue;
+    if (st.ugroups.empty()) continue;
     const auto w = static_cast<std::int64_t>(router.path_set(ps).paths.size());
     const std::int64_t b = st.bad_paths;
     std::int32_t cnt = 0;
@@ -317,35 +352,30 @@ double LikelihoodEngine::compute_flip_delta_ll(ComponentId c) const {
     }
     const std::int64_t x = c_failed ? b - cnt : b + cnt;
     if (x == b) continue;
-    for (FlowId fid : st.flows) {
-      const auto fi = static_cast<std::size_t>(fid);
-      if (endpoint_fail_count_[fi] != 0) continue;
-      total += flow_ll(x, w, s_flow_[fi]) - flow_ll(b, w, s_flow_[fi]);
+    for (std::int32_t gi : st.ugroups) {
+      const UnknownGroup& g = ugroups_[static_cast<std::size_t>(gi)];
+      if (g.endpoint_fail_count != 0) continue;
+      total += ugroup_sum(g, x, w) - ugroup_sum(g, b, w);
     }
   }
 
-  for (FlowId fid : endpoint_flows_of_comp_[static_cast<std::size_t>(c)]) {
-    const auto fi = static_cast<std::size_t>(fid);
-    const FlowObservation& obs = flows[fi];
-    const auto w = static_cast<std::int64_t>(router.path_set(obs.path_set).paths.size());
-    const std::int64_t b = ps_state(obs.path_set).bad_paths;
-    const double s = s_flow_[fi];
-    const std::int32_t efc = endpoint_fail_count_[fi];
+  for (std::int32_t gi : endpoint_ugroups_of_comp_[ci]) {
+    const UnknownGroup& g = ugroups_[static_cast<std::size_t>(gi)];
+    const auto w = static_cast<std::int64_t>(router.path_set(g.path_set).paths.size());
+    const std::int64_t b = ps_state(g.path_set).bad_paths;
     if (!c_failed) {
-      if (efc == 0) total += s - flow_ll(b, w, s);
+      if (g.endpoint_fail_count == 0) total += g.sum_ws - ugroup_sum(g, b, w);
     } else {
-      if (efc == 1) total += flow_ll(b, w, s) - s;
+      if (g.endpoint_fail_count == 1) total += ugroup_sum(g, b, w) - g.sum_ws;
     }
   }
 
-  for (FlowId fid : known_flows_of_comp_[static_cast<std::size_t>(c)]) {
-    const auto fi = static_cast<std::size_t>(fid);
-    const std::int32_t k = known_fail_count_[fi];
-    const double s = s_flow_[fi];
+  for (std::int32_t ei : kentries_of_comp_[ci]) {
+    const KnownEntry& e = kentries_[static_cast<std::size_t>(ei)];
     if (!c_failed) {
-      if (k == 0) total += s;
+      if (e.fail_count == 0) total += e.sum_ws;
     } else {
-      if (k == 1) total -= s;
+      if (e.fail_count == 1) total -= e.sum_ws;
     }
   }
   return total;
@@ -357,8 +387,8 @@ void LikelihoodEngine::flip(ComponentId c) {
 
   if (maintain_delta_) {
     for (PathSetId ps : ps_of_comp_[ci]) apply_pathset_contribs(ps, -1.0);
-    for (FlowId f : endpoint_flows_of_comp_[ci]) apply_unknown_flow_contribs(f, -1.0);
-    for (FlowId f : known_flows_of_comp_[ci]) apply_known_flow_contribs(f, -1.0);
+    for (std::int32_t gi : endpoint_ugroups_of_comp_[ci]) apply_ugroup_contribs(gi, -1.0);
+    for (std::int32_t ei : kentries_of_comp_[ci]) apply_kentry_contribs(ei, -1.0);
   }
 
   const EcmpRouter& router = input_->router();
@@ -374,8 +404,12 @@ void LikelihoodEngine::flip(ComponentId c) {
       if (d < 0 && fc == 0) --st.bad_paths;
     }
   }
-  for (FlowId f : endpoint_flows_of_comp_[ci]) endpoint_fail_count_[static_cast<std::size_t>(f)] += d;
-  for (FlowId f : known_flows_of_comp_[ci]) known_fail_count_[static_cast<std::size_t>(f)] += d;
+  for (std::int32_t gi : endpoint_ugroups_of_comp_[ci]) {
+    ugroups_[static_cast<std::size_t>(gi)].endpoint_fail_count += d;
+  }
+  for (std::int32_t ei : kentries_of_comp_[ci]) {
+    kentries_[static_cast<std::size_t>(ei)].fail_count += d;
+  }
   const double prior = prior_cost(c);
   prior_ll_ += d > 0 ? prior : -prior;
   failed_[ci] ^= 1;
@@ -384,8 +418,8 @@ void LikelihoodEngine::flip(ComponentId c) {
 
   if (maintain_delta_) {
     for (PathSetId ps : ps_of_comp_[ci]) apply_pathset_contribs(ps, +1.0);
-    for (FlowId f : endpoint_flows_of_comp_[ci]) apply_unknown_flow_contribs(f, +1.0);
-    for (FlowId f : known_flows_of_comp_[ci]) apply_known_flow_contribs(f, +1.0);
+    for (std::int32_t gi : endpoint_ugroups_of_comp_[ci]) apply_ugroup_contribs(gi, +1.0);
+    for (std::int32_t ei : kentries_of_comp_[ci]) apply_kentry_contribs(ei, +1.0);
   }
 }
 

@@ -1,5 +1,6 @@
 // The likelihood engine: incremental evaluation of Flock's PGM (§3.2) with
-// Joint Likelihood Exploration (§3.3, Algorithm 2).
+// Joint Likelihood Exploration (§3.3, Algorithm 2), evaluated group-major
+// over the columnar FlowTable.
 //
 // The engine maintains a current hypothesis H (a set of failed components)
 // and, in JLE mode, the full Delta array
@@ -9,27 +10,36 @@
 // contributions of flows that intersect c' (Theorem 1), which is what turns
 // each greedy iteration from O(n·D·T) into O(D·T).
 //
-// Key modeling facts the implementation exploits:
+// Key modeling facts the implementation exploits, mirrored in the FlowTable
+// layout:
 //   * A flow's likelihood depends on the hypothesis only through the number
 //     b of failed paths among its w ECMP candidates (Eq. 1):
 //         LL_F(H) − LL_F(∅) = f(b) = log((b·e^s + (w−b))/w),
 //     with the flow's evidence s = r·log(p_b/p_g) + (t−r)·log((1−p_b)/(1−p_g)).
 //   * Millions of flows share interned per-ToR-pair path sets, so the per-
 //     component path-membership counters (Algorithm 2's GetCounters) are
-//     computed once per path set, not once per flow, and the per-flow sums
-//     Σ_F f(x) are memoized per distinct count x.
+//     computed once per path set, not once per flow; the per-flow sums
+//     Σ_F f(x) are memoized per distinct count x; and identical observations
+//     enter each sum once, scaled by their dedup weight.
 //   * Host access links lie on *every* candidate path of their flows and are
-//     tracked separately: a failed endpoint makes all w paths bad.
+//     tracked separately: a failed endpoint makes all w paths bad. All flows
+//     of one table group share both endpoints, so endpoint fail state is one
+//     counter per group, not per flow.
+//   * Rows of a group with the same taken path traverse the same component
+//     sequence, so known-path bookkeeping (the per-path hypothesis-overlap
+//     count k) lives on one entry per (group, taken_path), carrying the
+//     weighted evidence sum of all its rows.
 //
 // Updates follow a subtract / mutate / add discipline: before a flip, the
-// contributions of every affected flow are subtracted from the Delta array;
-// the hypothesis state (per-path fail counts, per-flow endpoint counts) is
-// then mutated; finally the contributions are re-added under the new state.
-// This keeps every formula evaluated against a consistent snapshot.
+// contributions of every affected group are subtracted from the Delta array;
+// the hypothesis state (per-path fail counts, per-group endpoint counts,
+// per-entry overlap counts) is then mutated; finally the contributions are
+// re-added under the new state. This keeps every formula evaluated against a
+// consistent snapshot.
 //
 // The engine also supports the non-JLE mode used by the Sherlock baseline
 // and the ablations: compute_flip_delta_ll() evaluates a single neighbor
-// from scratch in O(D·T) by scanning the flows that intersect the component.
+// from scratch in O(D·T) by scanning the groups that intersect the component.
 #pragma once
 
 #include <cstdint>
@@ -67,7 +77,7 @@ class LikelihoodEngine {
   // Posterior change of flipping c (likelihood delta + prior delta).
   double flip_score(ComponentId c) const;
 
-  // Ground-truth recomputation of flip_delta_ll by scanning affected flows;
+  // Ground-truth recomputation of flip_delta_ll by scanning affected groups;
   // works in both modes and never touches engine state.
   double compute_flip_delta_ll(ComponentId c) const;
 
@@ -86,12 +96,32 @@ class LikelihoodEngine {
 
   bool jle_enabled() const { return maintain_delta_; }
 
-  // The flow evidence s (exposed for tests and the analysis tooling).
-  double flow_evidence(FlowId f) const { return s_flow_[static_cast<std::size_t>(f)]; }
-
  private:
+  // Unknown-path flows of one table group: rows share (path_set, src_link,
+  // dst_link), so the endpoint fail state is one counter and every per-group
+  // sum runs a tight loop over the s/weight columns.
+  struct UnknownGroup {
+    PathSetId path_set = kInvalidPathSet;
+    ComponentId src_link = kInvalidComponent;
+    ComponentId dst_link = kInvalidComponent;
+    std::int32_t row_begin = 0;  // into u_s_ / u_weight_
+    std::int32_t row_end = 0;
+    std::int32_t endpoint_fail_count = 0;  // failed endpoints under H (0..2)
+    double sum_ws = 0.0;                   // Σ_rows weight · s
+  };
+
+  // Known-path flows of one (group, taken_path): rows share the full
+  // component sequence, so the hypothesis-overlap count k and the weighted
+  // evidence sum cover every row at once.
+  struct KnownEntry {
+    std::int32_t comp_begin = 0;  // into kcomp_data_
+    std::int32_t comp_end = 0;
+    std::int32_t fail_count = 0;  // |components ∩ H|
+    double sum_ws = 0.0;          // Σ_rows weight · s
+  };
+
   struct PathSetState {
-    std::vector<FlowId> flows;          // unknown-path flows using this set
+    std::vector<std::int32_t> ugroups;  // UnknownGroup indices using this set
     std::vector<ComponentId> universe;  // distinct components across paths
     std::int32_t bad_paths = 0;         // paths with >= 1 failed component
   };
@@ -105,6 +135,11 @@ class LikelihoodEngine {
     return ps_states_[static_cast<std::size_t>(ps_state_index_[static_cast<std::size_t>(ps)])];
   }
 
+  // Σ over the group's rows of weight · f(x, w, s): the weighted bulk form
+  // of Eq. 1, one contiguous scan of the s/weight columns.
+  double ugroup_sum(const UnknownGroup& g, std::int64_t bad_paths,
+                    std::int64_t total_paths) const;
+
   // Populate the epoch-stamped scratch counters for one path set under the
   // *current* state: for every component c on some path of the set,
   //   good(c) = number of fully-good paths containing c  (flip target when
@@ -115,17 +150,14 @@ class LikelihoodEngine {
   std::int32_t counter_good(ComponentId c) const;
   std::int32_t counter_crit(ComponentId c) const;
 
-  // Delta-array contribution of all flows grouped under one path set (the
-  // memoized bulk path of Algorithm 2); sign=-1 subtracts, +1 adds.
+  // Delta-array contribution of all groups under one path set (the memoized
+  // bulk path of Algorithm 2); sign=-1 subtracts, +1 adds.
   void apply_pathset_contribs(PathSetId ps, double sign);
-  // Contribution of a single unknown-path flow (used when its endpoint link
-  // flips and the path-set counters are unaffected).
-  void apply_unknown_flow_contribs(FlowId f, double sign);
-  // Contribution of a single known-path flow.
-  void apply_known_flow_contribs(FlowId f, double sign);
-
-  // Effective bad-path count of an unknown-path flow under current state.
-  std::int64_t flow_bad_paths(FlowId f) const;
+  // Contribution of a single unknown-path group (used when one of its
+  // endpoint links flips and the path-set counters are unaffected).
+  void apply_ugroup_contribs(std::int32_t gi, double sign);
+  // Contribution of a single known-path entry.
+  void apply_kentry_contribs(std::int32_t ei, double sign);
 
   const InferenceInput* input_;
   FlockParams params_;
@@ -138,23 +170,24 @@ class LikelihoodEngine {
   double prior_ll_ = 0.0;
   std::int64_t hypotheses_scanned_ = 0;
 
-  // Per-flow precomputation.
-  std::vector<double> s_flow_;
-  std::vector<char> is_known_;
-  std::vector<std::int32_t> known_fail_count_;     // known-path flows only
-  std::vector<std::int32_t> endpoint_fail_count_;  // unknown-path flows (0..2)
+  // Unknown-path side: group records + row columns (evidence, dedup weight).
+  std::vector<UnknownGroup> ugroups_;
+  std::vector<double> u_s_;
+  std::vector<double> u_weight_;
 
-  // Known-path flows: flattened component lists + inverted index.
-  std::vector<std::int32_t> known_comp_offset_;  // size num_flows+1
-  std::vector<ComponentId> known_comp_data_;
-  std::vector<std::vector<FlowId>> known_flows_of_comp_;
+  // Known-path side: entry records + flattened component lists.
+  std::vector<KnownEntry> kentries_;
+  std::vector<ComponentId> kcomp_data_;
 
-  // Unknown-path flows: per-path-set grouping + endpoint index.
+  // Per-component inverted indexes.
+  std::vector<std::vector<PathSetId>> ps_of_comp_;
+  std::vector<std::vector<std::int32_t>> endpoint_ugroups_of_comp_;
+  std::vector<std::vector<std::int32_t>> kentries_of_comp_;
+
+  // Per-path-set grouping.
   std::vector<std::int32_t> ps_state_index_;  // PathSetId -> ps_states_ index or -1
   std::vector<PathSetId> used_path_sets_;
   std::vector<PathSetState> ps_states_;
-  std::vector<std::vector<PathSetId>> ps_of_comp_;
-  std::vector<std::vector<FlowId>> endpoint_flows_of_comp_;
 
   std::vector<std::int32_t> path_fail_count_;
 
@@ -167,7 +200,8 @@ class LikelihoodEngine {
   mutable std::vector<std::int32_t> scratch_crit_;
   mutable std::int64_t epoch_ = 0;
 
-  // Per-update memo of S(x) = sum over this set's active flows of f(x,w,s_F).
+  // Per-update memo of S(x) = weighted sum over the active groups' rows of
+  // f(x, w, s).
   mutable std::unordered_map<std::int64_t, double> sum_memo_;
 };
 

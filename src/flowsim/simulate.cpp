@@ -42,7 +42,9 @@ std::uint32_t sample_packets(const TrafficConfig& cfg, Rng& rng) {
 double path_drop_probability(const Topology& topo, const EcmpRouter& router,
                              const GroundTruth& truth, const SimFlow& flow) {
   double success = 1.0;
-  auto apply_link = [&](LinkId l) { success *= 1.0 - truth.link_drop_rate[static_cast<std::size_t>(l)]; };
+  auto apply_link = [&](LinkId l) {
+    success *= 1.0 - truth.link_drop_rate[static_cast<std::size_t>(l)];
+  };
   if (flow.src_link != kInvalidComponent) apply_link(topo.component_link(flow.src_link));
   if (flow.dst_link != kInvalidComponent) apply_link(topo.component_link(flow.dst_link));
   const PathSet& set = router.path_set(flow.path_set);

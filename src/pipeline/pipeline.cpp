@@ -1,5 +1,8 @@
 #include "pipeline/pipeline.h"
 
+#include <cassert>
+#include <cstdio>
+
 namespace flock {
 
 StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
@@ -31,7 +34,28 @@ StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
       queue_(config.ingest_capacity),
       scheduler_(std::make_unique<EpochScheduler>(queue_, *shards_, config.epoch)) {}
 
-StreamingPipeline::~StreamingPipeline() { stop(); }
+StreamingPipeline::~StreamingPipeline() {
+  stop();
+  // Tear the stages down eagerly so the context reference count is exact,
+  // then check the lifetime contract: once scheduler, shards, pool and sink
+  // are gone, the only live reference to the epoch context must be the copy
+  // taken here — anything more means an InferenceInput outlived the
+  // pipeline while borrowing the caller's Topology/EcmpRouter.
+  const std::shared_ptr<const InferenceContext> ctx = shards_->context();
+  scheduler_.reset();
+  shards_.reset();
+  pool_.reset();
+  sink_.reset();
+  if (ctx.use_count() != 1) {
+    // Loud in every build (NDEBUG strips the assert, and the sanitizer CI
+    // legs build RelWithDebInfo): this is a use-after-free in the making.
+    std::fprintf(stderr,
+                 "StreamingPipeline: %ld epoch InferenceInput(s) outlived the pipeline; their "
+                 "Topology/EcmpRouter references are about to dangle\n",
+                 ctx.use_count() - 1);
+    assert(false && "an epoch's InferenceInput outlived the StreamingPipeline");
+  }
+}
 
 bool StreamingPipeline::offer(IngestDatagram datagram) {
   offered_.fetch_add(1, std::memory_order_relaxed);
@@ -78,6 +102,8 @@ PipelineStats StreamingPipeline::stats() const {
   s.router_index_publishes = router_->index_publishes();
   s.router_read_retries = router_->read_retries();
   s.priority_reorders = pool_->priority_reorders();
+  s.inference_observations = shards_->inference_observations();
+  s.inference_rows = shards_->inference_rows();
   return s;
 }
 

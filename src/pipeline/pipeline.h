@@ -72,10 +72,21 @@ struct PipelineStats {
   // Localizer tasks dispatched ahead of an already-queued newer epoch
   // (age-priority queue; see pipeline/localizer_pool.h).
   std::uint64_t priority_reorders = 0;
+  // Columnar-table dedup effectiveness (see core/flow_table.h): raw joined
+  // observations vs the weighted rows handed to inference, across all
+  // (epoch, shard) snapshots. rows/observations is the dedup ratio.
+  std::uint64_t inference_observations = 0;
+  std::uint64_t inference_rows = 0;
 };
 
 class StreamingPipeline {
  public:
+  // Lifetime: `topo` and `router` must outlive the pipeline *and* every
+  // EpochSnapshot/InferenceInput obtained from it. The binding is explicit —
+  // all snapshots share the ShardExecutor's InferenceContext — and the
+  // destructor asserts (debug builds) that no context reference escaped the
+  // pipeline's stages, i.e. nobody is still holding an epoch's input when
+  // the routing state may die with the caller's scope.
   StreamingPipeline(const Topology& topo, EcmpRouter& router, PipelineConfig config);
   ~StreamingPipeline();
 

@@ -27,6 +27,7 @@ void ResultSink::add(const EpochSnapshot& snapshot, const LocalizationResult& re
   p.partial.log_likelihood += result.log_likelihood;
   p.partial.hypotheses_scanned += result.hypotheses_scanned;
   p.partial.flows += snapshot.input.num_flows();
+  p.partial.rows += snapshot.input.num_rows();
   p.partial.unresolved += snapshot.unresolved;
   p.partial.stolen_batches += snapshot.stolen_batches;
   p.partial.max_shard_localize_seconds =

@@ -28,6 +28,7 @@ struct EpochResult {
   double log_likelihood = 0.0;         // sum over shards (per-shard model scores)
   std::int64_t hypotheses_scanned = 0;
   std::uint64_t flows = 0;             // flow observations across shards
+  std::uint64_t rows = 0;              // weighted FlowTable rows those collapsed into
   std::uint64_t unresolved = 0;        // records no shard could join
   std::uint64_t stolen_batches = 0;    // decode+join batches executed by thieves
   std::uint64_t equivalent_merged = 0; // components collapsed by class dedup

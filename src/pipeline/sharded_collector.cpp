@@ -23,6 +23,7 @@ ShardExecutor::ShardExecutor(const Topology& topo, EcmpRouter& router,
                              SnapshotFn on_snapshot)
     : topo_(&topo),
       router_(&router),
+      ctx_(std::make_shared<const InferenceContext>(InferenceContext{&topo, &router})),
       collector_options_(collector_options),
       steal_batch_(options.steal_batch),
       on_snapshot_(std::move(on_snapshot)) {
@@ -100,7 +101,7 @@ void ShardExecutor::worker_loop(std::int32_t shard_id) {
   // N shards joining concurrently never serialize on a router lock once the
   // ToR pairs they touch are interned (only a cold pair takes the intern
   // mutex, counted in PipelineStats::router_read_retries).
-  Collector scratch(*topo_, *router_, collector_options_);
+  Collector scratch(ctx_, *router_, collector_options_);
   Shard& shard = *shards_[static_cast<std::size_t>(shard_id)];
   const bool stealing = steal_batch_ > 0;
   std::chrono::microseconds poll = kStealPollMin;
@@ -199,25 +200,22 @@ void ShardExecutor::run_barrier(const Task& task) {
     stolen = acct.stolen;
     shard.accounts.erase(task.epoch_tag);
   }
-  // Reassemble in dispatch order: the record sequence is identical to a
-  // never-stolen run, so snapshots are deterministic under stealing.
+  // Reassemble in dispatch order: merging the per-batch tables in the batch
+  // sequence reproduces exactly the table a never-stolen sequential run
+  // would have built (FlowTable group/row order is first-seen order), so
+  // snapshots are deterministic under stealing. The merge moves whole
+  // tables — group- and row-level bookkeeping only, never per-observation.
   std::sort(parts.begin(), parts.end(), [](const Contribution& a, const Contribution& b) {
     return a.batch_seq < b.batch_seq;
   });
-  InferenceInput input(*topo_, *router_);
+  InferenceInput input(ctx_);
   std::uint64_t unresolved = 0;
-  if (parts.size() == 1) {
-    input = std::move(parts[0].input);  // common single-batch epoch: no copy
-    unresolved = parts[0].unresolved;
-  } else {
-    std::size_t total = 0;
-    for (const Contribution& p : parts) total += p.input.num_flows();
-    input.reserve(total);
-    for (const Contribution& p : parts) {
-      for (const FlowObservation& obs : p.input.flows()) input.add(obs);
-      unresolved += p.unresolved;
-    }
+  for (Contribution& p : parts) {
+    input.merge_from(std::move(p.input));
+    unresolved += p.unresolved;
   }
+  inference_observations_.fetch_add(input.num_flows(), std::memory_order_relaxed);
+  inference_rows_.fetch_add(input.num_rows(), std::memory_order_relaxed);
   on_snapshot_(EpochSnapshot{task.epoch_id, task.origin, std::move(input), unresolved,
                              task.since_close, stolen});
 }

@@ -40,7 +40,10 @@
 
 namespace flock {
 
-// One shard's view of one closed epoch, ready for inference.
+// One shard's view of one closed epoch, ready for inference. The input's
+// FlowTable was built incrementally by the executing workers (grouped,
+// weight-deduplicated) and travels to the localizer pool by move — the
+// barrier never re-copies observations.
 struct EpochSnapshot {
   std::uint64_t epoch = 0;
   std::int32_t shard = 0;
@@ -89,6 +92,11 @@ class ShardExecutor {
   // Drain all deques, process remaining work, and join the workers.
   void stop();
 
+  // The shared binding of every InferenceInput this executor mints; the
+  // pipeline checks at teardown that no snapshot reference escaped (see
+  // core/inference_input.h for the lifetime contract).
+  const std::shared_ptr<const InferenceContext>& context() const { return ctx_; }
+
   // Monotonic counters (safe to read concurrently).
   std::uint64_t records_decoded() const { return records_decoded_.load(std::memory_order_relaxed); }
   std::uint64_t malformed_messages() const { return malformed_.load(std::memory_order_relaxed); }
@@ -97,6 +105,15 @@ class ShardExecutor {
     return datagrams_stolen_.load(std::memory_order_relaxed);
   }
   std::uint64_t steal_attempts() const { return steal_attempts_.load(std::memory_order_relaxed); }
+  // Dedup effectiveness of the columnar epoch tables: raw joined
+  // observations vs the weighted rows actually handed to inference,
+  // accumulated across every (epoch, shard) snapshot.
+  std::uint64_t inference_observations() const {
+    return inference_observations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t inference_rows() const {
+    return inference_rows_.load(std::memory_order_relaxed);
+  }
   // Datagrams dispatched to (and accounted against) a shard, wherever they
   // were executed.
   std::uint64_t shard_datagrams(std::int32_t shard) const {
@@ -152,6 +169,7 @@ class ShardExecutor {
 
   const Topology* topo_;
   EcmpRouter* router_;
+  std::shared_ptr<const InferenceContext> ctx_;
   CollectorOptions collector_options_;
   std::size_t steal_batch_;
   SnapshotFn on_snapshot_;
@@ -162,6 +180,8 @@ class ShardExecutor {
   std::atomic<std::uint64_t> batches_stolen_{0};
   std::atomic<std::uint64_t> datagrams_stolen_{0};
   std::atomic<std::uint64_t> steal_attempts_{0};
+  std::atomic<std::uint64_t> inference_observations_{0};
+  std::atomic<std::uint64_t> inference_rows_{0};
   bool stopped_ = false;
 };
 

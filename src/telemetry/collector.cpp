@@ -1,16 +1,29 @@
 #include "telemetry/collector.h"
 
+#include <cassert>
+
 namespace flock {
 
 Collector::Collector(const Topology& topo, EcmpRouter& router, CollectorOptions options)
-    : topo_(&topo), router_(&router), options_(options) {}
+    : ctx_(std::make_shared<const InferenceContext>(InferenceContext{&topo, &router})),
+      topo_(&topo),
+      router_(&router),
+      options_(options) {}
+
+Collector::Collector(std::shared_ptr<const InferenceContext> ctx, EcmpRouter& router,
+                     CollectorOptions options)
+    : ctx_(std::move(ctx)), topo_(ctx_->topo), router_(&router), options_(options) {
+  // The joins intern into `router`; the drained inputs resolve through the
+  // context. They must be the same object or every PathSetId is suspect.
+  assert(ctx_->router == &router);
+}
 
 bool Collector::ingest(const std::vector<std::uint8_t>& message) {
   return decoder_.decode(message, records_);
 }
 
 InferenceInput Collector::drain_into_input() {
-  InferenceInput input(*topo_, *router_);
+  InferenceInput input(ctx_);
   input.reserve(records_.size());
   for (const FlowRecord& rec : records_) {
     const NodeId src = addr_to_node(rec.src_addr);

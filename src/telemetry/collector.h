@@ -25,6 +25,14 @@ class Collector {
  public:
   Collector(const Topology& topo, EcmpRouter& router, CollectorOptions options = {});
 
+  // Pipeline form: inputs drained from this collector share the given
+  // context (see core/inference_input.h for the lifetime contract), so one
+  // context binding covers every epoch snapshot of a pipeline run. The
+  // context's topology/router must be the objects joins run against; router
+  // is taken separately because joining interns path sets (non-const).
+  Collector(std::shared_ptr<const InferenceContext> ctx, EcmpRouter& router,
+            CollectorOptions options = {});
+
   // Ingest one IPFIX message (e.g., one UDP datagram from an agent).
   // Returns false if the message was malformed.
   bool ingest(const std::vector<std::uint8_t>& message);
@@ -32,16 +40,19 @@ class Collector {
   std::size_t pending_records() const { return records_.size(); }
   const IpfixDecoder::Stats& decoder_stats() const { return decoder_.stats(); }
 
-  // Build the inference input from everything collected so far and clear the
-  // queue (the periodic step of §5.1's inference engine). Records between
-  // two hosts with unknown paths are joined against ECMP routes; records
-  // addressed to switches (probes) must carry their path. Records that
-  // cannot be resolved are dropped and counted.
+  // Join everything collected so far into a grouped, weight-deduplicated
+  // FlowTable and clear the queue (the periodic step of §5.1's inference
+  // engine). The table is built incrementally during the join — no per-flow
+  // intermediate — so the result is ready for the inference engine as-is.
+  // Records between two hosts with unknown paths are joined against ECMP
+  // routes; records addressed to switches (probes) must carry their path.
+  // Records that cannot be resolved are dropped and counted.
   InferenceInput drain_into_input();
 
   std::uint64_t unresolved_records() const { return unresolved_; }
 
  private:
+  std::shared_ptr<const InferenceContext> ctx_;
   const Topology* topo_;
   EcmpRouter* router_;
   CollectorOptions options_;

@@ -140,7 +140,9 @@ PathSetId EcmpRouter::enumerate_paths(NodeId src_sw, NodeId dst_sw) {
       while (f.next_edge < adj.size()) {
         auto [peer, link] = adj[f.next_edge++];
         if (topo_->is_host(peer)) continue;
-        if (dist[static_cast<std::size_t>(peer)] != dist[static_cast<std::size_t>(f.node)] - 1) continue;
+        if (dist[static_cast<std::size_t>(peer)] != dist[static_cast<std::size_t>(f.node)] - 1) {
+          continue;
+        }
         comps.push_back(topo_->link_component(link));
         comps.push_back(topo_->device_component(peer));
         stack.push_back({peer, 0, comps.size()});

@@ -128,18 +128,23 @@ Topology make_three_tier_clos(const ThreeTierClosConfig& cfg) {
   Topology t;
   const std::int32_t cores_per_agg = cfg.cores / cfg.aggs_per_pod;
   std::vector<NodeId> cores(static_cast<std::size_t>(cfg.cores));
-  for (std::int32_t c = 0; c < cfg.cores; ++c) cores[static_cast<std::size_t>(c)] = t.add_node(NodeKind::kCore, -1, c);
+  for (std::int32_t c = 0; c < cfg.cores; ++c) {
+    cores[static_cast<std::size_t>(c)] = t.add_node(NodeKind::kCore, -1, c);
+  }
   for (std::int32_t p = 0; p < cfg.pods; ++p) {
     std::vector<NodeId> aggs(static_cast<std::size_t>(cfg.aggs_per_pod));
     for (std::int32_t a = 0; a < cfg.aggs_per_pod; ++a) {
       aggs[static_cast<std::size_t>(a)] = t.add_node(NodeKind::kAgg, p, a);
       for (std::int32_t c = 0; c < cores_per_agg; ++c) {
-        t.add_link(aggs[static_cast<std::size_t>(a)], cores[static_cast<std::size_t>(a * cores_per_agg + c)]);
+        t.add_link(aggs[static_cast<std::size_t>(a)],
+                   cores[static_cast<std::size_t>(a * cores_per_agg + c)]);
       }
     }
     for (std::int32_t r = 0; r < cfg.tors_per_pod; ++r) {
       NodeId tor = t.add_node(NodeKind::kTor, p, r);
-      for (std::int32_t a = 0; a < cfg.aggs_per_pod; ++a) t.add_link(tor, aggs[static_cast<std::size_t>(a)]);
+      for (std::int32_t a = 0; a < cfg.aggs_per_pod; ++a) {
+        t.add_link(tor, aggs[static_cast<std::size_t>(a)]);
+      }
       for (std::int32_t h = 0; h < cfg.hosts_per_tor; ++h) {
         NodeId host = t.add_node(NodeKind::kHost, p, r * cfg.hosts_per_tor + h);
         t.add_link(host, tor);
@@ -166,10 +171,14 @@ Topology make_leaf_spine(const LeafSpineConfig& cfg) {
   }
   Topology t;
   std::vector<NodeId> spines(static_cast<std::size_t>(cfg.spines));
-  for (std::int32_t s = 0; s < cfg.spines; ++s) spines[static_cast<std::size_t>(s)] = t.add_node(NodeKind::kSpine, -1, s);
+  for (std::int32_t s = 0; s < cfg.spines; ++s) {
+    spines[static_cast<std::size_t>(s)] = t.add_node(NodeKind::kSpine, -1, s);
+  }
   for (std::int32_t l = 0; l < cfg.leaves; ++l) {
     NodeId leaf = t.add_node(NodeKind::kTor, l, l);
-    for (std::int32_t s = 0; s < cfg.spines; ++s) t.add_link(leaf, spines[static_cast<std::size_t>(s)]);
+    for (std::int32_t s = 0; s < cfg.spines; ++s) {
+      t.add_link(leaf, spines[static_cast<std::size_t>(s)]);
+    }
     for (std::int32_t h = 0; h < cfg.hosts_per_leaf; ++h) {
       NodeId host = t.add_node(NodeKind::kHost, l, l * cfg.hosts_per_leaf + h);
       t.add_link(host, leaf);

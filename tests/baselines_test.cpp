@@ -104,7 +104,7 @@ TEST(Zero07, VoteProportionalToPathShare) {
   EXPECT_FALSE(result.predicted.empty());
   // The unflagged flow contributed nothing: every blamed component must be on
   // the flagged flows' path.
-  const auto comps = input.known_path_components(input.flows()[0]);
+  const auto comps = input.known_path_components(input.expanded_flows()[0]);
   for (ComponentId c : result.predicted) {
     EXPECT_NE(std::find(comps.begin(), comps.end(), c), comps.end()) << c;
   }
@@ -202,7 +202,7 @@ TEST(NetBouncer, UnobservedLinksNeverBlamed) {
   for (ComponentId c : result.predicted) {
     if (!env.topo.is_link_component(c)) continue;
     bool observed = false;
-    for (const auto& obs : input.flows()) {
+    for (const auto& obs : input.expanded_flows()) {
       const auto comps = input.known_path_components(obs);
       if (std::find(comps.begin(), comps.end(), c) != comps.end()) {
         observed = true;

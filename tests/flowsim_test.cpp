@@ -202,7 +202,7 @@ TEST(Views, A1KeepsOnlyProbesWithPaths) {
   std::size_t probes = 0;
   for (const SimFlow& f : fx.trace.flows) probes += (f.kind == SimFlowKind::kProbe) ? 1 : 0;
   EXPECT_EQ(input.num_flows(), probes);
-  for (const auto& obs : input.flows()) EXPECT_TRUE(obs.path_known());
+  for (const auto& obs : input.expanded_flows()) EXPECT_TRUE(obs.path_known());
 }
 
 TEST(Views, A2KeepsOnlyFlaggedAppFlows) {
@@ -215,7 +215,7 @@ TEST(Views, A2KeepsOnlyFlaggedAppFlows) {
     flagged += (f.kind == SimFlowKind::kApp && f.dropped >= 1) ? 1 : 0;
   }
   EXPECT_EQ(input.num_flows(), flagged);
-  for (const auto& obs : input.flows()) {
+  for (const auto& obs : input.expanded_flows()) {
     EXPECT_TRUE(obs.path_known());
     EXPECT_GE(obs.bad_packets, 1u);
   }
@@ -229,7 +229,7 @@ TEST(Views, PHidesPaths) {
   std::size_t apps = 0;
   for (const SimFlow& f : fx.trace.flows) apps += (f.kind == SimFlowKind::kApp) ? 1 : 0;
   EXPECT_EQ(input.num_flows(), apps);
-  for (const auto& obs : input.flows()) EXPECT_FALSE(obs.path_known());
+  for (const auto& obs : input.expanded_flows()) EXPECT_FALSE(obs.path_known());
 }
 
 TEST(Views, A2PlusPDoesNotDuplicate) {
@@ -241,7 +241,7 @@ TEST(Views, A2PlusPDoesNotDuplicate) {
   for (const SimFlow& f : fx.trace.flows) apps += (f.kind == SimFlowKind::kApp) ? 1 : 0;
   EXPECT_EQ(input.num_flows(), apps);  // every app flow exactly once
   std::size_t known = 0;
-  for (const auto& obs : input.flows()) known += obs.path_known() ? 1 : 0;
+  for (const auto& obs : input.expanded_flows()) known += obs.path_known() ? 1 : 0;
   std::size_t flagged = 0;
   for (const SimFlow& f : fx.trace.flows) {
     flagged += (f.kind == SimFlowKind::kApp && f.dropped >= 1) ? 1 : 0;
@@ -255,7 +255,7 @@ TEST(Views, IntRevealsEverything) {
   v.telemetry = kTelemetryInt;
   const auto input = make_view(fx.topo, fx.router, fx.trace, v);
   EXPECT_EQ(input.num_flows(), fx.trace.flows.size());
-  for (const auto& obs : input.flows()) EXPECT_TRUE(obs.path_known());
+  for (const auto& obs : input.expanded_flows()) EXPECT_TRUE(obs.path_known());
 }
 
 TEST(Views, PassiveSamplingReducesVolume) {
@@ -278,7 +278,7 @@ TEST(Views, PerFlowLatencyConvertsMetrics) {
   v.per_flow_latency = true;
   v.rtt_threshold_ms = 10.0;
   const auto input = make_view(fx.topo, fx.router, fx.trace, v);
-  for (const auto& obs : input.flows()) {
+  for (const auto& obs : input.expanded_flows()) {
     EXPECT_EQ(obs.packets_sent, 1u);
     EXPECT_EQ(obs.bad_packets, 1u);
   }
@@ -297,7 +297,7 @@ TEST(Views, WidthMatchesPathSet) {
   ViewOptions v;
   v.telemetry = kTelemetryP;
   const auto input = make_view(fx.topo, fx.router, fx.trace, v);
-  const auto& obs = input.flows().front();
+  const auto obs = input.expanded_flows().front();
   EXPECT_EQ(input.width(obs),
             static_cast<std::int32_t>(fx.router.path_set(obs.path_set).paths.size()));
 }

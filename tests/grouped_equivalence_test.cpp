@@ -1,0 +1,231 @@
+// Equivalence proof-of-work for the columnar inference core: on randomized
+// flowsim scenarios, the grouped, weight-deduplicated FlowTable must be a
+// pure representation change — the weighted log-likelihood equals the
+// per-flow log-likelihood of the raw observation multiset, and every
+// deterministic scheme localizes identically from the deduplicated and the
+// row-per-observation tables, JLE on and off. Runs on the sanitizer CI legs
+// (label "sanitize") so the table build/merge/scan paths stay clean under
+// ASan/UBSan and TSan too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <unordered_set>
+
+#include "baselines/netbouncer.h"
+#include "baselines/sherlock.h"
+#include "baselines/zero07.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "core/flock_localizer.h"
+#include "core/likelihood_engine.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+FlockParams params() {
+  FlockParams p;
+  p.p_g = 1e-4;
+  p.p_b = 6e-3;
+  p.rho = 1e-3;
+  return p;
+}
+
+// Per-flow reference: Eq. 1 evaluated observation by observation over the
+// expanded multiset, with no grouping, no weights and no incremental state.
+double per_flow_log_likelihood(const InferenceInput& input, const FlockParams& p,
+                               const std::vector<ComponentId>& hypothesis) {
+  std::unordered_set<ComponentId> h(hypothesis.begin(), hypothesis.end());
+  const EcmpRouter& router = input.router();
+  double ll = 0.0;
+  for (const FlowObservation& obs : input.expanded_flows()) {
+    const double s = bad_path_log_evidence(obs.bad_packets, obs.packets_sent, p.p_g, p.p_b);
+    const bool endpoint_bad = (obs.src_link != kInvalidComponent && h.count(obs.src_link)) ||
+                              (obs.dst_link != kInvalidComponent && h.count(obs.dst_link));
+    auto path_bad = [&](PathId pid) {
+      if (endpoint_bad) return true;
+      for (ComponentId c : router.path(pid).comps) {
+        if (h.count(c)) return true;
+      }
+      return false;
+    };
+    const PathSet& set = router.path_set(obs.path_set);
+    std::int64_t w, b = 0;
+    if (obs.path_known()) {
+      w = 1;
+      b = path_bad(set.paths[static_cast<std::size_t>(obs.taken_path)]) ? 1 : 0;
+    } else {
+      w = static_cast<std::int64_t>(set.paths.size());
+      for (PathId pid : set.paths) b += path_bad(pid) ? 1 : 0;
+    }
+    if (b == 0) continue;
+    ll += (b == w) ? s : flow_log_likelihood_delta(b, w, s);
+  }
+  return ll;
+}
+
+class GroupedEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {
+ protected:
+  void SetUp() override {
+    topo_ = std::make_unique<Topology>(make_fat_tree(4));
+    router_ = std::make_unique<EcmpRouter>(*topo_);
+    Rng rng(std::get<1>(GetParam()));
+    DropRateConfig rates;
+    rates.bad_min = 4e-3;
+    GroundTruth truth = make_silent_link_drops(*topo_, 2, rates, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = 1200;
+    trace_ = simulate(*topo_, *router_, std::move(truth), traffic, ProbeConfig{}, rng);
+    ViewOptions view;
+    view.telemetry = std::get<0>(GetParam());
+    deduped_ = std::make_unique<InferenceInput>(make_view(*topo_, *router_, trace_, view));
+    raw_ = std::make_unique<InferenceInput>(*topo_, *router_, /*dedup_rows=*/false);
+    for (const FlowObservation& obs : deduped_->expanded_flows()) raw_->add(obs);
+  }
+
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<EcmpRouter> router_;
+  Trace trace_;
+  std::unique_ptr<InferenceInput> deduped_;
+  std::unique_ptr<InferenceInput> raw_;
+};
+
+TEST_P(GroupedEquivalence, TableIsAPureRepresentationChange) {
+  // Same observation multiset, never more rows than observations, weights
+  // conserved.
+  EXPECT_EQ(deduped_->num_flows(), raw_->num_flows());
+  EXPECT_LE(deduped_->num_rows(), static_cast<std::size_t>(deduped_->num_flows()));
+  std::uint64_t weight_total = 0;
+  for (const FlowGroup& g : deduped_->table().groups()) {
+    for (std::size_t r = 0; r < g.size(); ++r) weight_total += g.weight[r];
+  }
+  EXPECT_EQ(weight_total, deduped_->num_flows());
+
+  auto key = [](const FlowObservation& o) {
+    return std::tuple(o.path_set, o.src_link, o.dst_link, o.taken_path, o.packets_sent,
+                      o.bad_packets);
+  };
+  auto a = deduped_->expanded_flows();
+  auto b = raw_->expanded_flows();
+  ASSERT_EQ(a.size(), b.size());
+  std::sort(a.begin(), a.end(), [&](const auto& x, const auto& y) { return key(x) < key(y); });
+  std::sort(b.begin(), b.end(), [&](const auto& x, const auto& y) { return key(x) < key(y); });
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(key(a[i]), key(b[i])) << i;
+}
+
+TEST_P(GroupedEquivalence, WeightedLikelihoodMatchesPerFlow) {
+  // Random flip walks: the weighted grouped LL tracks the per-flow reference
+  // at every step, with the Delta maintained (JLE) and recomputed (no-JLE).
+  const FlockParams p = params();
+  LikelihoodEngine jle(*deduped_, p, /*maintain_delta=*/true);
+  LikelihoodEngine plain(*deduped_, p, /*maintain_delta=*/false);
+  Rng rng(std::get<1>(GetParam()) * 31 + 7);
+  for (int step = 0; step < 10; ++step) {
+    const auto c = static_cast<ComponentId>(
+        rng.next_below(static_cast<std::uint64_t>(topo_->num_components())));
+    jle.flip(c);
+    plain.flip(c);
+    const double ref = per_flow_log_likelihood(*raw_, p, jle.hypothesis());
+    EXPECT_NEAR(jle.log_likelihood(), ref, 1e-6 + 1e-9 * std::abs(ref)) << "step " << step;
+    EXPECT_NEAR(plain.log_likelihood(), ref, 1e-6 + 1e-9 * std::abs(ref)) << "step " << step;
+  }
+}
+
+TEST_P(GroupedEquivalence, DedupedAndRawEnginesAgree) {
+  // The same engine over deduplicated vs row-per-observation tables: LL and
+  // the full Delta array agree through a flip walk.
+  const FlockParams p = params();
+  LikelihoodEngine deduped(*deduped_, p, /*maintain_delta=*/true);
+  LikelihoodEngine raw(*raw_, p, /*maintain_delta=*/true);
+  Rng rng(std::get<1>(GetParam()) * 17 + 3);
+  for (int step = 0; step < 6; ++step) {
+    const auto c = static_cast<ComponentId>(
+        rng.next_below(static_cast<std::uint64_t>(topo_->num_components())));
+    deduped.flip(c);
+    raw.flip(c);
+    EXPECT_NEAR(deduped.log_likelihood(), raw.log_likelihood(),
+                1e-7 + 1e-10 * std::abs(raw.log_likelihood()));
+    for (ComponentId d = 0; d < topo_->num_components(); ++d) {
+      EXPECT_NEAR(deduped.flip_delta_ll(d), raw.flip_delta_ll(d),
+                  1e-7 + 1e-10 * std::abs(raw.flip_delta_ll(d)))
+          << "step " << step << " comp " << d;
+    }
+  }
+}
+
+TEST_P(GroupedEquivalence, DeterministicSchemesLocalizeIdentically) {
+  // Dedup must never change a localization result: Flock with and without
+  // JLE, Sherlock, 007 and NetBouncer all predict the same components from
+  // both tables.
+  FlockOptions jle_opt;
+  jle_opt.params = params();
+  FlockOptions plain_opt = jle_opt;
+  plain_opt.use_jle = false;
+  SherlockOptions sherlock_opt;
+  sherlock_opt.params = params();
+  sherlock_opt.max_failures = 2;
+  sherlock_opt.node_budget = 20000;
+  const FlockLocalizer flock_jle(jle_opt);
+  const FlockLocalizer flock_plain(plain_opt);
+  const SherlockLocalizer sherlock(sherlock_opt);
+  const Zero07Localizer zero07{Zero07Options{}};
+  const NetBouncerLocalizer netbouncer{NetBouncerOptions{}};
+  for (const Localizer* scheme :
+       {static_cast<const Localizer*>(&flock_jle), static_cast<const Localizer*>(&flock_plain),
+        static_cast<const Localizer*>(&sherlock), static_cast<const Localizer*>(&zero07),
+        static_cast<const Localizer*>(&netbouncer)}) {
+    const LocalizationResult a = scheme->localize(*deduped_);
+    const LocalizationResult b = scheme->localize(*raw_);
+    EXPECT_EQ(a.predicted, b.predicted) << scheme->name();
+    EXPECT_NEAR(a.log_likelihood, b.log_likelihood,
+                1e-6 + 1e-9 * std::abs(b.log_likelihood))
+        << scheme->name();
+  }
+  // JLE is an acceleration, not a model change.
+  EXPECT_EQ(flock_jle.localize(*deduped_).predicted, flock_plain.localize(*deduped_).predicted);
+}
+
+TEST_P(GroupedEquivalence, MergeEqualsSequentialBuild) {
+  // Chunked tables merged in order reproduce the sequential build exactly —
+  // the epoch-barrier invariant, group/row/weight structure included.
+  const auto flows = deduped_->expanded_flows();
+  InferenceInput merged(*topo_, *router_);
+  const std::size_t kChunks = 7;
+  for (std::size_t chunk = 0; chunk < kChunks; ++chunk) {
+    InferenceInput part(*topo_, *router_);
+    const std::size_t begin = chunk * flows.size() / kChunks;
+    const std::size_t end = (chunk + 1) * flows.size() / kChunks;
+    for (std::size_t i = begin; i < end; ++i) part.add(flows[i]);
+    merged.merge_from(std::move(part));
+  }
+  ASSERT_EQ(merged.num_flows(), deduped_->num_flows());
+  ASSERT_EQ(merged.num_rows(), deduped_->num_rows());
+  ASSERT_EQ(merged.table().num_groups(), deduped_->table().num_groups());
+  const auto a = merged.expanded_flows();
+  const auto b = deduped_->expanded_flows();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].path_set, b[i].path_set);
+    EXPECT_EQ(a[i].src_link, b[i].src_link);
+    EXPECT_EQ(a[i].dst_link, b[i].dst_link);
+    EXPECT_EQ(a[i].taken_path, b[i].taken_path);
+    EXPECT_EQ(a[i].packets_sent, b[i].packets_sent);
+    EXPECT_EQ(a[i].bad_packets, b[i].bad_packets);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GroupedEquivalence,
+    ::testing::Combine(::testing::Values<std::uint32_t>(kTelemetryP, kTelemetryA2 | kTelemetryP,
+                                                        kTelemetryA1 | kTelemetryA2 | kTelemetryP,
+                                                        kTelemetryInt),
+                       ::testing::Values<std::uint64_t>(501, 502, 503)));
+
+}  // namespace
+}  // namespace flock

@@ -27,7 +27,7 @@ double reference_log_likelihood(const InferenceInput& input, const FlockParams& 
   std::unordered_set<ComponentId> h(hypothesis.begin(), hypothesis.end());
   const EcmpRouter& router = input.router();
   double ll = 0.0;
-  for (const FlowObservation& obs : input.flows()) {
+  for (const FlowObservation& obs : input.expanded_flows()) {
     const double s =
         bad_path_log_evidence(obs.bad_packets, obs.packets_sent, params.p_g, params.p_b);
     const bool endpoint_bad = (obs.src_link != kInvalidComponent && h.count(obs.src_link)) ||

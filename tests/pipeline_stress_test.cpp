@@ -174,17 +174,20 @@ TEST(ShardExecutor, IdleShardStealsAndSnapshotsStayExact) {
     EXPECT_EQ(executor.shard_datagrams(1), 0u);
     EXPECT_EQ(executor.datagrams_stolen(), stolen);  // single-datagram batches
 
-    // Reassembly is order-preserving: flow-for-flow identical to the
-    // synchronous path no matter which worker decoded what.
-    const auto& flows = snapshots[0].input.flows();
-    ASSERT_EQ(flows.size(), expected.flows().size());
+    // Reassembly is order-preserving: the merged FlowTable expands
+    // flow-for-flow identical to the synchronous path no matter which
+    // worker decoded what (group/row/weight structure included).
+    const auto flows = snapshots[0].input.expanded_flows();
+    const auto expected_flows = expected.expanded_flows();
+    ASSERT_EQ(flows.size(), expected_flows.size());
+    ASSERT_EQ(snapshots[0].input.num_rows(), expected.num_rows());
     for (std::size_t i = 0; i < flows.size(); ++i) {
-      EXPECT_EQ(flows[i].src_link, expected.flows()[i].src_link);
-      EXPECT_EQ(flows[i].dst_link, expected.flows()[i].dst_link);
-      EXPECT_EQ(flows[i].path_set, expected.flows()[i].path_set);
-      EXPECT_EQ(flows[i].taken_path, expected.flows()[i].taken_path);
-      EXPECT_EQ(flows[i].packets_sent, expected.flows()[i].packets_sent);
-      EXPECT_EQ(flows[i].bad_packets, expected.flows()[i].bad_packets);
+      EXPECT_EQ(flows[i].src_link, expected_flows[i].src_link);
+      EXPECT_EQ(flows[i].dst_link, expected_flows[i].dst_link);
+      EXPECT_EQ(flows[i].path_set, expected_flows[i].path_set);
+      EXPECT_EQ(flows[i].taken_path, expected_flows[i].taken_path);
+      EXPECT_EQ(flows[i].packets_sent, expected_flows[i].packets_sent);
+      EXPECT_EQ(flows[i].bad_packets, expected_flows[i].bad_packets);
     }
     EXPECT_EQ(snapshots[0].unresolved + snapshots[1].unresolved,
               reference.unresolved_records());

@@ -172,7 +172,7 @@ TEST(Pipeline, AgentToCollectorPreservesFlows) {
   // Packet totals preserved through the wire format.
   std::uint64_t sim_packets = 0, col_packets = 0;
   for (const SimFlow& f : fx.trace.flows) sim_packets += f.packets_sent;
-  for (const auto& obs : input.flows()) col_packets += obs.packets_sent;
+  for (const auto& obs : input.expanded_flows()) col_packets += obs.packets_sent;
   EXPECT_EQ(sim_packets, col_packets);
 }
 
@@ -186,7 +186,7 @@ TEST(Pipeline, KnownPathsSurviveTheWire) {
   for (const auto& msg : agent.flush(1)) ASSERT_TRUE(collector.ingest(msg));
   const InferenceInput input = collector.drain_into_input();
   ASSERT_EQ(input.num_flows(), fx.trace.flows.size());
-  for (const auto& obs : input.flows()) EXPECT_TRUE(obs.path_known());
+  for (const auto& obs : input.expanded_flows()) EXPECT_TRUE(obs.path_known());
 }
 
 TEST(Pipeline, SamplingReducesRecords) {
@@ -218,7 +218,7 @@ TEST(Pipeline, PerFlowLatencyMode) {
   Collector collector(fx.topo, fx.router, copt);
   for (const auto& msg : agent.flush(1)) ASSERT_TRUE(collector.ingest(msg));
   const auto input = collector.drain_into_input();
-  for (const auto& obs : input.flows()) {
+  for (const auto& obs : input.expanded_flows()) {
     EXPECT_EQ(obs.packets_sent, 1u);
     EXPECT_EQ(obs.bad_packets, 1u);
   }
