@@ -1,0 +1,241 @@
+// Streamed fig4b-style scenario: a flapping link through the full pipeline
+// plus the temporal layer. One link drops packets in bursts — 2 epochs
+// faulty, 2 epochs healthy, repeating — so a memoryless per-epoch service
+// keeps "finding" and "clearing" the same fault forever. The temporal
+// tracker must instead confirm it fast (detection latency), recognize the
+// clear-then-reblame churn (false clears), and settle on a sticky `flapping`
+// verdict that survives the healthy half-periods.
+//
+// The identical pre-generated epoch bursts run twice: evidence carryover off
+// (prior_weight 0 — the memoryless baseline plus passive tracking) and on
+// (prior_weight 1 — recently blamed components re-confirm on less fresh
+// evidence). Epochs are closed manually and awaited one at a time, so both
+// runs — including the prior feedback — are deterministic.
+//
+// Gates: the flapping link must end in the `flapping` state with at least
+// one false clear on record (not an endless confirm/clear cycle), the
+// prior-on run must blame the faulty epochs at least as often as the
+// prior-off run, and the JSON rows pin detection latency, false clears and
+// records/sec in bench/pipeline_baseline.json (latency and false-clear
+// counts are identity fields there: any drift fails CI, not just slowdowns).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "pipeline/pipeline.h"
+#include "telemetry/agent.h"
+#include "telemetry/ipfix.h"
+
+namespace {
+
+constexpr int kEpochs = 22;
+constexpr std::uint64_t kFirstFaultyEpoch = 2;
+
+// 2-on / 2-off flap from epoch 2 on.
+bool faulty_epoch(int epoch) {
+  return epoch >= static_cast<int>(kFirstFaultyEpoch) &&
+         (epoch - static_cast<int>(kFirstFaultyEpoch)) % 4 < 2;
+}
+
+}  // namespace
+
+int main() {
+  using namespace flock;
+  using namespace flock::bench;
+
+  print_header("Streamed link flap: temporal tracker + evidence carryover",
+               "fig 4b's flapping link as a continuous §5 workload");
+
+  const Topology topo = make_fat_tree(4);
+  const std::int64_t flows_per_epoch = scaled_flows(1500);
+
+  // Pre-generate every epoch's datagram burst once; both runs replay them.
+  std::vector<std::vector<IngestDatagram>> bursts;
+  std::uint64_t total_records = 0;
+  ComponentId true_failure = kInvalidComponent;
+  {
+    EcmpRouter router(topo);
+    Rng rng(607);
+    DropRateConfig rates;
+    rates.bad_min = 3e-3;
+    rates.bad_max = 4.5e-3;
+    const GroundTruth healthy = make_healthy(topo, rates, rng);
+    const GroundTruth failed = make_silent_link_drops(topo, 1, rates, rng);
+    true_failure = failed.failed.front();
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      const GroundTruth& truth = faulty_epoch(epoch) ? failed : healthy;
+      TrafficConfig traffic;
+      traffic.num_app_flows = flows_per_epoch;
+      ProbeConfig probes;
+      probes.enabled = false;  // passive deployment, like fig 4b's testbed
+      Rng epoch_rng(1000 + static_cast<std::uint64_t>(epoch));
+      const Trace trace = simulate(topo, router, truth, traffic, probes, epoch_rng);
+      std::unordered_map<NodeId, Agent> agents;
+      for (NodeId h : topo.hosts()) {
+        AgentConfig cfg;
+        cfg.observation_domain = static_cast<std::uint32_t>(h);
+        agents.emplace(h, Agent(topo, cfg));
+      }
+      for (const SimFlow& f : trace.flows) {
+        SimFlow passive = f;
+        passive.taken_path = -1;
+        agents.at(f.src_host).observe(passive);
+      }
+      std::vector<IngestDatagram> burst;
+      const auto export_time = static_cast<std::uint32_t>(1700000000 + epoch * 10);
+      for (NodeId h : topo.hosts()) {
+        for (auto& msg : agents.at(h).flush(export_time)) {
+          total_records += peek_record_count(msg).value_or(0);
+          burst.push_back({node_to_addr(h), std::move(msg)});
+        }
+      }
+      bursts.push_back(std::move(burst));
+    }
+  }
+  std::cout << "workload: " << kEpochs << " epochs, " << total_records
+            << " flow records; link flap (2 faulty / 2 healthy) from epoch "
+            << kFirstFaultyEpoch << "\ninjected: " << topo.component_name(true_failure)
+            << "\n\n";
+
+  struct Outcome {
+    double seconds = 0.0;
+    std::uint64_t detection_latency = 0;  // first faulty epoch -> first confirm
+    std::uint64_t false_clears = 0;
+    bool flapping = false;
+    int faulty_hits = 0;    // faulty epochs whose diagnosis named the truth class
+    int faulty_total = 0;
+    int healthy_alarms = 0; // healthy epochs that blamed the truth class anyway
+  };
+  Outcome outcomes[2];
+
+  Table table({"prior", "seconds", "records/s", "latency", "false clears", "verdict",
+               "faulty hits", "healthy alarms"});
+  BenchJson json("pipeline_flap");
+
+  for (const double prior_weight : {0.0, 1.0}) {
+    EcmpRouter router(topo);
+    router.build_all_tor_pairs();
+
+    PipelineConfig config;
+    config.num_shards = 2;
+    config.localizer_threads = 1;  // serialized epochs: deterministic feedback
+    config.localizer.params.p_g = 1e-4;
+    config.localizer.params.p_b = 6e-3;
+    config.localizer.params.rho = 1e-3;
+    config.localizer.equivalence_epsilon = 1e-6;
+    config.merge_equivalence_classes = true;
+    config.temporal.window = 16;
+    config.temporal.confirm_epochs = 2;
+    config.temporal.clear_epochs = 2;
+    config.temporal.flap_transitions = 3;
+    config.temporal.prior_weight = prior_weight;
+    StreamingPipeline pipeline(topo, router, config);
+
+    Stopwatch watch;
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      for (const IngestDatagram& d : bursts[static_cast<std::size_t>(epoch)]) {
+        pipeline.offer_wait(d);
+      }
+      pipeline.close_epoch();
+      // Reporting intervals dwarf processing time in the deployed loop; the
+      // wait also makes the carryover prior a deterministic function of the
+      // already-merged epochs.
+      pipeline.results().wait_for_epochs(static_cast<std::size_t>(epoch) + 1);
+    }
+    pipeline.stop();
+
+    Outcome& out = outcomes[prior_weight > 0 ? 1 : 0];
+    out.seconds = watch.seconds();
+
+    // The fault is only identifiable up to its ECMP class; find the member
+    // the tracker actually flagged.
+    const auto classes = ecmp_equivalence_classes(router);
+    std::vector<ComponentId> truth_class{true_failure};
+    for (const auto& cls : classes) {
+      if (std::find(cls.begin(), cls.end(), true_failure) != cls.end()) truth_class = cls;
+    }
+    ComponentVerdict flagged;
+    for (const ComponentId c : truth_class) {
+      const ComponentVerdict v = pipeline.tracker().verdict(c);
+      if (v.confirmations > 0 || v.state != ComponentHealth::kHealthy) flagged = v;
+    }
+    out.flapping = flagged.state == ComponentHealth::kFlapping;
+    out.false_clears = flagged.false_clears;
+    // First fault -> first confirmation (confirmed_epoch tracks the most
+    // recent re-confirmation, so go through the incident's recorded latency).
+    out.detection_latency = flagged.confirmations > 0
+                                ? (flagged.first_blamed_epoch - kFirstFaultyEpoch) +
+                                      flagged.epochs_to_confirm
+                                : kEpochs;
+
+    for (const auto& epoch : pipeline.results().completed()) {
+      const bool hit = std::any_of(
+          epoch.predicted.begin(), epoch.predicted.end(), [&](ComponentId c) {
+            return std::find(truth_class.begin(), truth_class.end(), c) != truth_class.end();
+          });
+      if (faulty_epoch(static_cast<int>(epoch.epoch))) {
+        ++out.faulty_total;
+        out.faulty_hits += hit ? 1 : 0;
+      } else {
+        out.healthy_alarms += hit ? 1 : 0;
+      }
+    }
+
+    table.add_row({prior_weight > 0 ? "on" : "off", Table::num(out.seconds, 3),
+                   Table::num(static_cast<double>(total_records) / out.seconds, 0),
+                   Table::integer(static_cast<long long>(out.detection_latency)),
+                   Table::integer(static_cast<long long>(out.false_clears)),
+                   to_string(flagged.state),
+                   Table::integer(out.faulty_hits) + "/" + Table::integer(out.faulty_total),
+                   Table::integer(out.healthy_alarms)});
+    json.add_row({{"prior", prior_weight > 0 ? 1.0 : 0.0},
+                  {"detection_latency_epochs", static_cast<double>(out.detection_latency)},
+                  {"false_clears", static_cast<double>(out.false_clears)},
+                  {"flapping", out.flapping ? 1.0 : 0.0},
+                  {"seconds", out.seconds},
+                  {"records_per_sec", static_cast<double>(total_records) / out.seconds}});
+  }
+  table.print(std::cout);
+  json.write();
+
+  // The scenario's self-gates (the baseline JSON additionally pins the exact
+  // latency / false-clear / flapping values and a records/sec floor).
+  const Outcome& off = outcomes[0];
+  const Outcome& on = outcomes[1];
+  bool ok = true;
+  if (!on.flapping) {
+    std::cerr << "FAIL: with the carryover prior on, the flapping link must end in the "
+                 "'flapping' state (not be repeatedly cleared)\n";
+    ok = false;
+  }
+  if (on.false_clears < 1) {
+    std::cerr << "FAIL: the 2-on/2-off flap must produce at least one recorded false clear "
+                 "before the flap verdict locks in\n";
+    ok = false;
+  }
+  if (on.detection_latency > 2) {
+    std::cerr << "FAIL: detection latency " << on.detection_latency
+              << " epochs exceeds the confirm hysteresis bound (2)\n";
+    ok = false;
+  }
+  if (on.faulty_hits < off.faulty_hits) {
+    std::cerr << "FAIL: evidence carryover must not blame fewer faulty epochs ("
+              << on.faulty_hits << " < " << off.faulty_hits << ")\n";
+    ok = false;
+  }
+  if (on.healthy_alarms > off.healthy_alarms) {
+    std::cerr << "FAIL: the clamped prior must not create healthy-epoch false alarms ("
+              << on.healthy_alarms << " > " << off.healthy_alarms << ")\n";
+    ok = false;
+  }
+  if (ok) {
+    std::cout << "\nflap verdict sticky, " << on.false_clears
+              << " false clear(s) recorded, detection latency " << on.detection_latency
+              << " epoch(s) past first fault\n";
+  }
+  return ok ? 0 : 1;
+}

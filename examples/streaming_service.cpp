@@ -45,6 +45,11 @@ int main() {
   config.localizer.params.rho = 1e-3;
   config.localizer.equivalence_epsilon = 1e-6;  // report whole ambiguity classes
   config.merge_equivalence_classes = true;
+  // Cross-epoch layer: confirm after 2 consecutive blamed epochs, clear after
+  // 2 quiet ones, and carry confirmed blame forward as a localization prior.
+  config.temporal.confirm_epochs = 2;
+  config.temporal.clear_epochs = 2;
+  config.temporal.prior_weight = 1.0;
   StreamingPipeline pipeline(topo, router, config);
 
   // Group hosts by pod: one producer thread per pod each interval.
@@ -135,7 +140,24 @@ int main() {
     if (epoch.epoch > 0 && hit) found_failure = true;
   }
 
+  // The temporal layer's view: blamed-epoch streaks with hysteresis, not
+  // per-epoch snap judgments (the injected fault should be `confirmed`).
+  std::cout << "\ntemporal verdicts after " << pipeline.tracker().stats().epochs_observed
+            << " epochs:\n";
+  bool truth_confirmed = false;
+  for (const ComponentVerdict& v : pipeline.tracker().verdicts()) {
+    std::cout << "  " << topo.component_name(v.component) << ": " << to_string(v.state)
+              << " (blamed streak " << v.blame_streak << ", duty "
+              << v.duty_cycle << ", confirmed at epoch " << v.confirmed_epoch
+              << " after " << v.epochs_to_confirm << " extra epoch(s))\n";
+    const bool in_truth_class =
+        truth_class != nullptr &&
+        std::find(truth_class->begin(), truth_class->end(), v.component) != truth_class->end();
+    if (in_truth_class && v.state == ComponentHealth::kConfirmed) truth_confirmed = true;
+  }
+
   std::cout << "\n" << (found_failure ? "failure localized" : "failure MISSED")
-            << (healthy_epoch_quiet ? "" : " (false alarm in healthy epoch)") << "\n";
+            << (healthy_epoch_quiet ? "" : " (false alarm in healthy epoch)")
+            << (truth_confirmed ? ", confirmed by the temporal tracker" : "") << "\n";
   return found_failure ? 0 : 1;
 }

@@ -9,8 +9,18 @@
 namespace flock {
 
 LocalizationResult FlockLocalizer::localize(const InferenceInput& input) const {
+  return localize_impl(input, nullptr);
+}
+
+LocalizationResult FlockLocalizer::localize(const InferenceInput& input,
+                                            const std::vector<double>& prior_logodds) const {
+  return localize_impl(input, prior_logodds.empty() ? nullptr : &prior_logodds);
+}
+
+LocalizationResult FlockLocalizer::localize_impl(
+    const InferenceInput& input, const std::vector<double>* prior_logodds) const {
   Stopwatch watch;
-  LikelihoodEngine engine(input, options_.params, options_.use_jle);
+  LikelihoodEngine engine(input, options_.params, options_.use_jle, prior_logodds);
   const std::int32_t n = engine.num_components();
 
   while (engine.hypothesis_size() < options_.max_hypothesis_size) {

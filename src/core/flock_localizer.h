@@ -8,6 +8,8 @@
 //                    ("greedy only" in the paper's ablation).
 #pragma once
 
+#include <vector>
+
 #include "core/inference_input.h"
 #include "core/params.h"
 
@@ -33,12 +35,23 @@ class FlockLocalizer final : public Localizer {
   explicit FlockLocalizer(FlockOptions options) : options_(options) {}
 
   LocalizationResult localize(const InferenceInput& input) const override;
+
+  // Localize with cross-epoch evidence carryover: `prior_logodds[c]` >= 0
+  // shrinks component c's prior cost (see LikelihoodEngine). An empty vector
+  // — and the temporal tracker's default prior weight of 0, which exports
+  // all zeros — leaves the result byte-identical to localize(input).
+  LocalizationResult localize(const InferenceInput& input,
+                              const std::vector<double>& prior_logodds) const;
+
   const char* name() const override { return options_.use_jle ? "Flock" : "Flock(no-JLE)"; }
 
   const FlockOptions& options() const { return options_; }
   FlockOptions& options() { return options_; }
 
  private:
+  LocalizationResult localize_impl(const InferenceInput& input,
+                                   const std::vector<double>* prior_logodds) const;
+
   FlockOptions options_;
 };
 

@@ -1,5 +1,7 @@
 #include "core/flow_table.h"
 
+#include <limits>
+
 #include "core/inference_input.h"
 
 namespace flock {
@@ -43,10 +45,19 @@ void FlowTable::add_row(PathSetId path_set, ComponentId src_link, ComponentId ds
     std::int64_t& slot = row_index_.slot(pack(path_set, src_link), pack(dst_link, taken_path),
                                          pack(packets, bad));
     if (slot != FlatMap192::kAbsent) {
-      // Warm path: the row exists; bump its dedup weight.
+      // Warm path: the row exists; bump its dedup weight. The add saturates:
+      // a wrap would silently shrink the row's contribution to the weighted
+      // log-likelihood, while a clamp merely undercounts — and is counted.
       const auto gi = static_cast<std::size_t>(slot >> 32);
       const auto ri = static_cast<std::size_t>(slot & 0xffffffff);
-      groups_[gi].weight[ri] += weight;
+      std::uint32_t& w = groups_[gi].weight[ri];
+      constexpr std::uint32_t kMax = std::numeric_limits<std::uint32_t>::max();
+      if (weight > kMax - w) {
+        w = kMax;
+        ++weight_saturations_;
+      } else {
+        w += weight;
+      }
       return;
     }
     const std::int32_t gi = group_of(path_set, src_link, dst_link);
@@ -89,6 +100,7 @@ void FlowTable::merge_from(FlowTable&& other) {
     }
   }
   observations_ += other.observations_;
+  weight_saturations_ += other.weight_saturations_;
   other = FlowTable(other.dedup_);
 }
 

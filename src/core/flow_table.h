@@ -75,6 +75,13 @@ class FlowTable {
   std::uint64_t num_observations() const { return observations_; }
   bool dedup_enabled() const { return dedup_; }
 
+  // Times a row's dedup weight was clamped at the uint32 ceiling instead of
+  // wrapping. A pathological epoch of > 2^32 identical rows used to wrap the
+  // weight silently and corrupt the weighted log-likelihood; now the weight
+  // saturates (the row merely undercounts) and the event is observable here
+  // and in PipelineStats::weight_saturations.
+  std::uint64_t num_weight_saturations() const { return weight_saturations_; }
+
   // The observation multiset, materialized row-per-observation (weight-w
   // rows repeat w times) in group-major first-seen order. Test/debug path:
   // hot consumers iterate groups() instead.
@@ -90,6 +97,7 @@ class FlowTable {
   std::vector<FlowGroup> groups_;
   std::size_t rows_ = 0;
   std::uint64_t observations_ = 0;
+  std::uint64_t weight_saturations_ = 0;
   FlatMap192 group_index_;  // (path_set | src_link, dst_link) -> group
   // Full observation identity -> (group, row): the warm add() path is one
   // probe + one weight bump; the group map is only consulted on row misses.

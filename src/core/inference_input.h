@@ -82,6 +82,8 @@ class InferenceInput {
   // Raw observation count (dedup weights included) and stored row count.
   std::size_t num_flows() const { return static_cast<std::size_t>(table_.num_observations()); }
   std::size_t num_rows() const { return table_.num_rows(); }
+  // Dedup-weight clamps at the uint32 ceiling (see core/flow_table.h).
+  std::uint64_t num_weight_saturations() const { return table_.num_weight_saturations(); }
 
   // Append another input joined against the same (topology, router) pair,
   // as if its observations had been add()ed here (the epoch-barrier merge).

@@ -28,11 +28,18 @@ double LikelihoodEngine::ugroup_sum(const UnknownGroup& g, std::int64_t bad_path
 }
 
 LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParams& params,
-                                   bool maintain_delta)
+                                   bool maintain_delta,
+                                   const std::vector<double>* prior_logodds)
     : input_(&input), params_(params), maintain_delta_(maintain_delta) {
   const Topology& topo = input.topology();
   const EcmpRouter& router = input.router();
   n_comps_ = topo.num_components();
+  if (prior_logodds != nullptr && !prior_logodds->empty()) {
+    if (prior_logodds->size() < static_cast<std::size_t>(n_comps_)) {
+      throw std::invalid_argument("LikelihoodEngine: prior_logodds shorter than components");
+    }
+    extra_prior_ = prior_logodds;
+  }
   failed_.assign(static_cast<std::size_t>(n_comps_), 0);
 
   ps_of_comp_.resize(static_cast<std::size_t>(n_comps_));
@@ -168,7 +175,16 @@ std::vector<ComponentId> LikelihoodEngine::hypothesis() const {
 
 double LikelihoodEngine::prior_cost(ComponentId c) const {
   const double base = logit(params_.rho);
-  return input_->topology().is_device_component(c) ? base * params_.device_prior_scale : base;
+  double cost =
+      input_->topology().is_device_component(c) ? base * params_.device_prior_scale : base;
+  if (extra_prior_ != nullptr) {
+    // Evidence carryover: positive log-odds shrink the (negative) cost but
+    // never flip its sign — a recently blamed component re-confirms on less
+    // fresh evidence, never on none.
+    const double boost = (*extra_prior_)[static_cast<std::size_t>(c)];
+    if (boost > 0.0) cost += std::min(boost, -0.95 * cost);
+  }
+  return cost;
 }
 
 double LikelihoodEngine::flip_delta_ll(ComponentId c) const {

@@ -55,8 +55,17 @@ namespace flock {
 
 class LikelihoodEngine {
  public:
+  // `prior_logodds`, when non-null and non-empty, is a per-component vector
+  // of non-negative evidence-carryover log-odds (the temporal tracker's
+  // cross-epoch feedback): entry c shrinks component c's (negative) prior
+  // cost, so a component blamed in recent epochs needs less fresh evidence
+  // to enter the hypothesis. The cost never flips sign (the carryover is
+  // clamped below the full prior), and a null/empty vector leaves every
+  // prior computation byte-identical to the prior-less engine. The pointee
+  // must outlive the engine.
   LikelihoodEngine(const InferenceInput& input, const FlockParams& params,
-                   bool maintain_delta = true);
+                   bool maintain_delta = true,
+                   const std::vector<double>* prior_logodds = nullptr);
 
   std::int32_t num_components() const { return n_comps_; }
   bool failed(ComponentId c) const { return failed_[static_cast<std::size_t>(c)] != 0; }
@@ -162,6 +171,7 @@ class LikelihoodEngine {
   const InferenceInput* input_;
   FlockParams params_;
   bool maintain_delta_;
+  const std::vector<double>* extra_prior_ = nullptr;  // null = no carryover
 
   std::int32_t n_comps_ = 0;
   std::vector<char> failed_;

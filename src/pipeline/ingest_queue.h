@@ -33,20 +33,31 @@ struct IngestDatagram {
 template <typename T>
 class BoundedQueue {
  public:
+  // Failed pushes are split by cause: `dropped` is deliberate backpressure
+  // (the bounded queue was full — the UDP-socket-like loss the service is
+  // designed around), `rejected_closed` is shutdown teardown (the queue was
+  // already closed). Conflating them made clean shutdowns look like ingest
+  // loss; every push attempt lands in exactly one of
+  // pushed/dropped/rejected_closed.
   struct Stats {
     std::uint64_t pushed = 0;
-    std::uint64_t dropped = 0;
+    std::uint64_t dropped = 0;          // queue full: backpressure drop
+    std::uint64_t rejected_closed = 0;  // queue closed: shutdown, not loss
     std::uint64_t popped = 0;
   };
 
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
 
-  // Non-blocking push. Returns false (and counts a drop) when the queue is
-  // full or closed.
+  // Non-blocking push. Returns false when the queue is full (counted as a
+  // drop) or closed (counted as a rejection).
   bool try_push(T item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) {
+      if (closed_) {
+        ++stats_.rejected_closed;
+        return false;
+      }
+      if (items_.size() >= capacity_) {
         ++stats_.dropped;
         return false;
       }
@@ -59,13 +70,14 @@ class BoundedQueue {
 
   // Blocking push: waits for space instead of dropping. Returns false only
   // if the queue was closed while waiting; the item is discarded and counted
-  // as a drop, so pushed + dropped always accounts for every attempt.
+  // in rejected_closed, so pushed + dropped + rejected_closed always
+  // accounts for every attempt.
   bool push_wait(T item) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       producer_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
       if (closed_) {
-        ++stats_.dropped;
+        ++stats_.rejected_closed;
         return false;
       }
       items_.push_back(std::move(item));
@@ -78,7 +90,7 @@ class BoundedQueue {
   // Blocking push of a whole batch in order: one lock acquisition and one
   // consumer wakeup per capacity window instead of per item. Returns false
   // if the queue was closed before everything was pushed; undelivered items
-  // are counted as drops.
+  // are counted in rejected_closed.
   bool push_many(std::vector<T> items) {
     std::size_t i = 0;
     while (i < items.size()) {
@@ -86,7 +98,7 @@ class BoundedQueue {
         std::unique_lock<std::mutex> lock(mutex_);
         producer_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
         if (closed_) {
-          stats_.dropped += items.size() - i;
+          stats_.rejected_closed += items.size() - i;
           return false;
         }
         while (i < items.size() && items_.size() < capacity_) {

@@ -10,10 +10,25 @@ StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
     : config_(config),
       router_(&router),
       localizer_(config.localizer),
-      sink_(std::make_unique<ResultSink>(config.num_shards,
-                                         config.merge_equivalence_classes ? &router : nullptr)),
+      tracker_(std::make_unique<TemporalTracker>(config.temporal)),
+      sink_(std::make_unique<ResultSink>(
+          config.num_shards, config.merge_equivalence_classes ? &router : nullptr,
+          [this](const EpochResult& epoch) { tracker_->observe(epoch); })),
       pool_(std::make_unique<LocalizerPool>(
-          localizer_, config.localizer_threads,
+          // Evidence carryover: with a positive prior weight, each inference
+          // run samples the tracker's current per-component prior (with one
+          // localizer thread and age-priority dispatch, that is exactly the
+          // state after every older epoch merged). Weight 0 bypasses the
+          // tracker entirely — byte-identical to a tracker-less pipeline.
+          LocalizerPool::LocalizeFn([this](const InferenceInput& input) {
+            if (config_.temporal.prior_weight > 0.0) {
+              return localizer_.localize(
+                  input, tracker_->prior_logodds(
+                             static_cast<std::size_t>(input.topology().num_components())));
+            }
+            return localizer_.localize(input);
+          }),
+          config.localizer_threads,
           [this](EpochSnapshot snap, LocalizationResult result) {
             sink_->add(snap, result);
           })),
@@ -74,7 +89,12 @@ bool StreamingPipeline::offer_wait(IngestDatagram datagram) {
 void StreamingPipeline::close_epoch() {
   IngestItem item;
   item.epoch_boundary = true;
-  queue_.push_wait(std::move(item));
+  if (!queue_.push_wait(std::move(item))) {
+    // A boundary token rejected by an already-stopped queue is not a
+    // datagram: remember it so stats() can keep the ingest accounting
+    // (offered = accepted + dropped + rejected_closed) about datagrams only.
+    boundary_rejections_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void StreamingPipeline::stop() {
@@ -90,7 +110,12 @@ PipelineStats StreamingPipeline::stats() const {
   const auto q = queue_.stats();
   s.offered = offered_.load(std::memory_order_relaxed);
   s.dropped = q.dropped;
-  s.accepted = s.offered - s.dropped;
+  // The queue's rejection counter also sees close_epoch()'s in-band boundary
+  // tokens; those are not offered datagrams, so they must not make accepted
+  // undercount (or underflow).
+  s.rejected_closed =
+      q.rejected_closed - boundary_rejections_.load(std::memory_order_relaxed);
+  s.accepted = s.offered - s.dropped - s.rejected_closed;
   s.dispatched = scheduler_->datagrams_dispatched();
   s.records_decoded = shards_->records_decoded();
   s.malformed_messages = shards_->malformed_messages();
@@ -104,6 +129,12 @@ PipelineStats StreamingPipeline::stats() const {
   s.priority_reorders = pool_->priority_reorders();
   s.inference_observations = shards_->inference_observations();
   s.inference_rows = shards_->inference_rows();
+  s.weight_saturations = shards_->weight_saturations();
+  const auto t = tracker_->stats();
+  s.tracker_confirmations = t.confirmations;
+  s.tracker_flaps = t.flaps_detected;
+  s.tracker_clears = t.clears;
+  s.tracker_false_clears = t.false_clears;
   return s;
 }
 

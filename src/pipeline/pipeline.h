@@ -29,6 +29,7 @@
 #include "pipeline/localizer_pool.h"
 #include "pipeline/result_sink.h"
 #include "pipeline/sharded_collector.h"
+#include "pipeline/temporal_tracker.h"
 #include "telemetry/collector.h"
 #include "topology/ecmp.h"
 #include "topology/topology.h"
@@ -51,13 +52,22 @@ struct PipelineConfig {
   // Costs all ToR-pair path sets at construction; leave off for topologies
   // where that is prohibitive.
   bool merge_equivalence_classes = false;
+  // Cross-epoch diagnosis downstream of the ResultSink: per-component state
+  // machines with hysteresis + flap detection over a sliding window of
+  // merged epochs (see pipeline/temporal_tracker.h). Always maintained (it
+  // is off the hot path); temporal.prior_weight > 0 additionally feeds the
+  // tracker's evidence carryover back into the localizer as a prior — the
+  // default of 0 keeps per-epoch output byte-identical to a tracker-less
+  // pipeline.
+  TemporalTrackerConfig temporal;
 };
 
 struct PipelineStats {
-  std::uint64_t offered = 0;     // datagrams presented to offer()
-  std::uint64_t accepted = 0;    // entered the ingest queue
-  std::uint64_t dropped = 0;     // rejected by the full/closed queue
-  std::uint64_t dispatched = 0;  // routed to shards
+  std::uint64_t offered = 0;          // datagrams presented to offer()
+  std::uint64_t accepted = 0;         // entered the ingest queue
+  std::uint64_t dropped = 0;          // backpressure: the bounded queue was full
+  std::uint64_t rejected_closed = 0;  // shutdown teardown: offered after stop()
+  std::uint64_t dispatched = 0;       // routed to shards
   std::uint64_t records_decoded = 0;
   std::uint64_t malformed_messages = 0;
   std::uint64_t epochs_closed = 0;
@@ -77,6 +87,14 @@ struct PipelineStats {
   // (epoch, shard) snapshots. rows/observations is the dedup ratio.
   std::uint64_t inference_observations = 0;
   std::uint64_t inference_rows = 0;
+  // Dedup weights clamped at the uint32 ceiling instead of wrapping.
+  std::uint64_t weight_saturations = 0;
+  // Temporal layer (see pipeline/temporal_tracker.h): component state
+  // machine transitions across all merged epochs so far.
+  std::uint64_t tracker_confirmations = 0;
+  std::uint64_t tracker_flaps = 0;
+  std::uint64_t tracker_clears = 0;
+  std::uint64_t tracker_false_clears = 0;
 };
 
 class StreamingPipeline {
@@ -109,18 +127,25 @@ class StreamingPipeline {
 
   ResultSink& results() { return *sink_; }
   const ShardExecutor& shards() const { return *shards_; }
+  // Cross-epoch component verdicts (flap/confirm/clear state machines fed by
+  // every merged epoch). Thread-safe to query while the pipeline runs.
+  const TemporalTracker& tracker() const { return *tracker_; }
   PipelineStats stats() const;
 
  private:
   PipelineConfig config_;
   EcmpRouter* router_;
   FlockLocalizer localizer_;
+  std::unique_ptr<TemporalTracker> tracker_;  // outlives sink_ and pool_
   std::unique_ptr<ResultSink> sink_;
   std::unique_ptr<LocalizerPool> pool_;
   std::unique_ptr<ShardExecutor> shards_;
   IngestQueue queue_;
   std::unique_ptr<EpochScheduler> scheduler_;
   std::atomic<std::uint64_t> offered_{0};
+  // close_epoch() boundary tokens rejected by the closed queue — excluded
+  // from the datagram-level rejected_closed in stats().
+  std::atomic<std::uint64_t> boundary_rejections_{0};
   bool stopped_ = false;
 };
 

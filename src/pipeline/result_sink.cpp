@@ -1,11 +1,14 @@
 #include "pipeline/result_sink.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
 
 namespace flock {
 
-ResultSink::ResultSink(std::int32_t num_shards, EcmpRouter* router)
-    : num_shards_(num_shards) {
+ResultSink::ResultSink(std::int32_t num_shards, EcmpRouter* router, EpochFn on_epoch)
+    : num_shards_(num_shards), on_epoch_(std::move(on_epoch)) {
   if (router != nullptr) {
     const auto classes = ecmp_equivalence_classes(*router);
     for (std::size_t i = 0; i < classes.size(); ++i) {
@@ -24,7 +27,19 @@ void ResultSink::add(const EpochSnapshot& snapshot, const LocalizationResult& re
     p.partial.per_shard_predicted.resize(static_cast<std::size_t>(num_shards_));
   }
   p.since_close = snapshot.since_close;  // same start time from every shard
-  p.partial.log_likelihood += result.log_likelihood;
+  // A non-finite shard score can only come from a broken scheme, and one NaN
+  // addend would silently poison the epoch's score sum. Loud in every build
+  // (NDEBUG strips the assert), and the poison is kept out of the sum so
+  // release pipelines still report a meaningful aggregate.
+  if (!std::isfinite(result.log_likelihood)) {
+    std::fprintf(stderr,
+                 "ResultSink: non-finite model score %f from shard %d of epoch %llu\n",
+                 result.log_likelihood, snapshot.shard,
+                 static_cast<unsigned long long>(snapshot.epoch));
+    assert(false && "ResultSink::add: non-finite per-shard model score");
+  } else {
+    p.partial.shard_score_sum += result.log_likelihood;
+  }
   p.partial.hypotheses_scanned += result.hypotheses_scanned;
   p.partial.flows += snapshot.input.num_flows();
   p.partial.rows += snapshot.input.num_rows();
@@ -66,9 +81,12 @@ void ResultSink::add(const EpochSnapshot& snapshot, const LocalizationResult& re
     merged.predicted = std::move(deduped);
   }
   merged.close_to_merge_seconds = since_close.seconds();
+  EpochResult downstream;
+  if (on_epoch_) downstream = merged;
   completed_.push_back(std::move(merged));
   lock.unlock();
   cv_.notify_all();
+  if (on_epoch_) on_epoch_(downstream);
 }
 
 void ResultSink::wait_for_epochs(std::size_t count) {

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -25,7 +26,12 @@ namespace flock {
 struct EpochResult {
   std::uint64_t epoch = 0;
   std::vector<ComponentId> predicted;  // merged union, sorted, deduped
-  double log_likelihood = 0.0;         // sum over shards (per-shard model scores)
+  // Sum of the per-shard model scores (log posterior of each shard's own
+  // hypothesis over its own flow subset). The shards optimize disjoint
+  // observation sets under separate hypotheses, so this is a diagnostic
+  // aggregate of per-shard fit — NOT the joint likelihood of the merged
+  // hypothesis. ResultSink::add asserts each addend is finite.
+  double shard_score_sum = 0.0;
   std::int64_t hypotheses_scanned = 0;
   std::uint64_t flows = 0;             // flow observations across shards
   std::uint64_t rows = 0;              // weighted FlowTable rows those collapsed into
@@ -39,10 +45,15 @@ struct EpochResult {
 
 class ResultSink {
  public:
+  // Downstream consumer of fully merged epochs (the temporal tracker in the
+  // pipeline). Invoked once per epoch, outside the sink's lock, on whichever
+  // thread completed the merge; epochs may therefore arrive out of order.
+  using EpochFn = std::function<void(const EpochResult&)>;
+
   // When `router` is non-null, ECMP equivalence classes are computed up
   // front (requires all ToR-pair path sets; affordable at service start) and
   // used to dedup the merged hypothesis.
-  ResultSink(std::int32_t num_shards, EcmpRouter* router);
+  ResultSink(std::int32_t num_shards, EcmpRouter* router, EpochFn on_epoch = {});
 
   // Called from localizer-pool (or shard) threads.
   void add(const EpochSnapshot& snapshot, const LocalizationResult& result);
@@ -67,6 +78,7 @@ class ResultSink {
   };
 
   std::int32_t num_shards_;
+  EpochFn on_epoch_;
   std::unordered_map<ComponentId, std::int32_t> class_of_;  // empty when dedup off
 
   mutable std::mutex mutex_;

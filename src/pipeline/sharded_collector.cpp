@@ -216,6 +216,9 @@ void ShardExecutor::run_barrier(const Task& task) {
   }
   inference_observations_.fetch_add(input.num_flows(), std::memory_order_relaxed);
   inference_rows_.fetch_add(input.num_rows(), std::memory_order_relaxed);
+  if (input.num_weight_saturations() > 0) {
+    weight_saturations_.fetch_add(input.num_weight_saturations(), std::memory_order_relaxed);
+  }
   on_snapshot_(EpochSnapshot{task.epoch_id, task.origin, std::move(input), unresolved,
                              task.since_close, stolen});
 }

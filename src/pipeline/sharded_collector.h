@@ -114,6 +114,11 @@ class ShardExecutor {
   std::uint64_t inference_rows() const {
     return inference_rows_.load(std::memory_order_relaxed);
   }
+  // Dedup weights clamped at the uint32 ceiling across all epoch tables
+  // (see core/flow_table.h).
+  std::uint64_t weight_saturations() const {
+    return weight_saturations_.load(std::memory_order_relaxed);
+  }
   // Datagrams dispatched to (and accounted against) a shard, wherever they
   // were executed.
   std::uint64_t shard_datagrams(std::int32_t shard) const {
@@ -182,6 +187,7 @@ class ShardExecutor {
   std::atomic<std::uint64_t> steal_attempts_{0};
   std::atomic<std::uint64_t> inference_observations_{0};
   std::atomic<std::uint64_t> inference_rows_{0};
+  std::atomic<std::uint64_t> weight_saturations_{0};
   bool stopped_ = false;
 };
 

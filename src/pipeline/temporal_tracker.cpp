@@ -1,0 +1,233 @@
+#include "pipeline/temporal_tracker.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace flock {
+
+namespace {
+
+std::uint64_t low_bits(std::uint32_t n) {
+  return n >= 64 ? ~0ull : (1ull << n) - 1;
+}
+
+}  // namespace
+
+const char* to_string(ComponentHealth state) {
+  switch (state) {
+    case ComponentHealth::kHealthy: return "healthy";
+    case ComponentHealth::kSuspect: return "suspect";
+    case ComponentHealth::kConfirmed: return "confirmed";
+    case ComponentHealth::kFlapping: return "flapping";
+    case ComponentHealth::kCleared: return "cleared";
+  }
+  return "?";
+}
+
+TemporalTracker::TemporalTracker(TemporalTrackerConfig config) : config_(config) {
+  config_.window = std::clamp<std::size_t>(config_.window, 2, 64);
+  config_.confirm_epochs = std::max(config_.confirm_epochs, 1);
+  config_.clear_epochs = std::max(config_.clear_epochs, 1);
+  config_.flap_transitions = std::max(config_.flap_transitions, 2);
+}
+
+void TemporalTracker::observe(const EpochResult& epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (epoch.epoch < next_epoch_) return;  // duplicate or stale: already applied
+  if (epoch.epoch != next_epoch_) {
+    // A newer epoch merged before its predecessors (age-priority dispatch
+    // makes this rare but not impossible): hold it until the gap fills.
+    ++stats_.out_of_order_epochs;
+    pending_.emplace(epoch.epoch, epoch.predicted);
+    return;
+  }
+  apply(next_epoch_++, epoch.predicted);
+  while (!pending_.empty() && pending_.begin()->first == next_epoch_) {
+    apply(next_epoch_++, pending_.begin()->second);
+    pending_.erase(pending_.begin());
+  }
+}
+
+void TemporalTracker::apply(std::uint64_t epoch, const std::vector<ComponentId>& blamed) {
+  std::vector<ComponentId> sorted = blamed;  // sink output is sorted; don't rely on it
+  std::sort(sorted.begin(), sorted.end());
+  for (ComponentId c : sorted) tracked_.try_emplace(c);
+  for (auto it = tracked_.begin(); it != tracked_.end();) {
+    Tracked& t = it->second;
+    step(t, std::binary_search(sorted.begin(), sorted.end(), it->first), epoch);
+    // Forget a component only once its whole window is quiet again, so a
+    // re-blame inside the window still sees the earlier history.
+    if (t.state == ComponentHealth::kHealthy && (t.history & low_bits(t.epochs_seen)) == 0) {
+      it = tracked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++stats_.epochs_observed;
+  stats_.tracked_components = tracked_.size();
+}
+
+void TemporalTracker::step(Tracked& t, bool blamed, std::uint64_t epoch) {
+  t.history = (t.history << 1) | (blamed ? 1u : 0u);
+  if (t.epochs_seen < config_.window) ++t.epochs_seen;
+  if (blamed) {
+    ++t.blame_streak;
+    t.quiet_streak = 0;
+    t.last_blamed_epoch = epoch;
+  } else {
+    ++t.quiet_streak;
+    t.blame_streak = 0;
+  }
+
+  const auto confirm = [&] {
+    t.state = ComponentHealth::kConfirmed;
+    t.confirmed_epoch = epoch;
+    ++t.confirmations;
+    ++stats_.confirmations;
+    if (!t.latency_recorded) {
+      t.latency_recorded = true;
+      t.epochs_to_confirm = epoch - t.first_blamed_epoch;
+    }
+  };
+  const auto clear = [&] {
+    t.state = ComponentHealth::kCleared;
+    ++t.clears;
+    ++stats_.clears;
+  };
+
+  if (blamed && t.state == ComponentHealth::kHealthy) {
+    t.state = ComponentHealth::kSuspect;
+    t.first_blamed_epoch = epoch;
+    t.latency_recorded = false;
+  } else if (blamed && t.state == ComponentHealth::kCleared) {
+    // The clear did not hold: the fault (or its flap) is back.
+    t.state = ComponentHealth::kSuspect;
+    ++t.false_clears;
+    ++stats_.false_clears;
+  }
+
+  // Hysteresis edges.
+  if (t.state == ComponentHealth::kSuspect) {
+    if (t.blame_streak >= config_.confirm_epochs) {
+      confirm();
+    } else if (t.quiet_streak >= config_.clear_epochs) {
+      t.state = ComponentHealth::kHealthy;  // unconfirmed suspicion expires; not a clear
+    }
+  } else if (t.state == ComponentHealth::kConfirmed &&
+             t.quiet_streak >= config_.clear_epochs) {
+    clear();
+  }
+
+  // Flap overlay: enough blame on/off edges inside the window override the
+  // confirm/clear churn; the state is sticky until the window settles into a
+  // persistent fault (re-confirm) or persistent quiet (clear).
+  const std::int32_t edges = transitions(t);
+  if (t.state == ComponentHealth::kFlapping) {
+    if (edges < config_.flap_transitions) {
+      if (t.blame_streak >= config_.confirm_epochs) {
+        confirm();
+      } else if (t.quiet_streak >= config_.clear_epochs) {
+        clear();
+      }
+    }
+  } else if (t.state != ComponentHealth::kHealthy && edges >= config_.flap_transitions) {
+    t.state = ComponentHealth::kFlapping;
+    ++stats_.flaps_detected;
+  }
+
+  // A cleared component whose window has fully drained is healthy again
+  // (and gets forgotten by apply()); until then it stays visibly "cleared"
+  // so a re-blame is recognized as a false clear, not a fresh fault.
+  if (t.state == ComponentHealth::kCleared &&
+      (t.history & low_bits(t.epochs_seen)) == 0) {
+    t.state = ComponentHealth::kHealthy;
+  }
+}
+
+std::int32_t TemporalTracker::transitions(const Tracked& t) const {
+  if (t.epochs_seen < 2) return 0;
+  // Edges between consecutive valid bits: k epochs have k-1 adjacent pairs.
+  const std::uint64_t edges = (t.history ^ (t.history >> 1)) & low_bits(t.epochs_seen - 1);
+  return static_cast<std::int32_t>(std::popcount(edges));
+}
+
+double TemporalTracker::duty_cycle(const Tracked& t) const {
+  // Normalized by the full window length, not epochs tracked: a component
+  // blamed once must start near 0, not at 1.0, or a fresh suspect would
+  // carry as much prior as a long-confirmed fault.
+  return static_cast<double>(
+             std::popcount(t.history & low_bits(static_cast<std::uint32_t>(config_.window)))) /
+         static_cast<double>(config_.window);
+}
+
+ComponentVerdict TemporalTracker::make_verdict(ComponentId c, const Tracked& t) const {
+  ComponentVerdict v;
+  v.component = c;
+  v.state = t.state;
+  v.blame_streak = t.blame_streak;
+  v.quiet_streak = t.quiet_streak;
+  v.transitions_in_window = transitions(t);
+  v.duty_cycle = duty_cycle(t);
+  v.first_blamed_epoch = t.first_blamed_epoch;
+  v.last_blamed_epoch = t.last_blamed_epoch;
+  v.confirmed_epoch = t.confirmed_epoch;
+  v.epochs_to_confirm = t.epochs_to_confirm;
+  v.confirmations = t.confirmations;
+  v.clears = t.clears;
+  v.false_clears = t.false_clears;
+  return v;
+}
+
+std::vector<ComponentVerdict> TemporalTracker::verdicts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ComponentVerdict> out;
+  out.reserve(tracked_.size());
+  for (const auto& [c, t] : tracked_) {
+    if (t.state == ComponentHealth::kHealthy) continue;
+    out.push_back(make_verdict(c, t));
+  }
+  return out;
+}
+
+ComponentVerdict TemporalTracker::verdict(ComponentId component) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tracked_.find(component);
+  if (it == tracked_.end()) {
+    ComponentVerdict v;
+    v.component = component;
+    return v;
+  }
+  return make_verdict(component, it->second);
+}
+
+std::vector<double> TemporalTracker::prior_logodds(std::size_t num_components) const {
+  std::vector<double> out(num_components, 0.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.prior_weight <= 0.0) return out;
+  for (const auto& [c, t] : tracked_) {
+    if (static_cast<std::size_t>(c) >= num_components) continue;
+    double raw = 0.0;
+    switch (t.state) {
+      case ComponentHealth::kConfirmed:
+      case ComponentHealth::kFlapping:
+        raw = config_.prior_saturation;
+        break;
+      case ComponentHealth::kSuspect:
+      case ComponentHealth::kCleared:
+        // Partial carryover, decaying as blame ages out of the window.
+        raw = config_.prior_saturation * duty_cycle(t);
+        break;
+      case ComponentHealth::kHealthy:
+        break;
+    }
+    out[static_cast<std::size_t>(c)] = config_.prior_weight * raw;
+  }
+  return out;
+}
+
+TemporalStats TemporalTracker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace flock

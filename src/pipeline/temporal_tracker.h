@@ -1,0 +1,167 @@
+// Cross-epoch temporal diagnosis: the stage downstream of the ResultSink.
+//
+// The per-epoch pipeline diagnoses every epoch independently and forgets it;
+// the paper's deployment loop (§5) and the link-flap scenario (fig 4b) are
+// inherently temporal — a flapping link looks healthy in half the epochs, so
+// a memoryless service reports it found, then cleared, then found again,
+// forever. The tracker turns the stream of merged EpochResults into a
+// continuous diagnosis: a sliding window of the last W epochs' blame sets
+// drives one small state machine per component,
+//
+//     healthy ──blame──► suspect ──streak ≥ confirm_epochs──► confirmed
+//        ▲                  │  ▲                                  │
+//        │   quiet window   │  │ re-blame (a false clear)         │ quiet
+//        └──────────────────┘  └───────────── cleared ◄───────────┘ streak
+//                 (any state with ≥ flap_transitions blame edges
+//                  inside the window is promoted to FLAPPING and
+//                  stays there until the window settles)
+//
+// with hysteresis on both edges (confirm_epochs consecutive blamed epochs to
+// confirm, clear_epochs consecutive quiet ones to clear), per-component blame
+// streaks and duty cycles, and detection-latency accounting (first blamed
+// epoch of the incident → confirmed).
+//
+// Evidence carryover: the tracker exports a per-component prior log-odds
+// vector. With prior_weight > 0 the pipeline hands it to the FlockLocalizer,
+// where it shrinks the (negative) per-component prior cost — a component
+// blamed in recent epochs needs less fresh evidence to re-confirm, which is
+// what separates "flapping" from "a new fault every other epoch". The
+// default prior_weight of 0 disables the feedback entirely and the per-epoch
+// output is byte-identical to a tracker-less pipeline (pinned by
+// tests/pipeline_test.cpp).
+//
+// Thread model: observe() is called from whichever localizer-pool (or shard)
+// thread completes an epoch's merge; epochs that complete out of order are
+// buffered and applied in epoch-id order, so the state machines always see
+// the diagnosis stream as a sequence. Readers (verdicts, prior export,
+// stats) take the same mutex; the tracker is never on the decode/join hot
+// path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/ids.h"
+#include "pipeline/result_sink.h"
+
+namespace flock {
+
+enum class ComponentHealth : std::uint8_t {
+  kHealthy = 0,   // not blamed inside the window (untracked)
+  kSuspect,       // blamed, but not for confirm_epochs consecutive epochs yet
+  kConfirmed,     // blame streak reached confirm_epochs
+  kFlapping,      // ≥ flap_transitions blame on/off edges inside the window
+  kCleared,       // was confirmed/flapping, then quiet for clear_epochs
+};
+
+const char* to_string(ComponentHealth state);
+
+struct TemporalTrackerConfig {
+  // Sliding window length W in epochs (clamped to [2, 64]; the per-component
+  // blame history is a 64-bit mask).
+  std::size_t window = 16;
+  // Hysteresis: consecutive blamed epochs before suspect -> confirmed, and
+  // consecutive quiet epochs before confirmed/flapping -> cleared (a suspect
+  // that never confirms quietly reverts to healthy after the same streak).
+  std::int32_t confirm_epochs = 2;
+  std::int32_t clear_epochs = 2;
+  // Blame on/off edges inside the window at or beyond which a component is
+  // reported flapping rather than repeatedly (re-)confirmed and cleared.
+  std::int32_t flap_transitions = 3;
+  // Weight on the exported evidence-carryover prior (0 = feedback off; the
+  // pipeline output is then byte-identical to a tracker-less run).
+  double prior_weight = 0.0;
+  // Cap on the raw carryover log-odds of one component (scaled by state and
+  // duty cycle before prior_weight is applied).
+  double prior_saturation = 6.0;
+};
+
+// Snapshot of one component's temporal state.
+struct ComponentVerdict {
+  ComponentId component = kInvalidComponent;
+  ComponentHealth state = ComponentHealth::kHealthy;
+  std::int32_t blame_streak = 0;           // consecutive blamed epochs ending now
+  std::int32_t quiet_streak = 0;           // consecutive quiet epochs ending now
+  std::int32_t transitions_in_window = 0;  // blame on/off edges inside the window
+  double duty_cycle = 0.0;                 // blamed fraction of the window
+  std::uint64_t first_blamed_epoch = 0;    // start of the current incident
+  std::uint64_t last_blamed_epoch = 0;
+  std::uint64_t confirmed_epoch = 0;       // most recent confirmation
+  // Detection latency of the incident's first confirmation, in epochs
+  // (confirmed_epoch - first_blamed_epoch); 0 until confirmed.
+  std::uint64_t epochs_to_confirm = 0;
+  std::uint64_t confirmations = 0;
+  std::uint64_t clears = 0;
+  std::uint64_t false_clears = 0;  // cleared, then blamed again within the window
+};
+
+struct TemporalStats {
+  std::uint64_t epochs_observed = 0;
+  std::uint64_t out_of_order_epochs = 0;  // buffered until their predecessors merged
+  std::uint64_t confirmations = 0;
+  std::uint64_t flaps_detected = 0;  // transitions into kFlapping
+  std::uint64_t clears = 0;
+  std::uint64_t false_clears = 0;
+  std::uint64_t tracked_components = 0;  // currently inside the window
+};
+
+class TemporalTracker {
+ public:
+  explicit TemporalTracker(TemporalTrackerConfig config);
+
+  // Feed one merged epoch. Epoch ids must be dense starting at 0 (what the
+  // EpochScheduler emits); results arriving out of order are buffered and
+  // applied in id order. Thread-safe.
+  void observe(const EpochResult& epoch);
+
+  // All currently tracked (non-healthy) components, ordered by id.
+  std::vector<ComponentVerdict> verdicts() const;
+
+  // State of one component (healthy default when untracked).
+  ComponentVerdict verdict(ComponentId component) const;
+
+  // Evidence carryover for the next localization: per-component prior
+  // log-odds, >= 0, already scaled by prior_weight (all zeros when the
+  // weight is 0). Suspect/cleared components carry prior_saturation scaled
+  // by their window duty cycle; confirmed/flapping carry the full
+  // saturation value.
+  std::vector<double> prior_logodds(std::size_t num_components) const;
+
+  TemporalStats stats() const;
+  const TemporalTrackerConfig& config() const { return config_; }
+
+ private:
+  struct Tracked {
+    std::uint64_t history = 0;  // bit 0 = latest epoch, bit k = k epochs ago
+    std::uint32_t epochs_seen = 0;  // valid bits in history (capped at window)
+    ComponentHealth state = ComponentHealth::kHealthy;
+    std::int32_t blame_streak = 0;
+    std::int32_t quiet_streak = 0;
+    bool latency_recorded = false;  // first confirmation of this incident done
+    std::uint64_t first_blamed_epoch = 0;
+    std::uint64_t last_blamed_epoch = 0;
+    std::uint64_t confirmed_epoch = 0;
+    std::uint64_t epochs_to_confirm = 0;
+    std::uint64_t confirmations = 0;
+    std::uint64_t clears = 0;
+    std::uint64_t false_clears = 0;
+  };
+
+  // All with mutex_ held:
+  void apply(std::uint64_t epoch, const std::vector<ComponentId>& blamed);
+  void step(Tracked& t, bool blamed, std::uint64_t epoch);
+  std::int32_t transitions(const Tracked& t) const;
+  double duty_cycle(const Tracked& t) const;
+  ComponentVerdict make_verdict(ComponentId c, const Tracked& t) const;
+
+  TemporalTrackerConfig config_;
+  mutable std::mutex mutex_;
+  std::uint64_t next_epoch_ = 0;
+  std::map<std::uint64_t, std::vector<ComponentId>> pending_;  // out-of-order buffer
+  std::map<ComponentId, Tracked> tracked_;
+  TemporalStats stats_;
+};
+
+}  // namespace flock

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <tuple>
 #include <unordered_set>
 
@@ -226,6 +227,49 @@ INSTANTIATE_TEST_SUITE_P(
                                                         kTelemetryA1 | kTelemetryA2 | kTelemetryP,
                                                         kTelemetryInt),
                        ::testing::Values<std::uint64_t>(501, 502, 503)));
+
+// --- dedup-weight saturation --------------------------------------------------
+
+// A pathological epoch of identical rows used to wrap the uint32 dedup
+// weight (2^32 identical observations -> weight 0) and silently corrupt the
+// weighted log-likelihood. The add must saturate at the ceiling and count
+// the clamp. Reaching the ceiling goes through merge_from doubling: each
+// round merges a copy of the table into itself, doubling the single row's
+// weight (33 doublings ~ 2^33 observations, far past any real epoch).
+TEST(FlowTableSaturation, WeightAddSaturatesAtTheCeilingAndIsCounted) {
+  FlowObservation obs;
+  obs.src_link = 0;
+  obs.dst_link = 1;
+  obs.path_set = 0;
+  obs.taken_path = -1;
+  obs.packets_sent = 10;
+  obs.bad_packets = 0;
+
+  FlowTable table(/*dedup=*/true);
+  table.add(obs);
+  for (int round = 0; round < 33; ++round) {
+    FlowTable copy = table;  // same single row, same weight
+    table.merge_from(std::move(copy));
+  }
+  ASSERT_EQ(table.num_rows(), 1u);
+  ASSERT_EQ(table.num_groups(), 1u);
+  constexpr std::uint32_t kMax = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_EQ(table.groups()[0].weight[0], kMax);  // clamped, not wrapped
+  EXPECT_GT(table.num_weight_saturations(), 0u);
+  // The raw observation count keeps the truth: the row undercounts it.
+  EXPECT_EQ(table.num_observations(), std::uint64_t{1} << 33);
+
+  // A second distinct row is unaffected and saturation survives merges.
+  FlowObservation other = obs;
+  other.bad_packets = 1;
+  table.add(other);
+  const std::uint64_t saturations = table.num_weight_saturations();
+  FlowTable sink(/*dedup=*/true);
+  sink.merge_from(std::move(table));
+  EXPECT_EQ(sink.num_weight_saturations(), saturations);
+  EXPECT_EQ(sink.groups()[0].weight[0], kMax);
+  EXPECT_EQ(sink.groups()[0].weight[1], 1u);
+}
 
 }  // namespace
 }  // namespace flock

@@ -459,5 +459,113 @@ TEST(PipelineDeadline, DeadlineComposesWithRecordLimit) {
   EXPECT_EQ(pipeline.stats().deadline_epochs, 1u);
 }
 
+// A record-count cut in the same dispatcher poll as an armed deadline must
+// disarm the timer with the close: the pre-cut epoch's stale deadline_at_
+// must never fire against the next epoch (which would close it early and
+// nearly empty) or emit an extra empty epoch after the cut.
+TEST(PipelineDeadline, RecordCutInTheSamePollDisarmsTheDeadline) {
+  StreamFixture fx(/*seed=*/29, /*flows=*/600);
+  FakeClock clock;
+  PipelineConfig config;
+  config.num_shards = 2;
+  config.localizer = test_flock_options();
+  config.epoch.record_limit = 1;  // every datagram cuts: cut and timer always share a poll
+  config.epoch.deadline = std::chrono::milliseconds(1000);
+  config.epoch.clock = clock.fn();
+  StreamingPipeline pipeline(fx.topo, fx.router, config);
+
+  const std::size_t burst = 10;
+  for (std::size_t i = 0; i < burst; ++i) pipeline.offer_wait(fx.datagrams[i]);
+  while (pipeline.stats().epochs_closed < burst) std::this_thread::yield();
+  EXPECT_EQ(pipeline.stats().deadline_epochs, 0u);
+
+  // Every cut disarmed its epoch's timer: stepping far past all of their
+  // would-be deadline_at_ values must not close anything.
+  clock.advance(std::chrono::milliseconds(60000));
+  EXPECT_FALSE(
+      pipeline.results().wait_for_epochs_for(burst + 1, std::chrono::milliseconds(100)));
+
+  pipeline.stop();
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats.epochs_closed, burst);
+  EXPECT_EQ(stats.deadline_epochs, 0u);
+  std::uint64_t flows = 0, unresolved = 0;
+  for (const auto& e : pipeline.results().completed()) {
+    flows += e.flows;
+    unresolved += e.unresolved;
+    EXPECT_GT(e.flows + e.unresolved, 0u);
+  }
+  EXPECT_EQ(flows + unresolved, stats.records_decoded);
+}
+
+// close_now() from a *manual* boundary also disarms and re-arms cleanly: the
+// old epoch's deadline must not fire after the manual close, and the next
+// epoch's first datagram arms a fresh timer that does.
+TEST(PipelineDeadline, ManualCloseDisarmsAndNextEpochRearms) {
+  StreamFixture fx(/*seed=*/37, /*flows=*/400);
+  FakeClock clock;
+  PipelineConfig config;
+  config.num_shards = 2;
+  config.localizer = test_flock_options();
+  config.epoch.deadline = std::chrono::milliseconds(2000);
+  config.epoch.clock = clock.fn();
+  StreamingPipeline pipeline(fx.topo, fx.router, config);
+
+  const std::size_t half = fx.datagrams.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) pipeline.offer_wait(fx.datagrams[i]);
+  while (pipeline.stats().dispatched < half) std::this_thread::yield();
+  pipeline.close_epoch();  // manual cut while the deadline is armed
+  ASSERT_TRUE(pipeline.results().wait_for_epochs_for(1, std::chrono::seconds(10)));
+
+  // The stale timer of the manually closed epoch must stay dead.
+  clock.advance(std::chrono::milliseconds(60000));
+  EXPECT_FALSE(pipeline.results().wait_for_epochs_for(2, std::chrono::milliseconds(100)));
+  EXPECT_EQ(pipeline.stats().deadline_epochs, 0u);
+
+  // A new burst re-arms at the *current* fake time; its own deadline fires.
+  for (std::size_t i = half; i < fx.datagrams.size(); ++i) pipeline.offer_wait(fx.datagrams[i]);
+  while (pipeline.stats().dispatched < fx.datagrams.size()) std::this_thread::yield();
+  clock.advance(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(pipeline.results().wait_for_epochs_for(2, std::chrono::seconds(10)));
+  pipeline.stop();
+  EXPECT_EQ(pipeline.stats().epochs_closed, 2u);
+  EXPECT_EQ(pipeline.stats().deadline_epochs, 1u);
+}
+
+// The deadline comparison is >=: a fake clock stepping *exactly* onto
+// deadline_at_ closes the epoch, and however long the idle clock then keeps
+// jumping, an armed-but-empty pipeline never emits empty epochs.
+TEST(PipelineDeadline, ExactDeadlineStepFiresAndIdleJumpsStayEmpty) {
+  StreamFixture fx(/*seed=*/41, /*flows=*/300);
+  FakeClock clock;
+  PipelineConfig config;
+  config.num_shards = 2;
+  config.localizer = test_flock_options();
+  config.epoch.deadline = std::chrono::milliseconds(3000);
+  config.epoch.clock = clock.fn();
+  StreamingPipeline pipeline(fx.topo, fx.router, config);
+
+  for (const IngestDatagram& d : fx.datagrams) pipeline.offer_wait(d);
+  while (pipeline.stats().dispatched < fx.datagrams.size()) std::this_thread::yield();
+  // now() == deadline_at_ exactly (the timer armed at fake time 0).
+  clock.advance(std::chrono::milliseconds(3000));
+  ASSERT_TRUE(pipeline.results().wait_for_epochs_for(1, std::chrono::seconds(10)))
+      << "deadline must fire on now() == deadline_at_, not strictly after";
+
+  // Idle clock stepping in exact deadline quanta: no open epoch, no epochs.
+  for (int jump = 0; jump < 5; ++jump) {
+    clock.advance(std::chrono::milliseconds(3000));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_FALSE(pipeline.results().wait_for_epochs_for(2, std::chrono::milliseconds(100)));
+  pipeline.stop();
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats.epochs_closed, 1u);
+  EXPECT_EQ(stats.deadline_epochs, 1u);
+  for (const auto& e : pipeline.results().completed()) {
+    EXPECT_GT(e.flows + e.unresolved, 0u);  // the never-empty guarantee
+  }
+}
+
 }  // namespace
 }  // namespace flock

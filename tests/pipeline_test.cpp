@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <unordered_map>
 
@@ -39,7 +40,29 @@ TEST(IngestQueue, FullQueueDropsAreCountedNotSilentlyLost) {
   out.clear();
   EXPECT_EQ(q.pop_batch(out, 16), 0u);
   EXPECT_FALSE(q.try_push(99));
-  EXPECT_EQ(q.stats().dropped, 7u);  // post-close rejections are counted too
+  // A push after close is shutdown teardown, not backpressure loss: it lands
+  // in rejected_closed, never conflated with the full-queue drops above.
+  EXPECT_EQ(q.stats().dropped, 6u);
+  EXPECT_EQ(q.stats().rejected_closed, 1u);
+  EXPECT_EQ(q.stats().pushed + q.stats().dropped + q.stats().rejected_closed, 11u);
+}
+
+TEST(IngestQueue, CloseDuringBlockedPushesCountsRejectionsNotDrops) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(0));
+  std::thread single([&] { EXPECT_FALSE(q.push_wait(1)); });
+  std::thread batch([&] { EXPECT_FALSE(q.push_many({2, 3, 4})); });
+  // Wait until both producers are blocked on the full queue, then close.
+  while (q.stats().pushed < 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  single.join();
+  batch.join();
+  const auto s = q.stats();
+  EXPECT_EQ(s.pushed, 1u);
+  EXPECT_EQ(s.dropped, 0u);  // nothing was a backpressure drop
+  EXPECT_EQ(s.rejected_closed, 4u);
+  EXPECT_EQ(s.pushed + s.dropped + s.rejected_closed, 5u);  // conservation
 }
 
 TEST(IngestQueue, PushWaitBlocksInsteadOfDropping) {
@@ -132,7 +155,7 @@ TEST(Pipeline, SingleShardMatchesSynchronousPath) {
   std::vector<ComponentId> expected = sync_result.predicted;
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(epochs[0].predicted, expected);
-  EXPECT_DOUBLE_EQ(epochs[0].log_likelihood, sync_result.log_likelihood);
+  EXPECT_DOUBLE_EQ(epochs[0].shard_score_sum, sync_result.log_likelihood);
   EXPECT_FALSE(epochs[0].predicted.empty());  // the injected failure is found
 }
 
@@ -209,7 +232,7 @@ TEST(Pipeline, AcceptedRecordsAllLandInEpochs) {
   EXPECT_EQ(pipeline.results().completed_epochs(), stats.epochs_closed);
 }
 
-TEST(Pipeline, OffersAfterStopAreCountedAsDrops) {
+TEST(Pipeline, OffersAfterStopAreRejectionsNotBackpressureDrops) {
   StreamFixture fx(/*seed=*/5, /*flows=*/100);
   PipelineConfig config;
   config.num_shards = 2;
@@ -218,10 +241,16 @@ TEST(Pipeline, OffersAfterStopAreCountedAsDrops) {
   pipeline.offer_wait(fx.datagrams.front());
   pipeline.stop();
   EXPECT_FALSE(pipeline.offer(fx.datagrams.back()));
+  // A close_epoch() against the stopped pipeline pushes an in-band boundary
+  // token that the closed queue rejects — that is not a datagram and must
+  // not leak into the ingest accounting (or underflow `accepted`).
+  pipeline.close_epoch();
   const auto stats = pipeline.stats();
   EXPECT_EQ(stats.offered, 2u);
   EXPECT_EQ(stats.accepted, 1u);
-  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_EQ(stats.dropped, 0u);  // the queue was closed, not full
+  EXPECT_EQ(stats.rejected_closed, 1u);
+  EXPECT_EQ(stats.offered, stats.accepted + stats.dropped + stats.rejected_closed);
 }
 
 // --- virtual-time epochs ------------------------------------------------------
@@ -318,6 +347,80 @@ TEST(Pipeline, EquivalenceClassDedupCollapsesIndistinguishableComponents) {
   std::sort(sorted.begin(), sorted.end());
   EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
   EXPECT_EQ(merged.per_shard_predicted.size(), 4u);
+}
+
+// --- temporal tracker: default-off prior is byte-identical --------------------
+
+// An explicit all-zero carryover vector must not perturb a single float op:
+// the localizer's output (hypothesis AND scores, compared exactly) matches
+// the prior-less overload bit for bit.
+TEST(Pipeline, ZeroCarryoverPriorIsByteIdenticalAtTheLocalizer) {
+  StreamFixture fx(/*seed=*/42, /*flows=*/800);
+  Collector collector(fx.topo, fx.router);
+  for (const IngestDatagram& d : fx.datagrams) ASSERT_TRUE(collector.ingest(d.bytes));
+  const InferenceInput input = collector.drain_into_input();
+
+  const FlockLocalizer localizer(test_flock_options());
+  const LocalizationResult plain = localizer.localize(input);
+  const std::vector<double> zeros(
+      static_cast<std::size_t>(fx.topo.num_components()), 0.0);
+  const LocalizationResult with_zeros = localizer.localize(input, zeros);
+  const LocalizationResult with_empty = localizer.localize(input, {});
+
+  EXPECT_FALSE(plain.predicted.empty());
+  EXPECT_EQ(with_zeros.predicted, plain.predicted);
+  EXPECT_EQ(with_empty.predicted, plain.predicted);
+  // Exact equality, not NEAR: weight 0 must take the identical code path.
+  EXPECT_EQ(with_zeros.log_likelihood, plain.log_likelihood);
+  EXPECT_EQ(with_empty.log_likelihood, plain.log_likelihood);
+  EXPECT_EQ(with_zeros.hypotheses_scanned, plain.hypotheses_scanned);
+}
+
+// Multi-epoch pipeline with the tracker attached (default prior weight 0)
+// against the synchronous per-epoch reference path: per-epoch output is
+// byte-identical to a pipeline that never had a temporal layer, while the
+// tracker still observed every epoch.
+TEST(Pipeline, TrackerWithZeroWeightKeepsEpochOutputByteIdentical) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  std::vector<std::vector<IngestDatagram>> epochs_in;
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    StreamFixture fx(/*seed=*/300 + round, /*flows=*/400, /*export_time=*/1000,
+                     /*probes=*/false);
+    epochs_in.push_back(std::move(fx.datagrams));
+  }
+
+  // Synchronous per-epoch reference: one Collector drain + localize per burst
+  // (the PR 4 behavior, no temporal layer anywhere).
+  const FlockLocalizer reference_localizer(test_flock_options());
+  std::vector<LocalizationResult> reference;
+  for (const auto& burst : epochs_in) {
+    Collector collector(topo, router);
+    for (const IngestDatagram& d : burst) ASSERT_TRUE(collector.ingest(d.bytes));
+    reference.push_back(reference_localizer.localize(collector.drain_into_input()));
+  }
+
+  PipelineConfig config;
+  config.num_shards = 1;
+  config.localizer = test_flock_options();
+  ASSERT_EQ(config.temporal.prior_weight, 0.0);  // the default under test
+  StreamingPipeline pipeline(topo, router, config);
+  for (const auto& burst : epochs_in) {
+    for (const IngestDatagram& d : burst) pipeline.offer_wait(d);
+    pipeline.close_epoch();
+  }
+  pipeline.stop();
+
+  const auto epochs = pipeline.results().completed();
+  ASSERT_EQ(epochs.size(), epochs_in.size());
+  for (std::size_t e = 0; e < epochs.size(); ++e) {
+    std::vector<ComponentId> expected = reference[e].predicted;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(epochs[e].predicted, expected) << "epoch " << e;
+    EXPECT_EQ(epochs[e].shard_score_sum, reference[e].log_likelihood) << "epoch " << e;
+  }
+  // The tracker ran alongside without touching the results.
+  EXPECT_EQ(pipeline.tracker().stats().epochs_observed, epochs.size());
 }
 
 }  // namespace

@@ -1,0 +1,242 @@
+// Tests for the cross-epoch temporal layer (src/pipeline/temporal_tracker):
+// the component state machines and their hysteresis, flap detection over the
+// sliding window, detection-latency accounting, out-of-order epoch delivery,
+// and the evidence-carryover prior (export clamping plus its effect on the
+// localizer: a recently blamed component re-confirms on less fresh evidence,
+// but never on none).
+#include "pipeline/temporal_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/flock_localizer.h"
+#include "core/inference_input.h"
+#include "topology/ecmp.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+EpochResult make_epoch(std::uint64_t id, std::vector<ComponentId> blamed) {
+  EpochResult e;
+  e.epoch = id;
+  e.predicted = std::move(blamed);
+  return e;
+}
+
+TemporalTrackerConfig test_config() {
+  TemporalTrackerConfig cfg;
+  cfg.window = 8;
+  cfg.confirm_epochs = 2;
+  cfg.clear_epochs = 2;
+  cfg.flap_transitions = 3;
+  return cfg;
+}
+
+// --- state machine ------------------------------------------------------------
+
+TEST(TemporalTracker, ConfirmsAfterBlameStreakAndRecordsDetectionLatency) {
+  TemporalTracker tracker(test_config());
+  tracker.observe(make_epoch(0, {}));
+  EXPECT_EQ(tracker.verdict(7).state, ComponentHealth::kHealthy);
+
+  tracker.observe(make_epoch(1, {7}));
+  EXPECT_EQ(tracker.verdict(7).state, ComponentHealth::kSuspect);
+  EXPECT_EQ(tracker.verdict(7).first_blamed_epoch, 1u);
+
+  tracker.observe(make_epoch(2, {7}));
+  const ComponentVerdict v = tracker.verdict(7);
+  EXPECT_EQ(v.state, ComponentHealth::kConfirmed);
+  EXPECT_EQ(v.blame_streak, 2);
+  EXPECT_EQ(v.confirmed_epoch, 2u);
+  EXPECT_EQ(v.epochs_to_confirm, 1u);  // first blamed at 1, confirmed at 2
+  EXPECT_EQ(tracker.stats().confirmations, 1u);
+}
+
+TEST(TemporalTracker, ClearsOnlyAfterQuietStreakHysteresis) {
+  TemporalTracker tracker(test_config());
+  tracker.observe(make_epoch(0, {3}));
+  tracker.observe(make_epoch(1, {3}));
+  ASSERT_EQ(tracker.verdict(3).state, ComponentHealth::kConfirmed);
+
+  // One quiet epoch is not enough to clear (clear_epochs = 2)...
+  tracker.observe(make_epoch(2, {}));
+  EXPECT_EQ(tracker.verdict(3).state, ComponentHealth::kConfirmed);
+  EXPECT_EQ(tracker.verdict(3).quiet_streak, 1);
+  // ...the second one is.
+  tracker.observe(make_epoch(3, {}));
+  EXPECT_EQ(tracker.verdict(3).state, ComponentHealth::kCleared);
+  EXPECT_EQ(tracker.stats().clears, 1u);
+
+  // Once the whole window is quiet the component is forgotten entirely.
+  for (std::uint64_t e = 4; e < 16; ++e) tracker.observe(make_epoch(e, {}));
+  EXPECT_EQ(tracker.verdict(3).state, ComponentHealth::kHealthy);
+  EXPECT_TRUE(tracker.verdicts().empty());
+  EXPECT_EQ(tracker.stats().tracked_components, 0u);
+}
+
+TEST(TemporalTracker, UnconfirmedSuspicionExpiresWithoutCountingAClear) {
+  TemporalTracker tracker(test_config());
+  tracker.observe(make_epoch(0, {5}));  // one blamed epoch: suspect only
+  tracker.observe(make_epoch(1, {}));
+  tracker.observe(make_epoch(2, {}));
+  EXPECT_EQ(tracker.verdict(5).state, ComponentHealth::kHealthy);
+  EXPECT_EQ(tracker.stats().clears, 0u);
+  EXPECT_EQ(tracker.stats().confirmations, 0u);
+}
+
+// --- flap detection -----------------------------------------------------------
+
+TEST(TemporalTracker, AlternatingBlameIsPromotedToFlappingNotClearChurn) {
+  TemporalTracker tracker(test_config());
+  // Blame every other epoch: 1,0,1,0,1... With flap_transitions = 3 the
+  // component must end up (and stay) flapping instead of cycling through
+  // suspect/cleared forever.
+  for (std::uint64_t e = 0; e < 12; ++e) {
+    tracker.observe(make_epoch(e, e % 2 == 0 ? std::vector<ComponentId>{9}
+                                             : std::vector<ComponentId>{}));
+  }
+  const ComponentVerdict v = tracker.verdict(9);
+  EXPECT_EQ(v.state, ComponentHealth::kFlapping);
+  EXPECT_GE(v.transitions_in_window, 3);
+  EXPECT_NEAR(v.duty_cycle, 0.5, 0.13);
+  EXPECT_EQ(tracker.stats().flaps_detected, 1u);  // entered flapping once, stayed
+
+  // The flap settles into a persistent fault: flapping -> confirmed.
+  for (std::uint64_t e = 12; e < 22; ++e) tracker.observe(make_epoch(e, {9}));
+  EXPECT_EQ(tracker.verdict(9).state, ComponentHealth::kConfirmed);
+
+  // And a settled quiet window eventually clears it.
+  for (std::uint64_t e = 22; e < 32; ++e) tracker.observe(make_epoch(e, {}));
+  EXPECT_EQ(tracker.verdict(9).state, ComponentHealth::kHealthy);
+}
+
+TEST(TemporalTracker, ReBlameAfterClearCountsAFalseClear) {
+  TemporalTrackerConfig cfg = test_config();
+  cfg.flap_transitions = 100;  // effectively disable the flap overlay
+  TemporalTracker tracker(cfg);
+  std::uint64_t e = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    tracker.observe(make_epoch(e++, {4}));
+    tracker.observe(make_epoch(e++, {4}));  // confirmed
+    tracker.observe(make_epoch(e++, {}));
+    tracker.observe(make_epoch(e++, {}));   // cleared
+  }
+  tracker.observe(make_epoch(e++, {4}));    // and blamed again
+  const auto stats = tracker.stats();
+  EXPECT_EQ(stats.clears, 3u);
+  // Every post-clear re-blame within the window is a clear that did not hold.
+  EXPECT_EQ(stats.false_clears, 2u + 1u);  // after cycles 1 and 2, plus the tail
+  EXPECT_EQ(tracker.verdict(4).false_clears, 3u);
+}
+
+// --- out-of-order delivery ----------------------------------------------------
+
+TEST(TemporalTracker, OutOfOrderEpochsAreBufferedAndAppliedInOrder) {
+  TemporalTracker in_order(test_config());
+  TemporalTracker shuffled(test_config());
+
+  const std::vector<std::vector<ComponentId>> blame = {
+      {}, {2}, {2}, {}, {2}, {}, {2, 6}, {6}};
+  for (std::uint64_t e = 0; e < blame.size(); ++e) {
+    in_order.observe(make_epoch(e, blame[static_cast<std::size_t>(e)]));
+  }
+  for (const std::uint64_t e : {1u, 0u, 3u, 2u, 6u, 5u, 4u, 7u}) {
+    shuffled.observe(make_epoch(e, blame[static_cast<std::size_t>(e)]));
+  }
+
+  EXPECT_GT(shuffled.stats().out_of_order_epochs, 0u);
+  EXPECT_EQ(shuffled.stats().epochs_observed, in_order.stats().epochs_observed);
+  for (const ComponentId c : {2, 6}) {
+    const ComponentVerdict a = in_order.verdict(c);
+    const ComponentVerdict b = shuffled.verdict(c);
+    EXPECT_EQ(a.state, b.state) << "component " << c;
+    EXPECT_EQ(a.blame_streak, b.blame_streak);
+    EXPECT_EQ(a.duty_cycle, b.duty_cycle);
+    EXPECT_EQ(a.confirmations, b.confirmations);
+  }
+  // Duplicate / stale delivery is ignored.
+  shuffled.observe(make_epoch(3, {2}));
+  EXPECT_EQ(shuffled.stats().epochs_observed, blame.size());
+}
+
+// --- prior export -------------------------------------------------------------
+
+TEST(TemporalTracker, PriorExportIsZeroAtWeightZeroAndScaledByState) {
+  TemporalTrackerConfig cfg = test_config();
+  cfg.prior_saturation = 6.0;
+  TemporalTracker off(cfg);          // prior_weight = 0 (default)
+  cfg.prior_weight = 0.5;
+  TemporalTracker on(cfg);
+
+  for (TemporalTracker* t : {&off, &on}) {
+    t->observe(make_epoch(0, {1}));
+    t->observe(make_epoch(1, {1, 2}));  // 1 confirms; 2 suspect
+  }
+  const auto zeros = off.prior_logodds(8);
+  for (const double v : zeros) EXPECT_EQ(v, 0.0);
+
+  const auto prior = on.prior_logodds(8);
+  ASSERT_EQ(prior.size(), 8u);
+  EXPECT_EQ(prior[1], 0.5 * 6.0);  // confirmed: full saturation
+  EXPECT_GT(prior[2], 0.0);        // suspect: duty-scaled
+  EXPECT_LT(prior[2], prior[1]);
+  EXPECT_EQ(prior[0], 0.0);        // never blamed
+}
+
+// --- evidence carryover at the localizer --------------------------------------
+
+// One weak known-path flow: the evidence s for every on-path component sits
+// between the boosted and the plain prior cost, so the fault is found only
+// with carryover — and a boost can never conjure a fault out of no evidence.
+TEST(TemporalTracker, CarryoverPriorLowersEvidenceNeededButNeverToZero) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  const NodeId src = topo.hosts().front();
+  const NodeId dst = topo.hosts().back();
+
+  FlockOptions options;
+  options.params.p_g = 1e-4;
+  options.params.p_b = 6e-3;
+  options.params.rho = 1e-3;  // prior cost ~ -6.9 per link
+
+  InferenceInput weak(topo, router);
+  FlowObservation obs;
+  obs.src_link = topo.link_component(topo.host_access_link(src));
+  obs.dst_link = topo.link_component(topo.host_access_link(dst));
+  obs.path_set = router.host_pair_path_set(src, dst);
+  obs.taken_path = 0;
+  obs.packets_sent = 100;
+  obs.bad_packets = 1;  // s = log(60) - 99*log(0.9999/0.994) ~ 3.5, below 6.9
+  weak.add(obs);
+
+  const FlockLocalizer localizer(options);
+  EXPECT_TRUE(localizer.localize(weak).predicted.empty());  // not enough evidence
+
+  // Boost one on-path *link*, as if the tracker had it confirmed (devices
+  // carry a 5x-scaled prior that this weak flow could never overcome).
+  const Path& taken = router.path(router.path_set(obs.path_set).paths[0]);
+  ComponentId boosted = kInvalidComponent;
+  for (const ComponentId c : taken.comps) {
+    if (topo.is_link_component(c)) {
+      boosted = c;
+      break;
+    }
+  }
+  ASSERT_NE(boosted, kInvalidComponent);
+  std::vector<double> prior(static_cast<std::size_t>(topo.num_components()), 0.0);
+  prior[static_cast<std::size_t>(boosted)] = 6.0;
+  const LocalizationResult carried = localizer.localize(weak, prior);
+  EXPECT_EQ(carried.predicted, std::vector<ComponentId>{boosted});
+
+  // No evidence at all: even an absurd boost must not flip the prior's sign.
+  InferenceInput clean(topo, router);
+  obs.bad_packets = 0;
+  clean.add(obs);
+  prior[static_cast<std::size_t>(boosted)] = 1e6;
+  EXPECT_TRUE(localizer.localize(clean, prior).predicted.empty());
+}
+
+}  // namespace
+}  // namespace flock
