@@ -8,20 +8,95 @@
 // Interval 0 is healthy; a silent link failure is injected from interval 1
 // on. The service should stay quiet in epoch 0 and name the failed link's
 // ECMP ambiguity class afterwards.
+//
+// Flags (default: in-process feed, same as always):
+//   --listen[=PORT]  fleet exports over real loopback UDP into a
+//                    UdpIngestServer (ephemeral port when omitted); the
+//                    run additionally prints the net-layer counters
+//   --capture=FILE   splice a CaptureTap before the pipeline: every offered
+//                    datagram is logged for later replay
+//   --replay=FILE    skip the fleet entirely and re-offer a captured log
+//                    (routing state is reconstructed deterministically, so
+//                    a same-build replay reproduces the captured run)
+//   --paced          with --replay: pace offers to the captured gaps
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "common/rng.h"
 #include "flowsim/scenario.h"
 #include "flowsim/simulate.h"
+#include "net/dgram_log.h"
+#include "net/ingest_server.h"
+#include "net/udp_socket.h"
 #include "pipeline/pipeline.h"
 #include "telemetry/agent.h"
 #include "topology/topology.h"
 
-int main() {
+namespace {
+
+using namespace flock;
+
+struct Options {
+  bool listen = false;
+  std::uint16_t port = 0;  // --listen only; 0 = ephemeral
+  std::string capture;     // empty = no tap
+  std::string replay;      // empty = live fleet
+  bool paced = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--listen[=PORT]] [--capture=FILE] [--replay=FILE] [--paced]\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--listen") {
+      opts.listen = true;
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      opts.listen = true;
+      opts.port = static_cast<std::uint16_t>(std::stoi(arg.substr(9)));
+    } else if (arg.rfind("--capture=", 0) == 0) {
+      opts.capture = arg.substr(10);
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      opts.replay = arg.substr(9);
+    } else if (arg == "--paced") {
+      opts.paced = true;
+    } else {
+      return false;
+    }
+  }
+  return !(opts.listen && !opts.replay.empty());  // listen and replay are exclusive
+}
+
+// Block until the server's receive counter stays flat for ~200ms — the
+// kernel buffer is drained and the interval's burst is fully inside the
+// pipeline (epoch order stays clean across intervals).
+void wait_for_drain(const UdpIngestServer& server) {
+  std::uint64_t last = server.stats().datagrams_received;
+  int quiet_polls = 0;
+  while (quiet_polls < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const std::uint64_t now = server.stats().datagrams_received;
+    quiet_polls = now == last ? quiet_polls + 1 : 0;
+    last = now;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace flock;
+
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return usage(argv[0]);
 
   const Topology topo = make_fat_tree(4);
   EcmpRouter router(topo);
@@ -52,44 +127,118 @@ int main() {
   config.temporal.prior_weight = 1.0;
   StreamingPipeline pipeline(topo, router, config);
 
-  // Group hosts by pod: one producer thread per pod each interval.
-  std::unordered_map<std::int32_t, std::vector<NodeId>> pods;
-  for (NodeId h : topo.hosts()) pods[topo.node(h).pod].push_back(h);
+  // The offer edge, optionally behind a capture tap: whatever feeds the
+  // pipeline (in-process fleet, UDP server, or a replayed log) goes through
+  // this one function, so the captured log is exactly what the pipeline saw.
+  DgramOfferFn offer = [&pipeline](IngestDatagram d) {
+    return pipeline.offer_wait(std::move(d));
+  };
+  std::optional<std::ofstream> capture_file;
+  std::optional<CaptureTap> tap;
+  if (!opts.capture.empty()) {
+    capture_file.emplace(opts.capture, std::ios::binary | std::ios::trunc);
+    if (!capture_file->good()) {
+      std::cerr << "cannot open capture file " << opts.capture << "\n";
+      return 1;
+    }
+    tap.emplace(*capture_file, offer);
+    offer = tap->as_offer_fn();
+  }
 
   constexpr int kIntervals = 3;
-  for (int interval = 0; interval < kIntervals; ++interval) {
-    const GroundTruth& truth = interval == 0 ? healthy : failed;
-    TrafficConfig traffic;
-    traffic.num_app_flows = 6000;
-    Trace trace = simulate(topo, router, truth, traffic, ProbeConfig{}, rng);
+  std::optional<UdpIngestServer> server;
 
-    std::unordered_map<NodeId, Agent> agents;
-    for (NodeId h : topo.hosts()) {
-      AgentConfig cfg;
-      cfg.observation_domain = static_cast<std::uint32_t>(h);
-      agents.emplace(h, Agent(topo, cfg));
+  if (!opts.replay.empty()) {
+    // Replay mode: no fleet. Warm the router through the same deterministic
+    // scenario construction the capturing run used — path-set ids are
+    // assigned in construction order, so the replayed records resolve to the
+    // very same routes and the run reproduces the capture.
+    for (int interval = 0; interval < kIntervals; ++interval) {
+      const GroundTruth& truth = interval == 0 ? healthy : failed;
+      TrafficConfig traffic;
+      traffic.num_app_flows = 6000;
+      simulate(topo, router, truth, traffic, ProbeConfig{}, rng);
     }
-    for (const SimFlow& f : trace.flows) {
-      SimFlow report = f;
-      if (f.kind == SimFlowKind::kApp) report.taken_path = -1;  // passive deployment
-      agents.at(f.src_host).observe(report);
+    ReplayOptions replay_options;
+    replay_options.paced = opts.paced;
+    try {
+      const ReplayStats rs = replay_dgram_log(opts.replay, offer, replay_options);
+      std::cout << "replayed " << rs.datagrams << " datagrams from " << opts.replay
+                << (opts.paced ? " (paced)" : "") << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "replay failed: " << e.what() << "\n";
+      return 1;
+    }
+  } else {
+    if (opts.listen) {
+      UdpIngestServerConfig server_config;
+      server_config.port = opts.port;
+      server_config.receiver_threads = 2;
+      UdpIngestServer& s = server.emplace(
+          server_config, offer, [&pipeline] { return pipeline.ingest_depth(); });
+      std::string error;
+      if (!s.start(&error)) {
+        std::cerr << "cannot bind UDP ingest socket: " << error << "\n";
+        return 1;
+      }
+      std::cout << "listening on " << to_string(s.endpoint()) << "\n";
     }
 
-    const auto export_time = static_cast<std::uint32_t>(1700000000 + interval * 10);
-    std::vector<std::thread> fleet;
-    fleet.reserve(pods.size());
-    for (auto& [pod, hosts] : pods) {
-      (void)pod;
-      fleet.emplace_back([&agents, &pipeline, &hosts, export_time] {
-        for (NodeId h : hosts) {
-          for (auto& msg : agents.at(h).flush(export_time)) {
-            pipeline.offer_wait({node_to_addr(h), std::move(msg)});
-          }
+    // Group hosts by pod: one producer thread per pod each interval.
+    std::unordered_map<std::int32_t, std::vector<NodeId>> pods;
+    for (NodeId h : topo.hosts()) pods[topo.node(h).pod].push_back(h);
+
+    for (int interval = 0; interval < kIntervals; ++interval) {
+      const GroundTruth& truth = interval == 0 ? healthy : failed;
+      TrafficConfig traffic;
+      traffic.num_app_flows = 6000;
+      Trace trace = simulate(topo, router, truth, traffic, ProbeConfig{}, rng);
+
+      std::unordered_map<NodeId, Agent> agents;
+      for (NodeId h : topo.hosts()) {
+        AgentConfig cfg;
+        cfg.observation_domain = static_cast<std::uint32_t>(h);
+        agents.emplace(h, Agent(topo, cfg));
+      }
+      for (const SimFlow& f : trace.flows) {
+        SimFlow report = f;
+        if (f.kind == SimFlowKind::kApp) report.taken_path = -1;  // passive deployment
+        agents.at(f.src_host).observe(report);
+      }
+
+      const auto export_time = static_cast<std::uint32_t>(1700000000 + interval * 10);
+      std::vector<std::thread> fleet;
+      fleet.reserve(pods.size());
+      for (auto& [pod, hosts] : pods) {
+        (void)pod;
+        if (server) {
+          // Wire path: each pod's aggregation point exports over its own
+          // UDP socket (= one accounting agent per pod at the server).
+          const UdpEndpoint to = server->endpoint();
+          fleet.emplace_back([&agents, &hosts, export_time, to] {
+            UdpSocket socket;
+            if (!socket.open_unbound()) return;
+            for (NodeId h : hosts) {
+              for (auto& msg : agents.at(h).flush(export_time)) {
+                socket.send_to(to, msg.data(), msg.size());
+              }
+            }
+          });
+        } else {
+          fleet.emplace_back([&agents, &offer, &hosts, export_time] {
+            for (NodeId h : hosts) {
+              for (auto& msg : agents.at(h).flush(export_time)) {
+                offer({node_to_addr(h), std::move(msg)});
+              }
+            }
+          });
         }
-      });
+      }
+      for (std::thread& t : fleet) t.join();  // intervals are 10s apart; bursts don't overlap
+      if (server) wait_for_drain(*server);    // and neither do the wire bursts
     }
-    for (std::thread& t : fleet) t.join();  // intervals are 10s apart; bursts don't overlap
   }
+  if (server) server->stop();
   pipeline.stop();
 
   // The true failure is only identifiable up to its ECMP equivalence class.
@@ -101,7 +250,8 @@ int main() {
     }
   }
 
-  const auto stats = pipeline.stats();
+  PipelineStats stats = pipeline.stats();
+  if (server) server->fold_into(stats);
   std::cout << "service processed " << stats.records_decoded << " records in "
             << stats.epochs_closed << " epochs (" << stats.dropped << " datagrams dropped, "
             << stats.batches_stolen << " batches stolen by idle shards, "
@@ -115,6 +265,24 @@ int main() {
                           static_cast<double>(stats.inference_rows)
                     : 0.0)
             << "x dedup)\n";
+  if (server) {
+    // The wire edge's own books (see net/ingest_server.h): everything the
+    // socket delivered is either quarantined, shed, or offered downstream.
+    std::cout << "net: " << stats.net_datagrams_received << " datagrams received, malformed "
+              << stats.net_malformed_short_header << " short / "
+              << stats.net_malformed_bad_version << " bad-version / "
+              << stats.net_malformed_length_mismatch << " length-mismatch, "
+              << stats.net_admission_drops << " admission drops, " << stats.net_agents
+              << " agents\n";
+    for (const AgentAccount& a : server->agent_accounts()) {
+      std::cout << "  agent " << to_string(a.endpoint) << ": " << a.datagrams
+                << " datagrams, " << a.records << " records, " << a.bytes << " bytes, "
+                << a.accepted << " accepted\n";
+    }
+  }
+  if (tap) {
+    std::cout << "captured " << tap->captured() << " datagrams to " << opts.capture << "\n";
+  }
   std::cout << "injected failure (from interval 1): " << topo.component_name(true_failure)
             << "\n\n";
 

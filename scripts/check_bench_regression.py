@@ -11,6 +11,13 @@ Rows are matched by bench name plus every non-measured field (shards, steal,
 ...), so adding new configurations never breaks the gate — only rows present
 in the baseline are enforced.
 
+A baseline bench entry may carry "optional": true for benches that skip on
+some machines (e.g. pipeline_soak needs a bindable loopback socket). When an
+optional bench produced no rows at all in the current run, its baseline rows
+are skipped with a notice instead of failing as missing; when it did run,
+its rows are enforced like any other. Input files that do not exist are
+likewise skipped with a notice — a skipped bench writes no JSON.
+
 Environment:
   BENCH_REGRESSION_TOLERANCE  override the default 0.20
   BENCH_BASELINE_SKIP=1       merge only, skip the gate (machines much slower
@@ -52,7 +59,12 @@ def main():
     )
     args = parser.parse_args()
 
-    benches = [load(path) for path in args.inputs]
+    benches = []
+    for path in args.inputs:
+        if not os.path.exists(path):
+            print(f"note: {path} not found (bench skipped on this machine)")
+            continue
+        benches.append(load(path))
     with open(args.out, "w") as f:
         json.dump({"benches": benches}, f, indent=2)
         f.write("\n")
@@ -63,13 +75,18 @@ def main():
         return 0
 
     current = {}
+    ran_benches = set()
     for bench in benches:
+        ran_benches.add(bench["bench"])
         for row in bench.get("rows", []):
             current[row_key(bench["bench"], row)] = row.get(METRIC)
 
     baseline = load(args.baseline)
     failures = []
     for bench in baseline.get("benches", []):
+        if bench.get("optional") and bench["bench"] not in ran_benches:
+            print(f"note: optional bench '{bench['bench']}' absent from this run; skipped")
+            continue
         for row in bench.get("rows", []):
             base = row.get(METRIC)
             if base is None:

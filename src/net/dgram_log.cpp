@@ -1,0 +1,158 @@
+#include "net/dgram_log.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace flock {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'L', 'K', 'D'};
+constexpr std::uint32_t kVersion = 1;
+// Sanity bound on a single record: real datagrams are <= 64 KiB (UDP), so a
+// larger length field means the log is corrupt — reject instead of
+// allocating whatever a flipped bit asks for.
+constexpr std::uint32_t kMaxPayloadBytes = 1 << 16;
+
+void put_u16(std::ostream& os, std::uint16_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint16_t get_u16(std::istream& is) {
+  std::uint16_t v;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("dgram_log: truncated input");
+  return v;
+}
+std::uint32_t get_u32(std::istream& is) {
+  std::uint32_t v;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("dgram_log: truncated input");
+  return v;
+}
+
+}  // namespace
+
+DgramLogWriter::DgramLogWriter(std::ostream& os) : os_(&os) {
+  os_->write(kMagic, sizeof kMagic);
+  put_u32(*os_, kVersion);
+}
+
+void DgramLogWriter::append(const LoggedDatagram& datagram) {
+  put_u64(*os_, datagram.timestamp_ns);
+  put_u32(*os_, datagram.source_addr);
+  put_u16(*os_, datagram.source_port);
+  put_u32(*os_, static_cast<std::uint32_t>(datagram.payload.size()));
+  os_->write(reinterpret_cast<const char*>(datagram.payload.data()),
+             static_cast<std::streamsize>(datagram.payload.size()));
+  ++written_;
+}
+
+DgramLogReader::DgramLogReader(std::istream& is) : is_(&is) {
+  char magic[4];
+  is_->read(magic, sizeof magic);
+  if (!*is_ || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("dgram_log: bad magic (not a datagram log)");
+  }
+  const std::uint32_t version = get_u32(*is_);
+  if (version != kVersion) {
+    throw std::runtime_error("dgram_log: unsupported version " + std::to_string(version));
+  }
+}
+
+bool DgramLogReader::next(LoggedDatagram& out) {
+  // The first field of a record doubles as the end-of-log probe: EOF here is
+  // a clean end, EOF anywhere later in the record is truncation.
+  std::uint64_t ts;
+  is_->read(reinterpret_cast<char*>(&ts), sizeof ts);
+  if (!*is_) {
+    if (is_->eof() && is_->gcount() == 0) return false;
+    throw std::runtime_error("dgram_log: truncated input");
+  }
+  out.timestamp_ns = ts;
+  out.source_addr = get_u32(*is_);
+  out.source_port = get_u16(*is_);
+  const std::uint32_t len = get_u32(*is_);
+  if (len > kMaxPayloadBytes) throw std::runtime_error("dgram_log: corrupt payload length");
+  out.payload.resize(len);
+  is_->read(reinterpret_cast<char*>(out.payload.data()), static_cast<std::streamsize>(len));
+  if (!*is_) throw std::runtime_error("dgram_log: truncated input");
+  return true;
+}
+
+CaptureTap::CaptureTap(std::ostream& os, DgramOfferFn downstream)
+    : writer_(os),
+      downstream_(std::move(downstream)),
+      start_(std::chrono::steady_clock::now()) {}
+
+bool CaptureTap::offer(IngestDatagram datagram, std::uint16_t source_port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LoggedDatagram logged;
+  logged.timestamp_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start_)
+          .count());
+  logged.source_addr = datagram.source_addr;
+  logged.source_port = source_port;
+  logged.payload = datagram.bytes;  // copy: the datagram moves on downstream
+  writer_.append(logged);
+  // Forwarding inside the lock serializes concurrent taps, which is the
+  // point: the log order must equal the queue arrival order exactly.
+  return downstream_(std::move(datagram));
+}
+
+DgramOfferFn CaptureTap::as_offer_fn() {
+  return [this](IngestDatagram datagram) { return offer(std::move(datagram)); };
+}
+
+std::uint64_t CaptureTap::captured() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writer_.written();
+}
+
+ReplayStats replay_dgram_log(std::istream& is, const DgramOfferFn& offer,
+                             const ReplayOptions& options) {
+  DgramLogReader reader(is);
+  ReplayStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  const double speed = options.speed > 0 ? options.speed : 1.0;
+  LoggedDatagram logged;
+  while (reader.next(logged)) {
+    if (options.paced) {
+      const auto due =
+          start + std::chrono::nanoseconds(
+                      static_cast<std::uint64_t>(static_cast<double>(logged.timestamp_ns) /
+                                                 speed));
+      std::this_thread::sleep_until(due);
+    }
+    IngestDatagram datagram;
+    datagram.source_addr = logged.source_addr;
+    datagram.bytes = std::move(logged.payload);
+    ++stats.datagrams;
+    if (offer(std::move(datagram))) {
+      ++stats.accepted;
+    } else {
+      ++stats.rejected;
+    }
+  }
+  return stats;
+}
+
+ReplayStats replay_dgram_log(const std::string& path, const DgramOfferFn& offer,
+                             const ReplayOptions& options) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("dgram_log: cannot open " + path);
+  return replay_dgram_log(is, offer, options);
+}
+
+}  // namespace flock

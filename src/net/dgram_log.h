@@ -1,0 +1,122 @@
+// Bit-exact capture and replay of the pipeline's ingest stream.
+//
+// A datagram log records exactly what the pipeline consumed — each datagram's
+// payload bytes, its pipeline-facing source id, and the receive timestamp —
+// in arrival order. Because every downstream decision (sharding, epoch
+// boundaries, decoding, inference) is a deterministic function of that
+// sequence, replaying a log reproduces the live run's per-epoch results
+// byte-for-byte: any production incident or bench workload becomes a
+// repeatable artifact (the same discipline as eval/trace_io, one layer
+// earlier in the pipeline).
+//
+// Format (little-endian, versioned):
+//   magic "FLKD", u32 version
+//   per datagram: u64 timestamp_ns (monotonic, relative to capture start),
+//     u32 source_addr, u16 source_port, u32 payload length, payload bytes
+//   (no trailer: a clean EOF at a record boundary ends the log; EOF anywhere
+//    else is a truncation error)
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pipeline/ingest_queue.h"
+
+namespace flock {
+
+// The offer edge the net layer feeds: StreamingPipeline::offer / offer_wait
+// bound into a std::function. Returns false when the datagram was not
+// accepted (counted by the callee; see pipeline stats).
+using DgramOfferFn = std::function<bool(IngestDatagram)>;
+
+struct LoggedDatagram {
+  std::uint64_t timestamp_ns = 0;  // receive time, relative to capture start
+  std::uint32_t source_addr = 0;   // pipeline-facing exporter id (shard key)
+  std::uint16_t source_port = 0;   // wire endpoint detail; 0 when not via UDP
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const LoggedDatagram&) const = default;
+};
+
+class DgramLogWriter {
+ public:
+  // Writes the file header immediately. The stream must outlive the writer.
+  explicit DgramLogWriter(std::ostream& os);
+
+  void append(const LoggedDatagram& datagram);
+  std::uint64_t written() const { return written_; }
+
+ private:
+  std::ostream* os_;
+  std::uint64_t written_ = 0;
+};
+
+class DgramLogReader {
+ public:
+  // Validates magic and version up front; throws std::runtime_error on a
+  // foreign or unsupported file. The stream must outlive the reader.
+  explicit DgramLogReader(std::istream& is);
+
+  // Reads the next datagram. False at a clean end-of-log; throws
+  // std::runtime_error when the file ends mid-record (truncation).
+  bool next(LoggedDatagram& out);
+
+ private:
+  std::istream* is_;
+};
+
+// Capture tap, spliced between a datagram source (the UDP server, or any
+// in-process producer) and the pipeline's offer edge. offer() appends to the
+// log and forwards downstream under one lock, so the log order IS the
+// pipeline's arrival order even with many concurrent receiver threads —
+// the property that makes replay bit-exact.
+class CaptureTap {
+ public:
+  // The tap stamps each datagram with time-since-construction.
+  CaptureTap(std::ostream& os, DgramOfferFn downstream);
+
+  // Thread-safe. Returns the downstream verdict (false = dropped there;
+  // the datagram is still captured, mirroring what the pipeline saw offered).
+  bool offer(IngestDatagram datagram, std::uint16_t source_port = 0);
+
+  // Adapter for call sites that take a DgramOfferFn.
+  DgramOfferFn as_offer_fn();
+
+  std::uint64_t captured() const;
+
+ private:
+  mutable std::mutex mutex_;
+  DgramLogWriter writer_;
+  DgramOfferFn downstream_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct ReplayOptions {
+  // false: re-offer as fast as the downstream accepts. true: pace offers to
+  // the captured inter-arrival gaps (scaled by `speed`), reproducing the
+  // live run's temporal shape for wall-clock-sensitive consumers.
+  bool paced = false;
+  double speed = 1.0;  // 2.0 = twice as fast as recorded; paced mode only
+};
+
+struct ReplayStats {
+  std::uint64_t datagrams = 0;
+  std::uint64_t accepted = 0;  // downstream offer() returned true
+  std::uint64_t rejected = 0;
+};
+
+// Re-offer every datagram of a log, in captured order, on the calling
+// thread. Throws std::runtime_error on a malformed log.
+ReplayStats replay_dgram_log(std::istream& is, const DgramOfferFn& offer,
+                             const ReplayOptions& options = {});
+
+// File-path convenience wrappers (trace_io discipline: throw on I/O errors).
+ReplayStats replay_dgram_log(const std::string& path, const DgramOfferFn& offer,
+                             const ReplayOptions& options = {});
+
+}  // namespace flock

@@ -1,0 +1,168 @@
+#include "net/udp_socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace flock {
+namespace {
+
+sockaddr_in make_sockaddr(const UdpEndpoint& ep) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(ep.addr);
+  sa.sin_port = htons(ep.port);
+  return sa;
+}
+
+UdpEndpoint from_sockaddr(const sockaddr_in& sa) {
+  return UdpEndpoint{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+void set_error(std::string* error, const char* what) {
+  if (error != nullptr) *error = std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::string to_string(const UdpEndpoint& ep) {
+  return std::to_string((ep.addr >> 24) & 0xFF) + "." + std::to_string((ep.addr >> 16) & 0xFF) +
+         "." + std::to_string((ep.addr >> 8) & 0xFF) + "." + std::to_string(ep.addr & 0xFF) +
+         ":" + std::to_string(ep.port);
+}
+
+UdpSocket::~UdpSocket() { close(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+bool UdpSocket::open(std::uint32_t addr, std::uint16_t port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    set_error(error, "socket");
+    return false;
+  }
+  sockaddr_in sa = make_sockaddr(UdpEndpoint{addr, port});
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+    set_error(error, "bind");
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool UdpSocket::open_unbound(std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    set_error(error, "socket");
+    return false;
+  }
+  return true;
+}
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UdpEndpoint UdpSocket::local_endpoint() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (fd_ < 0 || ::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    return UdpEndpoint{};
+  }
+  return from_sockaddr(sa);
+}
+
+bool UdpSocket::set_recv_timeout(std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  return fd_ >= 0 && ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) == 0;
+}
+
+bool UdpSocket::set_recv_buffer_bytes(int bytes) {
+  return fd_ >= 0 && ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof bytes) == 0;
+}
+
+bool UdpSocket::send_to(const UdpEndpoint& to, const std::uint8_t* data, std::size_t len) {
+  if (fd_ < 0) return false;
+  const sockaddr_in sa = make_sockaddr(to);
+  for (;;) {
+    const ssize_t n = ::sendto(fd_, data, len, 0, reinterpret_cast<const sockaddr*>(&sa),
+                               sizeof sa);
+    if (n == static_cast<ssize_t>(len)) return true;
+    if (n < 0 && (errno == EINTR || errno == ENOBUFS)) continue;  // transient; retry
+    return false;
+  }
+}
+
+#ifdef __linux__
+
+int UdpSocket::recv_batch(RecvSlot* slots, int max_slots) {
+  if (fd_ < 0 || max_slots <= 0) return -1;
+  constexpr int kMaxBatch = 64;
+  const int n = max_slots < kMaxBatch ? max_slots : kMaxBatch;
+  mmsghdr msgs[kMaxBatch];
+  iovec iovs[kMaxBatch];
+  sockaddr_in froms[kMaxBatch];
+  std::memset(msgs, 0, sizeof(mmsghdr) * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    iovs[i].iov_base = slots[i].data;
+    iovs[i].iov_len = slots[i].capacity;
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+    msgs[i].msg_hdr.msg_name = &froms[i];
+    msgs[i].msg_hdr.msg_namelen = sizeof froms[i];
+  }
+  // MSG_WAITFORONE: block (bounded by SO_RCVTIMEO) until one datagram, then
+  // take whatever else is already queued — batching without added latency.
+  const int received = ::recvmmsg(fd_, msgs, static_cast<unsigned>(n), MSG_WAITFORONE, nullptr);
+  if (received < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+    return -1;
+  }
+  for (int i = 0; i < received; ++i) {
+    slots[i].len = msgs[i].msg_len;
+    slots[i].from = from_sockaddr(froms[i]);
+  }
+  return received;
+}
+
+#else  // portable single-datagram fallback
+
+int UdpSocket::recv_batch(RecvSlot* slots, int max_slots) {
+  if (fd_ < 0 || max_slots <= 0) return -1;
+  sockaddr_in from{};
+  socklen_t from_len = sizeof from;
+  const ssize_t n = ::recvfrom(fd_, slots[0].data, slots[0].capacity, 0,
+                               reinterpret_cast<sockaddr*>(&from), &from_len);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+    return -1;
+  }
+  slots[0].len = static_cast<std::size_t>(n);
+  slots[0].from = from_sockaddr(from);
+  return 1;
+}
+
+#endif
+
+}  // namespace flock

@@ -1,0 +1,85 @@
+// Thin RAII wrapper over a POSIX UDP socket, shaped for the collector's
+// receive path: bind to an address, then drain datagrams in batches with one
+// syscall (`recvmmsg` on Linux; a single-`recvfrom` fallback elsewhere keeps
+// the code portable without pretending to batch).
+//
+// The wrapper is deliberately policy-free — timeouts, buffer sizing and the
+// receive arena belong to the caller (net/ingest_server owns per-thread
+// arenas and re-uses them across batches; nothing here allocates per
+// datagram).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace flock {
+
+// Host-byte-order IPv4 endpoint (e.g. {0x7F000001, 4739} = 127.0.0.1:4739).
+struct UdpEndpoint {
+  std::uint32_t addr = 0;
+  std::uint16_t port = 0;
+
+  bool operator==(const UdpEndpoint&) const = default;
+  // One word for hash/index keys; ports are 16 bits so this is injective.
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(addr) << 16) | port;
+  }
+};
+
+std::string to_string(const UdpEndpoint& ep);
+
+inline constexpr std::uint32_t kLoopbackAddr = 0x7F000001;  // 127.0.0.1
+
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  // Create the socket and bind it. Port 0 binds an ephemeral port — read the
+  // actual one back with local_endpoint(). Returns false (with `error` set
+  // when non-null) on any failure, e.g. hosts without a usable loopback —
+  // callers degrade gracefully instead of crashing.
+  bool open(std::uint32_t addr, std::uint16_t port, std::string* error = nullptr);
+
+  // Unbound send-only socket (sender side of benches/tests).
+  bool open_unbound(std::string* error = nullptr);
+
+  void close();
+  bool valid() const { return fd_ >= 0; }
+  UdpEndpoint local_endpoint() const;
+
+  // Receive-side knobs (receiver threads poll their stop flag on timeout).
+  bool set_recv_timeout(std::chrono::milliseconds timeout);
+  bool set_recv_buffer_bytes(int bytes);
+
+  bool send_to(const UdpEndpoint& to, const std::uint8_t* data, std::size_t len);
+
+  // One slot of the caller-owned receive arena. `data`/`capacity` are set by
+  // the caller and never touched; `len` and `from` are filled per datagram.
+  // A datagram longer than `capacity` is truncated by the kernel (the server
+  // sizes slots above the IPFIX encoder's max message and quarantines the
+  // remainder via the header length check).
+  struct RecvSlot {
+    std::uint8_t* data = nullptr;
+    std::size_t capacity = 0;
+    std::size_t len = 0;
+    UdpEndpoint from;
+  };
+
+  // Blocking batched receive: waits (up to the receive timeout) for at least
+  // one datagram, then drains up to `max_slots` without further blocking.
+  // Returns the number received; 0 on timeout; -1 on a closed/failed socket.
+  int recv_batch(RecvSlot* slots, int max_slots);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace flock

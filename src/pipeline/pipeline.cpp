@@ -73,14 +73,12 @@ StreamingPipeline::~StreamingPipeline() {
 }
 
 bool StreamingPipeline::offer(IngestDatagram datagram) {
-  offered_.fetch_add(1, std::memory_order_relaxed);
   IngestItem item;
   item.datagram = std::move(datagram);
   return queue_.try_push(std::move(item));
 }
 
 bool StreamingPipeline::offer_wait(IngestDatagram datagram) {
-  offered_.fetch_add(1, std::memory_order_relaxed);
   IngestItem item;
   item.datagram = std::move(datagram);
   return queue_.push_wait(std::move(item));
@@ -89,10 +87,13 @@ bool StreamingPipeline::offer_wait(IngestDatagram datagram) {
 void StreamingPipeline::close_epoch() {
   IngestItem item;
   item.epoch_boundary = true;
-  if (!queue_.push_wait(std::move(item))) {
-    // A boundary token rejected by an already-stopped queue is not a
-    // datagram: remember it so stats() can keep the ingest accounting
-    // (offered = accepted + dropped + rejected_closed) about datagrams only.
+  // Boundary tokens share the datagram queue (that is what gives them a
+  // well-defined position in arrival order) but are not datagrams: count
+  // each outcome after the fact so stats() can subtract them from the
+  // queue's own pushed/rejected counters.
+  if (queue_.push_wait(std::move(item))) {
+    boundary_pushes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
     boundary_rejections_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -107,15 +108,20 @@ void StreamingPipeline::stop() {
 
 PipelineStats StreamingPipeline::stats() const {
   PipelineStats s;
+  // Read the boundary counters FIRST: they are bumped only after their queue
+  // operation completed, so at the later queue read each queue counter is >=
+  // the boundary count read here — the subtractions below never underflow,
+  // and datagram-only accounting (offered = accepted + dropped +
+  // rejected_closed) holds in every snapshot by construction, even taken
+  // mid-burst while N receiver threads race offer() against close().
+  const std::uint64_t boundary_pushes = boundary_pushes_.load(std::memory_order_relaxed);
+  const std::uint64_t boundary_rejections =
+      boundary_rejections_.load(std::memory_order_relaxed);
   const auto q = queue_.stats();
-  s.offered = offered_.load(std::memory_order_relaxed);
   s.dropped = q.dropped;
-  // The queue's rejection counter also sees close_epoch()'s in-band boundary
-  // tokens; those are not offered datagrams, so they must not make accepted
-  // undercount (or underflow).
-  s.rejected_closed =
-      q.rejected_closed - boundary_rejections_.load(std::memory_order_relaxed);
-  s.accepted = s.offered - s.dropped - s.rejected_closed;
+  s.rejected_closed = q.rejected_closed - boundary_rejections;
+  s.accepted = q.pushed - boundary_pushes;
+  s.offered = s.accepted + s.dropped + s.rejected_closed;
   s.dispatched = scheduler_->datagrams_dispatched();
   s.records_decoded = shards_->records_decoded();
   s.malformed_messages = shards_->malformed_messages();

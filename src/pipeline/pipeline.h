@@ -63,7 +63,11 @@ struct PipelineConfig {
 };
 
 struct PipelineStats {
-  std::uint64_t offered = 0;          // datagrams presented to offer()
+  // Ingest-edge accounting, derived from the queue's own counters so one
+  // snapshot is internally consistent (offered = accepted + dropped +
+  // rejected_closed holds in every read, even taken mid-burst while many
+  // receiver threads offer concurrently with close()).
+  std::uint64_t offered = 0;          // datagrams whose offer() completed
   std::uint64_t accepted = 0;         // entered the ingest queue
   std::uint64_t dropped = 0;          // backpressure: the bounded queue was full
   std::uint64_t rejected_closed = 0;  // shutdown teardown: offered after stop()
@@ -95,6 +99,16 @@ struct PipelineStats {
   std::uint64_t tracker_flaps = 0;
   std::uint64_t tracker_clears = 0;
   std::uint64_t tracker_false_clears = 0;
+  // Network front-end (see net/ingest_server.h): zero unless a
+  // UdpIngestServer feeds this pipeline and its stats were folded in via
+  // UdpIngestServer::fold_into. Wire-level conservation:
+  // net_datagrams_received = net_malformed_* + net_admission_drops + offered.
+  std::uint64_t net_datagrams_received = 0;
+  std::uint64_t net_malformed_short_header = 0;
+  std::uint64_t net_malformed_bad_version = 0;
+  std::uint64_t net_malformed_length_mismatch = 0;
+  std::uint64_t net_admission_drops = 0;
+  std::uint64_t net_agents = 0;  // per-source accounting table size
 };
 
 class StreamingPipeline {
@@ -127,6 +141,11 @@ class StreamingPipeline {
 
   ResultSink& results() { return *sink_; }
   const ShardExecutor& shards() const { return *shards_; }
+  // Ingest-queue backlog, for the UDP front-end's admission-control policy
+  // (net/ingest_server.h): the server sheds load when depth crosses its
+  // watermark instead of letting every datagram ride to the queue's edge.
+  std::size_t ingest_depth() const { return queue_.size(); }
+  std::size_t ingest_capacity() const { return config_.ingest_capacity; }
   // Cross-epoch component verdicts (flap/confirm/clear state machines fed by
   // every merged epoch). Thread-safe to query while the pipeline runs.
   const TemporalTracker& tracker() const { return *tracker_; }
@@ -142,9 +161,13 @@ class StreamingPipeline {
   std::unique_ptr<ShardExecutor> shards_;
   IngestQueue queue_;
   std::unique_ptr<EpochScheduler> scheduler_;
-  std::atomic<std::uint64_t> offered_{0};
-  // close_epoch() boundary tokens rejected by the closed queue — excluded
-  // from the datagram-level rejected_closed in stats().
+  // close_epoch() boundary tokens travel through the same queue as datagrams
+  // but are not datagrams; stats() subtracts them out of the queue counters.
+  // Each counter is incremented only AFTER its queue operation completed, and
+  // stats() reads them BEFORE the queue's own counters, so the subtractions
+  // can never underflow no matter how reads interleave with concurrent
+  // offers and boundaries.
+  std::atomic<std::uint64_t> boundary_pushes_{0};
   std::atomic<std::uint64_t> boundary_rejections_{0};
   bool stopped_ = false;
 };

@@ -43,12 +43,16 @@ struct Reader {
     remaining -= n;
     return true;
   }
-  std::uint64_t read_uint(std::size_t len) {  // caller checked bounds
-    std::uint64_t v = 0;
+  // Bounds-checked arbitrary-width read: false leaves the cursor unmoved.
+  // Values wider than 8 bytes keep only the low 64 bits (RFC 7011 reduced-
+  // size encoding never needs more for our integer IEs).
+  bool read_uint(std::size_t len, std::uint64_t& v) {
+    if (remaining < len) return false;
+    v = 0;
     for (std::size_t i = 0; i < len; ++i) v = (v << 8) | p[i];
     p += len;
     remaining -= len;
-    return v;
+    return true;
   }
 };
 
@@ -101,24 +105,57 @@ void append_record(std::vector<std::uint8_t>& msg, const FlowRecord& r) {
 
 }  // namespace
 
-std::optional<std::uint32_t> peek_export_time(const std::vector<std::uint8_t>& message) {
-  if (message.size() < 16) return std::nullopt;
-  const std::uint16_t version = static_cast<std::uint16_t>((message[0] << 8) | message[1]);
-  if (version != kIpfixVersion) return std::nullopt;
-  return (static_cast<std::uint32_t>(message[4]) << 24) |
-         (static_cast<std::uint32_t>(message[5]) << 16) |
-         (static_cast<std::uint32_t>(message[6]) << 8) | static_cast<std::uint32_t>(message[7]);
+const char* to_string(IpfixHeaderStatus status) {
+  switch (status) {
+    case IpfixHeaderStatus::kOk: return "ok";
+    case IpfixHeaderStatus::kShortHeader: return "short_header";
+    case IpfixHeaderStatus::kBadVersion: return "bad_version";
+    case IpfixHeaderStatus::kLengthMismatch: return "length_mismatch";
+  }
+  return "unknown";
 }
 
-std::optional<std::uint32_t> peek_record_count(const std::vector<std::uint8_t>& message) {
-  Reader r{message.data(), message.size()};
-  std::uint16_t version, length;
-  std::uint32_t export_time, sequence, domain;
-  if (!r.u16(version) || !r.u16(length) || !r.u32(export_time) || !r.u32(sequence) ||
-      !r.u32(domain)) {
-    return std::nullopt;
+IpfixHeaderStatus peek_header(const std::uint8_t* data, std::size_t len, IpfixHeader* out) {
+  if (data == nullptr || len < kIpfixHeaderBytes) return IpfixHeaderStatus::kShortHeader;
+  const std::uint16_t version = static_cast<std::uint16_t>((data[0] << 8) | data[1]);
+  if (version != kIpfixVersion) return IpfixHeaderStatus::kBadVersion;
+  const std::uint16_t length = static_cast<std::uint16_t>((data[2] << 8) | data[3]);
+  // A UDP datagram carries exactly one message, so the header's own length
+  // claim must match what came off the wire — anything else is truncation or
+  // trailing garbage, and the body parsers must never trust it.
+  if (length != len) return IpfixHeaderStatus::kLengthMismatch;
+  if (out != nullptr) {
+    out->length = length;
+    auto u32_at = [data](std::size_t i) {
+      return (static_cast<std::uint32_t>(data[i]) << 24) |
+             (static_cast<std::uint32_t>(data[i + 1]) << 16) |
+             (static_cast<std::uint32_t>(data[i + 2]) << 8) |
+             static_cast<std::uint32_t>(data[i + 3]);
+    };
+    out->export_time = u32_at(4);
+    out->sequence = u32_at(8);
+    out->observation_domain = u32_at(12);
   }
-  if (version != kIpfixVersion || length != message.size()) return std::nullopt;
+  return IpfixHeaderStatus::kOk;
+}
+
+std::optional<std::uint32_t> peek_export_time(const std::uint8_t* data, std::size_t len) {
+  if (data == nullptr || len < kIpfixHeaderBytes) return std::nullopt;
+  const std::uint16_t version = static_cast<std::uint16_t>((data[0] << 8) | data[1]);
+  if (version != kIpfixVersion) return std::nullopt;
+  return (static_cast<std::uint32_t>(data[4]) << 24) |
+         (static_cast<std::uint32_t>(data[5]) << 16) |
+         (static_cast<std::uint32_t>(data[6]) << 8) | static_cast<std::uint32_t>(data[7]);
+}
+
+std::optional<std::uint32_t> peek_export_time(const std::vector<std::uint8_t>& message) {
+  return peek_export_time(message.data(), message.size());
+}
+
+std::optional<std::uint32_t> peek_record_count(const std::uint8_t* data, std::size_t len) {
+  IpfixHeader header;
+  if (peek_header(data, len, &header) != IpfixHeaderStatus::kOk) return std::nullopt;
+  Reader r{data + kIpfixHeaderBytes, len - kIpfixHeaderBytes};
 
   // Template id -> record length, for templates announced in this message.
   std::unordered_map<std::uint16_t, std::size_t> record_lengths;
@@ -152,6 +189,10 @@ std::optional<std::uint32_t> peek_record_count(const std::vector<std::uint8_t>& 
     }
   }
   return records;
+}
+
+std::optional<std::uint32_t> peek_record_count(const std::vector<std::uint8_t>& message) {
+  return peek_record_count(message.data(), message.size());
 }
 
 std::vector<std::vector<std::uint8_t>> IpfixEncoder::encode(
@@ -200,14 +241,12 @@ bool IpfixDecoder::decode(const std::vector<std::uint8_t>& message,
     return false;
   };
 
-  Reader r{message.data(), message.size()};
-  std::uint16_t version, length;
-  std::uint32_t export_time, sequence, domain;
-  if (!r.u16(version) || !r.u16(length) || !r.u32(export_time) || !r.u32(sequence) ||
-      !r.u32(domain)) {
+  IpfixHeader header;
+  if (peek_header(message.data(), message.size(), &header) != IpfixHeaderStatus::kOk) {
     return fail();
   }
-  if (version != kIpfixVersion || length != message.size()) return fail();
+  const std::uint32_t domain = header.observation_domain;
+  Reader r{message.data() + kIpfixHeaderBytes, message.size() - kIpfixHeaderBytes};
 
   while (r.remaining > 0) {
     std::uint16_t set_id, set_len;
@@ -254,7 +293,11 @@ bool IpfixDecoder::decode(const std::vector<std::uint8_t>& message,
       while (set.remaining >= tmpl.record_length) {
         FlowRecord rec;
         for (const FieldSpec& f : tmpl.fields) {
-          const std::uint64_t v = set.read_uint(f.length);
+          std::uint64_t v = 0;
+          // The loop guard guarantees a full record remains, but the check
+          // stays explicit: field lengths are attacker-controlled bytes and
+          // must never be able to walk the cursor past the set.
+          if (!set.read_uint(f.length, v)) return fail();
           if (f.enterprise == 0) {
             switch (f.id) {
               case 8: rec.src_addr = static_cast<std::uint32_t>(v); break;

@@ -26,6 +26,35 @@ namespace flock {
 inline constexpr std::uint32_t kFlockEnterpriseNumber = 0xF10C;
 inline constexpr std::uint16_t kFlowTemplateId = 256;
 inline constexpr std::uint16_t kIpfixVersion = 10;
+inline constexpr std::size_t kIpfixHeaderBytes = 16;
+
+// Wire-level verdict on a datagram's 16-byte message header. This is the
+// quarantine taxonomy of the UDP front-end (net/ingest_server): every
+// datagram taken off the socket is either kOk and enters the pipeline, or is
+// counted under exactly one failure reason and goes no further.
+enum class IpfixHeaderStatus : std::uint8_t {
+  kOk = 0,
+  kShortHeader,     // fewer than 16 bytes: no complete message header
+  kBadVersion,      // version field is not IPFIX (10)
+  kLengthMismatch,  // header length field disagrees with the datagram size
+};
+
+const char* to_string(IpfixHeaderStatus status);
+
+// The five fixed header fields, host byte order.
+struct IpfixHeader {
+  std::uint16_t length = 0;
+  std::uint32_t export_time = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t observation_domain = 0;
+};
+
+// Validate the fixed message header of a raw datagram without touching the
+// body. Never reads past `len`; on kOk, `out` (if non-null) carries the
+// parsed fields. This is the only inspection the socket front-end performs
+// per datagram, so it must stay cheap and total (defined for every input).
+IpfixHeaderStatus peek_header(const std::uint8_t* data, std::size_t len,
+                              IpfixHeader* out = nullptr);
 
 struct IpfixEncoderOptions {
   std::uint32_t observation_domain = 1;
@@ -54,15 +83,18 @@ class IpfixEncoder {
 // short or not an IPFIX message. The streaming pipeline's epoch scheduler
 // uses this as the virtual clock: epochs close when the exporters' clocks
 // advance past the boundary, independent of collector wall time.
+std::optional<std::uint32_t> peek_export_time(const std::uint8_t* data, std::size_t len);
 std::optional<std::uint32_t> peek_export_time(const std::vector<std::uint8_t>& message);
 
 // Count the data records of a message from its set headers alone, using only
 // templates announced in the same message (our encoder re-announces the
 // template in every message, making this exact; data sets whose template is
-// unknown count zero). Returns nullopt on framing errors. The streaming
-// pipeline's record-count epoch policy uses this at dispatch time, so epoch
-// boundaries are an exact function of the datagram sequence rather than of
-// asynchronous decode progress.
+// unknown count zero). Returns nullopt on framing errors — including every
+// header failure peek_header reports — and never reads past `len`, whatever
+// the bytes claim. The streaming pipeline's record-count epoch policy uses
+// this at dispatch time, so epoch boundaries are an exact function of the
+// datagram sequence rather than of asynchronous decode progress.
+std::optional<std::uint32_t> peek_record_count(const std::uint8_t* data, std::size_t len);
 std::optional<std::uint32_t> peek_record_count(const std::vector<std::uint8_t>& message);
 
 class IpfixDecoder {

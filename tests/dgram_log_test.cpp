@@ -1,0 +1,353 @@
+// Datagram capture/replay (src/net/dgram_log): file-format round-trips,
+// rejection of foreign/truncated files, and the property the subsystem
+// exists for — a captured stream, replayed, drives the pipeline to
+// byte-identical per-epoch results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "net/dgram_log.h"
+#include "pipeline/pipeline.h"
+#include "telemetry/agent.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+LoggedDatagram make_logged(std::uint64_t ts, std::uint32_t addr, std::uint16_t port,
+                           std::initializer_list<std::uint8_t> payload) {
+  LoggedDatagram d;
+  d.timestamp_ns = ts;
+  d.source_addr = addr;
+  d.source_port = port;
+  d.payload = payload;
+  return d;
+}
+
+// --- format round-trip --------------------------------------------------------
+
+TEST(DgramLog, RoundTripPreservesEveryFieldIncludingTimestamps) {
+  std::vector<LoggedDatagram> original = {
+      make_logged(0, 0x0A000001, 4739, {0x00, 0x0A, 0xFF}),
+      make_logged(123456789, 0x0A000002, 0, {}),  // empty payload is legal
+      make_logged(0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFF, 0xFFFF, {0x42}),
+  };
+  // A large payload exercises the length field beyond one byte.
+  LoggedDatagram big;
+  big.timestamp_ns = 7;
+  big.source_addr = 1;
+  big.payload.assign(5000, 0xAB);
+  original.push_back(big);
+
+  std::stringstream ss;
+  DgramLogWriter writer(ss);
+  for (const auto& d : original) writer.append(d);
+  EXPECT_EQ(writer.written(), original.size());
+
+  DgramLogReader reader(ss);
+  std::vector<LoggedDatagram> read_back;
+  LoggedDatagram d;
+  while (reader.next(d)) read_back.push_back(d);
+  EXPECT_EQ(read_back, original);  // identity, timestamps included
+}
+
+TEST(DgramLog, EmptyLogIsValidAndEmpty) {
+  std::stringstream ss;
+  DgramLogWriter writer(ss);
+  DgramLogReader reader(ss);
+  LoggedDatagram d;
+  EXPECT_FALSE(reader.next(d));
+}
+
+// --- rejection of foreign and damaged files -----------------------------------
+
+TEST(DgramLog, RejectsBadMagic) {
+  std::stringstream ss;
+  ss.write("NOPE\x01\x00\x00\x00", 8);
+  EXPECT_THROW(DgramLogReader reader(ss), std::runtime_error);
+}
+
+TEST(DgramLog, RejectsUnsupportedVersion) {
+  std::stringstream ss;
+  ss.write("FLKD\xFF\x00\x00\x00", 8);  // version 255
+  EXPECT_THROW(DgramLogReader reader(ss), std::runtime_error);
+}
+
+TEST(DgramLog, RejectsTruncatedHeader) {
+  std::stringstream ss;
+  ss.write("FLK", 3);
+  EXPECT_THROW(DgramLogReader reader(ss), std::runtime_error);
+}
+
+TEST(DgramLog, TruncationAtEveryMidRecordOffsetThrows) {
+  std::stringstream ss;
+  DgramLogWriter writer(ss);
+  writer.append(make_logged(42, 0x0A000001, 9999, {1, 2, 3, 4, 5}));
+  const std::string full = ss.str();
+  // cut == 8 keeps just the file header — a legal empty log — so truncation
+  // starts one byte into the record.
+  const std::size_t header_bytes = 8;
+  for (std::size_t cut = header_bytes + 1; cut < full.size(); ++cut) {
+    std::stringstream truncated(full.substr(0, cut));
+    DgramLogReader reader(truncated);
+    LoggedDatagram d;
+    EXPECT_THROW(reader.next(d), std::runtime_error) << "cut=" << cut;
+  }
+  // The untruncated log still reads cleanly: one record, then clean EOF.
+  std::stringstream whole(full);
+  DgramLogReader reader(whole);
+  LoggedDatagram d;
+  EXPECT_TRUE(reader.next(d));
+  EXPECT_FALSE(reader.next(d));
+}
+
+TEST(DgramLog, CorruptPayloadLengthIsAnErrorNotAnAllocation) {
+  std::stringstream ss;
+  DgramLogWriter writer(ss);
+  writer.append(make_logged(1, 2, 3, {9, 9, 9}));
+  std::string bytes = ss.str();
+  // Patch the little-endian u32 payload length (last 4 bytes before payload)
+  // to an absurd value; the reader must refuse rather than trust it.
+  const std::size_t len_offset = bytes.size() - 3 - 4;
+  bytes[len_offset + 0] = static_cast<char>(0xFF);
+  bytes[len_offset + 1] = static_cast<char>(0xFF);
+  bytes[len_offset + 2] = static_cast<char>(0xFF);
+  bytes[len_offset + 3] = static_cast<char>(0x7F);
+  std::stringstream corrupt(bytes);
+  DgramLogReader reader(corrupt);
+  LoggedDatagram d;
+  EXPECT_THROW(reader.next(d), std::runtime_error);
+}
+
+TEST(DgramLog, MissingFileThrowsOnReplay) {
+  EXPECT_THROW(
+      replay_dgram_log("/nonexistent/dir/flock_no_such_log.bin",
+                       [](IngestDatagram) { return true; }),
+      std::runtime_error);
+}
+
+// --- replay mechanics ---------------------------------------------------------
+
+TEST(DgramLog, ReplayOffersInCapturedOrderAndCountsVerdicts) {
+  std::stringstream ss;
+  std::vector<IngestDatagram> seen;
+  CaptureTap tap(ss, [&](IngestDatagram d) {
+    seen.push_back(d);
+    return seen.size() % 2 == 1;  // accept odd offers, reject even ones
+  });
+  for (std::uint8_t i = 0; i < 6; ++i) {
+    IngestDatagram d;
+    d.source_addr = 100u + i;
+    d.bytes = {i};
+    // Rejected datagrams are still captured: the log mirrors what was
+    // offered, and the bounded queue's verdict replays deterministically.
+    tap.offer(std::move(d), static_cast<std::uint16_t>(7000 + i));
+  }
+  EXPECT_EQ(tap.captured(), 6u);
+
+  std::vector<IngestDatagram> replayed;
+  const ReplayStats stats = replay_dgram_log(ss, [&](IngestDatagram d) {
+    replayed.push_back(std::move(d));
+    return replayed.size() <= 2;
+  });
+  EXPECT_EQ(stats.datagrams, 6u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.rejected, 4u);
+  ASSERT_EQ(replayed.size(), seen.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(replayed[i].source_addr, seen[i].source_addr) << i;
+    EXPECT_EQ(replayed[i].bytes, seen[i].bytes) << i;
+  }
+}
+
+TEST(DgramLog, PacedReplayHonorsCapturedGaps) {
+  // Hand-write a log with a 60ms gap; paced replay at 2x must take >= ~30ms,
+  // and unpaced replay must not wait at all.
+  std::stringstream ss;
+  DgramLogWriter writer(ss);
+  writer.append(make_logged(0, 1, 0, {1}));
+  writer.append(make_logged(60'000'000, 2, 0, {2}));
+  const std::string log = ss.str();
+
+  auto run = [&](ReplayOptions options) {
+    std::stringstream is(log);
+    const auto start = std::chrono::steady_clock::now();
+    const ReplayStats stats =
+        replay_dgram_log(is, [](IngestDatagram) { return true; }, options);
+    EXPECT_EQ(stats.datagrams, 2u);
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  ReplayOptions paced;
+  paced.paced = true;
+  paced.speed = 2.0;
+  EXPECT_GE(run(paced), 25);
+  EXPECT_LT(run(ReplayOptions{}), 25);
+}
+
+// --- capture -> replay pipeline equivalence -----------------------------------
+
+// The same simulated-trace fixture as pipeline_test: per-host agents export
+// one round of IPFIX datagrams for a fat-tree(4) with one injected silent
+// drop.
+struct StreamFixture {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router{topo};
+  std::vector<IngestDatagram> datagrams;
+
+  explicit StreamFixture(std::uint64_t seed = 42) {
+    Rng rng(seed);
+    GroundTruth truth =
+        make_silent_link_drops(topo, 1, DropRateConfig{1e-4, 5e-3, 1e-2}, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = 600;
+    ProbeConfig probe_config;
+    Trace trace = simulate(topo, router, std::move(truth), traffic, probe_config, rng);
+
+    std::unordered_map<NodeId, Agent> agents;
+    for (NodeId h : topo.hosts()) {
+      AgentConfig cfg;
+      cfg.observation_domain = static_cast<std::uint32_t>(h);
+      agents.emplace(h, Agent(topo, cfg));
+    }
+    for (const SimFlow& f : trace.flows) {
+      SimFlow passive = f;
+      if (f.kind == SimFlowKind::kApp) passive.taken_path = -1;
+      agents.at(f.src_host).observe(passive);
+    }
+    for (NodeId h : topo.hosts()) {
+      for (auto& msg : agents.at(h).flush(1000)) {
+        datagrams.push_back({node_to_addr(h), std::move(msg)});
+      }
+    }
+  }
+};
+
+FlockOptions test_flock_options() {
+  FlockOptions options;
+  options.params.p_g = 1e-4;
+  options.params.p_b = 6e-3;
+  options.params.rho = 1e-3;
+  return options;
+}
+
+PipelineConfig equivalence_config() {
+  PipelineConfig config;
+  config.num_shards = 3;
+  config.localizer = test_flock_options();
+  config.epoch.record_limit = 200;  // several epochs over ~600+ records
+  return config;
+}
+
+std::vector<EpochResult> sorted_epochs(StreamingPipeline& pipeline) {
+  auto epochs = pipeline.results().completed();
+  std::sort(epochs.begin(), epochs.end(),
+            [](const EpochResult& a, const EpochResult& b) { return a.epoch < b.epoch; });
+  return epochs;
+}
+
+// Capture a live run fed by three concurrent producer threads, then replay
+// the log into a fresh pipeline: every epoch's results must be
+// byte-identical. The tap serializes append+forward, so whatever arrival
+// interleaving the threads produced IS the logged order, and the epoch cuts
+// (a deterministic function of the sequence) land on the same datagrams.
+TEST(DgramLog, CaptureThenReplayYieldsByteIdenticalEpochResults) {
+  StreamFixture fx;
+  std::stringstream log;
+
+  std::vector<EpochResult> live_epochs;
+  {
+    StreamingPipeline pipeline(fx.topo, fx.router, equivalence_config());
+    CaptureTap tap(log, [&](IngestDatagram d) { return pipeline.offer_wait(std::move(d)); });
+    constexpr int kProducers = 3;
+    std::vector<std::thread> producers;
+    std::atomic<std::size_t> next{0};
+    for (int t = 0; t < kProducers; ++t) {
+      producers.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= fx.datagrams.size()) return;
+          ASSERT_TRUE(tap.offer(fx.datagrams[i]));
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    pipeline.stop();
+    EXPECT_EQ(tap.captured(), fx.datagrams.size());
+    live_epochs = sorted_epochs(pipeline);
+  }
+  ASSERT_GE(live_epochs.size(), 2u);
+
+  // Replay into a fresh pipeline sharing no state with the live run. The
+  // records reference path-set ids interned while simulating the trace, so
+  // the replay side needs equivalently-constructed routing state: a second
+  // fixture from the same seed rebuilds topology + router deterministically
+  // (the production analogue is replaying against the same routing config
+  // the capture ran with).
+  StreamFixture replay_fx;
+  StreamingPipeline replayed(replay_fx.topo, replay_fx.router, equivalence_config());
+  const ReplayStats stats = replay_dgram_log(
+      log, [&](IngestDatagram d) { return replayed.offer_wait(std::move(d)); });
+  replayed.stop();
+  EXPECT_EQ(stats.datagrams, fx.datagrams.size());
+  EXPECT_EQ(stats.rejected, 0u);
+
+  const std::vector<EpochResult> replay_epochs = sorted_epochs(replayed);
+  ASSERT_EQ(replay_epochs.size(), live_epochs.size());
+  for (std::size_t i = 0; i < live_epochs.size(); ++i) {
+    const EpochResult& a = live_epochs[i];
+    const EpochResult& b = replay_epochs[i];
+    EXPECT_EQ(a.epoch, b.epoch);
+    EXPECT_EQ(a.predicted, b.predicted);
+    EXPECT_EQ(a.flows, b.flows);
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.unresolved, b.unresolved);
+    EXPECT_EQ(a.hypotheses_scanned, b.hypotheses_scanned);
+    // Bit-exact, not approximately equal: same datagrams, same order, same
+    // floating-point operations in the same sequence.
+    EXPECT_EQ(a.shard_score_sum, b.shard_score_sum);
+    EXPECT_EQ(a.per_shard_predicted, b.per_shard_predicted);
+  }
+  // And the diagnosis is not vacuous — the injected failure was found.
+  bool any_prediction = false;
+  for (const auto& e : live_epochs) any_prediction |= !e.predicted.empty();
+  EXPECT_TRUE(any_prediction);
+}
+
+// File-path convenience wrapper: capture to a real file, replay from it.
+TEST(DgramLog, FileRoundTripThroughDisk) {
+  const std::string path = "/tmp/flock_dgram_log_test.bin";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(os.good());
+    CaptureTap tap(os, [](IngestDatagram) { return true; });
+    IngestDatagram d;
+    d.source_addr = 77;
+    d.bytes = {1, 2, 3};
+    tap.offer(d, 1234);
+  }
+  std::vector<IngestDatagram> replayed;
+  const ReplayStats stats = replay_dgram_log(path, [&](IngestDatagram d) {
+    replayed.push_back(std::move(d));
+    return true;
+  });
+  EXPECT_EQ(stats.datagrams, 1u);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].source_addr, 77u);
+  EXPECT_EQ(replayed[0].bytes, (std::vector<std::uint8_t>{1, 2, 3}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flock

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <unordered_map>
@@ -63,6 +64,65 @@ TEST(IngestQueue, CloseDuringBlockedPushesCountsRejectionsNotDrops) {
   EXPECT_EQ(s.dropped, 0u);  // nothing was a backpressure drop
   EXPECT_EQ(s.rejected_closed, 4u);
   EXPECT_EQ(s.pushed + s.dropped + s.rejected_closed, 5u);  // conservation
+}
+
+// The multi-receiver front-end version of the close race: several threads
+// offering through every push edge (try_push, push_wait, push_many) while
+// close() lands at an arbitrary moment. Conservation must hold exactly —
+// every attempted item ends up in exactly one of pushed / dropped /
+// rejected_closed — and the TSan CI leg checks the accounting is race-free.
+TEST(IngestQueue, ConcurrentOffersRacingCloseConserveEveryItem) {
+  for (int round = 0; round < 20; ++round) {
+    BoundedQueue<int> q(8);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 64;
+    std::atomic<std::uint64_t> attempted{0};
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreads; ++t) {
+      producers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread;) {
+          switch ((t + i) % 3) {
+            case 0:
+              q.try_push(i);
+              attempted.fetch_add(1);
+              ++i;
+              break;
+            case 1:
+              q.push_wait(i);
+              attempted.fetch_add(1);
+              ++i;
+              break;
+            default: {
+              const int n = std::min(3, kPerThread - i);
+              std::vector<int> batch(static_cast<std::size_t>(n), i);
+              q.push_many(std::move(batch));
+              attempted.fetch_add(static_cast<std::uint64_t>(n));
+              i += n;
+              break;
+            }
+          }
+        }
+      });
+    }
+    // A consumer drains so push_wait callers make progress, then the queue
+    // closes mid-stream; blocked waiters must unblock into rejected_closed.
+    std::thread consumer([&] {
+      std::vector<int> out;
+      for (int polls = 0; polls < 5 + round; ++polls) {
+        out.clear();
+        q.pop_batch_for(out, 16, std::chrono::milliseconds(1));
+      }
+      q.close();
+      // Keep draining after close so anything pushed pre-close is consumed.
+      out.clear();
+      while (q.pop_batch(out, 64) > 0) out.clear();
+    });
+    for (auto& t : producers) t.join();
+    consumer.join();
+    const auto s = q.stats();
+    EXPECT_EQ(s.pushed + s.dropped + s.rejected_closed, attempted.load())
+        << "round=" << round;
+  }
 }
 
 TEST(IngestQueue, PushWaitBlocksInsteadOfDropping) {
