@@ -3,18 +3,27 @@
 // FlowTable on a passive-heavy epoch (the paper's structural sweet spot:
 // many small flows between few host pairs, almost all with zero drops).
 //
-// The measured A/B lever is the weighted row dedup: the same observation
-// multiset is localized from a deduplicated table and from a row-per-
-// observation table (identical group-major layout, weight 1 everywhere).
-// Gate: dedup must deliver >= 2x localization throughput (observations/sec
-// through FlockLocalizer, engine construction included) on this epoch, and
-// both tables must produce the *identical* prediction — the dedup is a pure
-// representation change, never a result change.
+// Two measured A/B levers, both gated:
+//   * Weighted row dedup: the same observation multiset is localized from a
+//     deduplicated table and from a row-per-observation table (identical
+//     group-major layout, weight 1 everywhere). Gate: dedup must deliver
+//     >= 2x localization throughput (observations/sec through
+//     FlockLocalizer, engine construction included) on this epoch, and both
+//     tables must produce the *identical* prediction.
+//   * SIMD dispatch: the weighted log-sum kernel (common/simd.h) run over
+//     this epoch's real group/row/weight columns, forced scalar vs the best
+//     level the CPU supports. Gate: >= 1.5x kernel row throughput on an
+//     AVX2 machine, with bit-identical sums and byte-identical localization
+//     predictions at every level (the dispatch contract — FLOCK_FORCE_SCALAR
+//     is a pure performance lever, never a result change).
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 
 #include "bench_common.h"
+#include "common/math_util.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "core/flock_localizer.h"
 #include "core/likelihood_engine.h"
@@ -139,7 +148,6 @@ int main() {
   }
 
   table.print(std::cout);
-  json.write();
 
   if (predicted_dedup != predicted_raw) {
     std::cerr << "FAIL: dedup changed the localization result (" << predicted_dedup.size()
@@ -152,6 +160,150 @@ int main() {
   if (ratio < 2.0) {
     std::cerr << "FAIL: weighted dedup only reaches " << ratio
               << "x localization throughput (required >= 2.0)\n";
+    return 1;
+  }
+
+  // --- SIMD kernel A/B on the same epoch's real columns ----------------------
+  // The engine's one hot shape: per path-set group, Σ_rows wt·log(b·e^s +
+  // (w−b)) with b the hypothesis's bad-path count. Extract exactly those
+  // columns from the deduped table (es precomputed, weights as doubles,
+  // per-group b within [1, w−1] — the b=0 and b=w cases short-circuit before
+  // the kernel) and time the kernel alone, forced scalar vs best level.
+  struct KernelSeg {
+    std::size_t offset = 0;
+    std::size_t rows = 0;
+    double a = 1.0;  // bad-path count b
+    double c = 1.0;  // w − b
+  };
+  std::vector<double> col_es, col_wt;
+  std::vector<KernelSeg> segs;
+  for (const FlowGroup& g : deduped.table().groups()) {
+    const auto width =
+        static_cast<std::int64_t>(router.path_set(g.path_set).paths.size());
+    if (width < 2) continue;  // b ∈ [1, w−1] needs at least two candidate paths
+    KernelSeg seg;
+    seg.offset = col_es.size();
+    seg.a = static_cast<double>(1 + static_cast<std::int64_t>(segs.size()) % (width - 1));
+    seg.c = static_cast<double>(width) - seg.a;
+    for (std::size_t r = 0; r < g.size(); ++r) {
+      const double s =
+          bad_path_log_evidence(g.bad[r], g.packets[r], params.p_g, params.p_b);
+      if (s > 690.0) continue;  // the engine's scalar extreme-evidence tail
+      col_es.push_back(std::exp(s));
+      col_wt.push_back(static_cast<double>(g.weight[r]));
+    }
+    seg.rows = col_es.size() - seg.offset;
+    if (seg.rows > 0) segs.push_back(seg);
+  }
+  const std::size_t kernel_rows = col_es.size();
+  std::cout << "\nkernel columns: " << kernel_rows << " weighted rows in " << segs.size()
+            << " path-set groups\n\n";
+
+  Table kernel_table({"kernel", "seconds", "rows/s", "vs scalar"});
+  const simd::Level best_level = simd::max_supported_level();
+  const int kernel_iters = std::max<int>(1, static_cast<int>(20000000 / (kernel_rows + 1)));
+  double rate_kernel_scalar = 0.0, rate_kernel_simd = 0.0;
+  double sum_scalar = 0.0, sum_simd = 0.0;
+  for (const simd::Level level : {simd::Level::kScalar, best_level}) {
+    simd::set_level(level);
+    double best_seconds = 0.0;
+    double checksum = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      checksum = 0.0;
+      Stopwatch watch;
+      for (int it = 0; it < kernel_iters; ++it) {
+        for (const KernelSeg& seg : segs) {
+          checksum += simd::weighted_log_sum(col_es.data() + seg.offset,
+                                             col_wt.data() + seg.offset, seg.rows, seg.a,
+                                             seg.c);
+        }
+      }
+      const double seconds = watch.seconds();
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+    }
+    const double rows_per_sec =
+        static_cast<double>(kernel_rows) * kernel_iters / best_seconds;
+    if (level == simd::Level::kScalar) {
+      rate_kernel_scalar = rows_per_sec;
+      sum_scalar = checksum;
+    } else {
+      rate_kernel_simd = rows_per_sec;
+      sum_simd = checksum;
+    }
+    kernel_table.add_row({simd::level_name(level), Table::num(best_seconds, 4),
+                          Table::num(rows_per_sec, 0),
+                          level == simd::Level::kScalar
+                              ? "-"
+                              : Table::num(rows_per_sec / rate_kernel_scalar, 2)});
+    json.add_row({{"kernel", 1.0},
+                  {"simd", level == simd::Level::kScalar ? 0.0 : 1.0},
+                  {"seconds", best_seconds},
+                  {"records_per_sec", rows_per_sec}});
+  }
+  kernel_table.print(std::cout);
+
+  if (sum_simd != sum_scalar) {
+    std::cerr << "FAIL: kernel checksums differ between " << simd::level_name(best_level)
+              << " and scalar (dispatch contract: bit-identical)\n";
+    return 1;
+  }
+
+  // Full localizer under each dispatch level: the end-to-end view of the
+  // kernel win, and the byte-identical-prediction check at the result level.
+  Table simd_table({"localize", "seconds", "obs/s", "vs scalar"});
+  double rate_loc_scalar = 0.0, rate_loc_simd = 0.0;
+  std::vector<ComponentId> predicted_scalar, predicted_simd;
+  for (const simd::Level level : {simd::Level::kScalar, best_level}) {
+    simd::set_level(level);
+    double best_seconds = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch watch;
+      const LocalizationResult result = localizer.localize(deduped);
+      const double seconds = watch.seconds();
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+      (level == simd::Level::kScalar ? predicted_scalar : predicted_simd) = result.predicted;
+    }
+    const double obs_per_sec = observations / best_seconds;
+    if (level == simd::Level::kScalar) {
+      rate_loc_scalar = obs_per_sec;
+    } else {
+      rate_loc_simd = obs_per_sec;
+    }
+    simd_table.add_row({simd::level_name(level), Table::num(best_seconds, 4),
+                        Table::num(obs_per_sec, 0),
+                        level == simd::Level::kScalar
+                            ? "-"
+                            : Table::num(obs_per_sec / rate_loc_scalar, 2)});
+    json.add_row({{"dedup", 1.0},
+                  {"localize", 1.0},
+                  {"simd", level == simd::Level::kScalar ? 0.0 : 1.0},
+                  {"seconds", best_seconds},
+                  {"records_per_sec", obs_per_sec}});
+  }
+  std::cout << "\n";
+  simd_table.print(std::cout);
+  json.write();
+
+  if (predicted_simd != predicted_scalar) {
+    std::cerr << "FAIL: SIMD dispatch changed the localization result ("
+              << predicted_simd.size() << " vs " << predicted_scalar.size()
+              << " components)\n";
+    return 1;
+  }
+  if (best_level == simd::Level::kScalar) {
+    std::cout << "\nno SIMD level on this CPU: kernel A/B is scalar-vs-scalar, "
+                 "speedup gate skipped\n";
+    return 0;
+  }
+  const double kernel_ratio = rate_kernel_simd / rate_kernel_scalar;
+  std::cout << "\n" << simd::level_name(best_level) << " kernel speedup: "
+            << Table::num(kernel_ratio, 2)
+            << "x (required >= 1.5), localize speedup: "
+            << Table::num(rate_loc_simd / rate_loc_scalar, 2)
+            << "x, identical predictions\n";
+  if (kernel_ratio < 1.5) {
+    std::cerr << "FAIL: " << simd::level_name(best_level) << " kernel only reaches "
+              << kernel_ratio << "x scalar throughput (required >= 1.5)\n";
     return 1;
   }
   return 0;

@@ -64,13 +64,16 @@ int main() {
   std::cout << "workload: " << datagrams.size() << " datagrams, " << total_records
             << " flow records\n\n";
 
-  Table table({"shards", "epochs", "seconds", "records/s", "speedup", "close->merge ms"});
+  Table table({"shards", "epochs", "seconds", "records/s", "speedup", "close->merge ms",
+               "arena reuse", "MB recycled"});
   BenchJson json("pipeline_throughput");
   double base_seconds = 0.0;
   constexpr int kReps = 3;  // best-of-3: scheduling noise dominates short runs
   for (const std::int32_t shards : {1, 2, 4, 8}) {
     double best_seconds = 0.0;
     std::uint64_t epochs_closed = 0;
+    std::uint64_t arena_reuses = 0;
+    std::uint64_t arena_bytes = 0;
     double merge_ms = 0.0;
     for (int rep = 0; rep < kReps; ++rep) {
       EcmpRouter router(topo);
@@ -112,10 +115,22 @@ int main() {
       if (rep == 0 || seconds < best_seconds) {
         best_seconds = seconds;
         epochs_closed = stats.epochs_closed;
+        arena_reuses = stats.arena_reuses;
+        arena_bytes = stats.arena_bytes_recycled;
         merge_ms = 0.0;
         for (const auto& e : epochs) merge_ms += e.close_to_merge_seconds * 1e3;
         merge_ms /= static_cast<double>(epochs.size());
       }
+    }
+
+    // Epoch-arena gate: a multi-epoch run must actually recycle table
+    // storage (epoch N's FlowTables feeding epoch N+1's builds) — zero
+    // reuses means the release/acquire plumbing regressed to cold
+    // allocations.
+    if (epochs_closed >= 2 && arena_reuses == 0) {
+      std::cerr << "FAIL: " << epochs_closed << " epochs closed but the epoch arenas "
+                << "recycled nothing (shards=" << shards << ")\n";
+      return 1;
     }
 
     if (shards == 1) base_seconds = best_seconds;
@@ -123,7 +138,9 @@ int main() {
     table.add_row({Table::integer(shards),
                    Table::integer(static_cast<long long>(epochs_closed)),
                    Table::num(best_seconds, 3), Table::num(records_per_sec, 0),
-                   Table::num(base_seconds / best_seconds, 2), Table::num(merge_ms, 1)});
+                   Table::num(base_seconds / best_seconds, 2), Table::num(merge_ms, 1),
+                   Table::integer(static_cast<long long>(arena_reuses)),
+                   Table::num(static_cast<double>(arena_bytes) / (1024.0 * 1024.0), 1)});
     json.add_row({{"shards", static_cast<double>(shards)},
                   {"seconds", best_seconds},
                   {"records_per_sec", records_per_sec}});

@@ -28,6 +28,7 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "flowsim/scenario.h"
 #include "flowsim/simulate.h"
 #include "net/dgram_log.h"
@@ -265,6 +266,11 @@ int main(int argc, char** argv) {
                           static_cast<double>(stats.inference_rows)
                     : 0.0)
             << "x dedup)\n";
+  // SIMD kernel + epoch-memory recycling (see common/simd.h, common/arena.h).
+  std::cout << "inference kernel: " << simd::level_name(simd::active_level())
+            << " dispatch, " << stats.memo_hits << " memo hits; arenas recycled "
+            << stats.arena_reuses << " tables / " << stats.arena_bytes_recycled
+            << " bytes\n";
   if (server) {
     // The wire edge's own books (see net/ingest_server.h): everything the
     // socket delivered is either quarantined, shed, or offered downstream.

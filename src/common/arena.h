@@ -1,0 +1,84 @@
+// Epoch arena: a small thread-safe pool that recycles per-epoch objects'
+// allocations instead of destroying them. Epochs are a natural reset point —
+// a shard's next epoch builds roughly the same group/row shape as its last —
+// so the pipeline parks each epoch's FlowTable here once the sink is done
+// with it and the shard's scratch collectors draw refill-ready tables back
+// out, eliminating allocator churn (the last per-record cost the columnar
+// refactor didn't remove).
+//
+// T must provide reset() (empty the object in place, retaining capacity) and
+// retained_bytes() (how much storage reset() kept). Objects whose reset
+// retains nothing (e.g. moved-from shells after a wholesale table move) are
+// dropped instead of pooled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace flock {
+
+template <typename T>
+class EpochArena {
+ public:
+  // Pool size cap: one shard has at most a handful of epochs in flight
+  // between its barrier and the sink, so anything beyond this is shape
+  // drift, not steady-state demand.
+  static constexpr std::size_t kMaxPooled = 64;
+
+  // A recycled object (reset, capacity warm), or a default-constructed one
+  // when the pool is empty.
+  T acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!pool_.empty()) {
+        T out = std::move(pool_.back());
+        pool_.pop_back();
+        ++reuses_;
+        return out;
+      }
+    }
+    return T();
+  }
+
+  // Reset `obj` in place and park it for the next acquire(). Objects that
+  // retain no storage are dropped — pooling them would hand out cold
+  // allocations and inflate the reuse counters.
+  void release(T&& obj) {
+    obj.reset();
+    const std::size_t kept = obj.retained_bytes();
+    if (kept == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pool_.size() >= kMaxPooled) return;
+    bytes_recycled_ += kept;
+    pool_.push_back(std::move(obj));
+  }
+
+  // Times acquire() was served from the pool.
+  std::uint64_t reuses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reuses_;
+  }
+
+  // Total retained bytes across every release() that was pooled: the
+  // allocation volume the arena saved the next epochs from re-doing.
+  std::uint64_t bytes_recycled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_recycled_;
+  }
+
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pool_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<T> pool_;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t bytes_recycled_ = 0;
+};
+
+}  // namespace flock

@@ -20,6 +20,17 @@ class FlatMap192 {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // Empty the map but keep the slot array: the epoch-arena recycle path
+  // clears per-epoch indexes whose next fill has the same shape, so the
+  // buckets are worth retaining.
+  void clear() {
+    for (Slot& s : slots_) s.value = kAbsent;
+    size_ = 0;
+  }
+
+  // Bytes held by the slot array (retained across clear()).
+  std::size_t capacity_bytes() const { return slots_.size() * sizeof(Slot); }
+
   void reserve(std::size_t expected) {
     std::size_t cap = kMinCapacity;
     while (cap * kMaxLoadNum < expected * kMaxLoadDen) cap <<= 1;

@@ -1,0 +1,200 @@
+// Backends for simd.h. Compiled with -ffp-contract=off (see CMakeLists.txt):
+// the scalar backend must execute the same multiply-then-add rounding
+// sequence as the AVX2 intrinsics, so the compiler may not fuse its a*b+c
+// patterns into FMAs.
+#include "common/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define FLOCK_SIMD_X86 1
+#else
+#define FLOCK_SIMD_X86 0
+#endif
+
+namespace flock::simd {
+
+namespace {
+
+// fdlibm/e_log.c polynomial log, restricted to the kernel's domain x >= 1
+// (finite). The argument is reduced to z in [sqrt(2)/2, sqrt(2)) with
+// x = 2^k * z via pure bit manipulation, then log(z) is evaluated as a
+// polynomial in s = f/(2+f), f = z-1 — no tables, no data-dependent
+// branches, so the same sequence runs per-lane in both backends.
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+constexpr double kLg1 = 6.666666666666735130e-01;
+constexpr double kLg2 = 3.999999999940941908e-01;
+constexpr double kLg3 = 2.857142874366239149e-01;
+constexpr double kLg4 = 2.222219843214978396e-01;
+constexpr double kLg5 = 1.818357216161805012e-01;
+constexpr double kLg6 = 1.531383769920937332e-01;
+constexpr double kLg7 = 1.479819860511658591e-01;
+
+// Mantissa rounding offset: adding it carries into the exponent exactly when
+// the mantissa is >= sqrt(2), steering z into [sqrt(2)/2, sqrt(2)). This is
+// fdlibm's (hx + 0x95f64) & 0x100000 on the high word, widened to 64 bits.
+constexpr std::uint64_t kSqrt2Round = 0x0009'5f64'0000'0000ULL;
+constexpr std::uint64_t kCarryBit = 0x0010'0000'0000'0000ULL;
+constexpr std::uint64_t kMantissaMask = 0x000f'ffff'ffff'ffffULL;
+constexpr std::uint64_t kOneBits = 0x3ff0'0000'0000'0000ULL;
+// 2^52 as bits and as a double: the standard exact int64 -> double trick for
+// the (always non-negative, tiny) exponent k.
+constexpr std::uint64_t kShifterBits = 0x4330'0000'0000'0000ULL;
+constexpr double kShifter = 4503599627370496.0;
+
+inline double log_ge1(double x) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  std::uint64_t k_bits = (bits >> 52) - 1023;  // x >= 1 => unbiased exp >= 0
+  const std::uint64_t man = bits & kMantissaMask;
+  const std::uint64_t carry = (man + kSqrt2Round) & kCarryBit;
+  k_bits += carry >> 52;
+  const double dk = std::bit_cast<double>(k_bits | kShifterBits) - kShifter;
+  const double z = std::bit_cast<double>(man | (carry ^ kOneBits));
+  const double f = z - 1.0;
+  const double s = f / (2.0 + f);
+  const double z2 = s * s;
+  const double w = z2 * z2;
+  const double t1 = w * (kLg2 + w * (kLg4 + w * kLg6));
+  const double t2 = z2 * (kLg1 + w * (kLg3 + w * (kLg5 + w * kLg7)));
+  const double r = t2 + t1;
+  const double hfsq = 0.5 * f * f;
+  return dk * kLn2Hi - ((hfsq - (s * (hfsq + r) + dk * kLn2Lo)) - f);
+}
+
+// Four independent accumulator lanes, reduced in a fixed order: the scalar
+// loop is the AVX2 loop with the vector ops spelled out per lane, so partial
+// sums land in the same lanes and round identically. The tail (n % 4 rows)
+// runs the identical scalar code in both backends.
+double kernel_scalar(const double* es, const double* wt, std::size_t n, double a, double c) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc[0] += wt[i + 0] * log_ge1(a * es[i + 0] + c);
+    acc[1] += wt[i + 1] * log_ge1(a * es[i + 1] + c);
+    acc[2] += wt[i + 2] * log_ge1(a * es[i + 2] + c);
+    acc[3] += wt[i + 3] * log_ge1(a * es[i + 3] + c);
+  }
+  for (; i < n; ++i) acc[i & 3] += wt[i] * log_ge1(a * es[i] + c);
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+#if FLOCK_SIMD_X86
+
+__attribute__((target("avx2"))) inline __m256d vlog_ge1(__m256d x) {
+  const __m256i bits = _mm256_castpd_si256(x);
+  __m256i k = _mm256_sub_epi64(_mm256_srli_epi64(bits, 52), _mm256_set1_epi64x(1023));
+  const __m256i man = _mm256_and_si256(bits, _mm256_set1_epi64x(kMantissaMask));
+  const __m256i carry = _mm256_and_si256(
+      _mm256_add_epi64(man, _mm256_set1_epi64x(static_cast<long long>(kSqrt2Round))),
+      _mm256_set1_epi64x(static_cast<long long>(kCarryBit)));
+  k = _mm256_add_epi64(k, _mm256_srli_epi64(carry, 52));
+  const __m256d dk = _mm256_sub_pd(
+      _mm256_castsi256_pd(
+          _mm256_or_si256(k, _mm256_set1_epi64x(static_cast<long long>(kShifterBits)))),
+      _mm256_set1_pd(kShifter));
+  const __m256d z = _mm256_castsi256_pd(_mm256_or_si256(
+      man, _mm256_xor_si256(carry, _mm256_set1_epi64x(static_cast<long long>(kOneBits)))));
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d f = _mm256_sub_pd(z, one);
+  const __m256d s = _mm256_div_pd(f, _mm256_add_pd(_mm256_set1_pd(2.0), f));
+  const __m256d z2 = _mm256_mul_pd(s, s);
+  const __m256d w = _mm256_mul_pd(z2, z2);
+  const __m256d t1 = _mm256_mul_pd(
+      w, _mm256_add_pd(
+             _mm256_set1_pd(kLg2),
+             _mm256_mul_pd(w, _mm256_add_pd(_mm256_set1_pd(kLg4),
+                                            _mm256_mul_pd(w, _mm256_set1_pd(kLg6))))));
+  const __m256d t2 = _mm256_mul_pd(
+      z2, _mm256_add_pd(
+              _mm256_set1_pd(kLg1),
+              _mm256_mul_pd(
+                  w, _mm256_add_pd(
+                         _mm256_set1_pd(kLg3),
+                         _mm256_mul_pd(w, _mm256_add_pd(_mm256_set1_pd(kLg5),
+                                                        _mm256_mul_pd(
+                                                            w, _mm256_set1_pd(kLg7))))))));
+  const __m256d r = _mm256_add_pd(t2, t1);
+  const __m256d hfsq = _mm256_mul_pd(_mm256_set1_pd(0.5), _mm256_mul_pd(f, f));
+  // dk*ln2_hi - ((hfsq - (s*(hfsq+r) + dk*ln2_lo)) - f)
+  const __m256d inner = _mm256_add_pd(_mm256_mul_pd(s, _mm256_add_pd(hfsq, r)),
+                                      _mm256_mul_pd(dk, _mm256_set1_pd(kLn2Lo)));
+  return _mm256_sub_pd(_mm256_mul_pd(dk, _mm256_set1_pd(kLn2Hi)),
+                       _mm256_sub_pd(_mm256_sub_pd(hfsq, inner), f));
+}
+
+__attribute__((target("avx2"))) double kernel_avx2(const double* es, const double* wt,
+                                                   std::size_t n, double a, double c) {
+  const __m256d va = _mm256_set1_pd(a);
+  const __m256d vc = _mm256_set1_pd(c);
+  __m256d vacc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_add_pd(_mm256_mul_pd(va, _mm256_loadu_pd(es + i)), vc);
+    vacc = _mm256_add_pd(vacc, _mm256_mul_pd(_mm256_loadu_pd(wt + i), vlog_ge1(x)));
+  }
+  alignas(32) double acc[4];
+  _mm256_store_pd(acc, vacc);
+  for (; i < n; ++i) acc[i & 3] += wt[i] * log_ge1(a * es[i] + c);
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+#endif  // FLOCK_SIMD_X86
+
+bool env_forces_scalar() {
+  const char* v = std::getenv("FLOCK_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+Level detect_level() {
+  if (env_forces_scalar()) return Level::kScalar;
+  return max_supported_level();
+}
+
+std::atomic<Level>& level_slot() {
+  static std::atomic<Level> level{detect_level()};
+  return level;
+}
+
+}  // namespace
+
+Level max_supported_level() {
+#if FLOCK_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level active_level() { return level_slot().load(std::memory_order_relaxed); }
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+Level set_level(Level level) {
+  if (level == Level::kAvx2 && max_supported_level() != Level::kAvx2) {
+    level = Level::kScalar;
+  }
+  level_slot().store(level, std::memory_order_relaxed);
+  return level;
+}
+
+double weighted_log_sum(const double* es, const double* wt, std::size_t n, double a,
+                        double c) {
+  if (n == 0) return 0.0;
+#if FLOCK_SIMD_X86
+  if (active_level() == Level::kAvx2) return kernel_avx2(es, wt, n, a, c);
+#endif
+  return kernel_scalar(es, wt, n, a, c);
+}
+
+}  // namespace flock::simd

@@ -1,0 +1,54 @@
+// Runtime-dispatched SIMD kernel for the likelihood engine's weighted inner
+// loop (the memoized Σ_F w·f(x) scans of §3.3 over the columnar FlowTable).
+//
+// The one hot shape after the columnar refactor is
+//     Σ_i  wt[i] · log(a · es[i] + c)
+// over contiguous double columns, where es[i] = e^{s_i} is the precomputed
+// per-row evidence exponential, a = b (the hypothesis's bad-path count) and
+// c = w − b. The engine guarantees a ≥ 1, c ≥ 1 and es[i] finite, so the log
+// argument is ≥ 1: no zero/subnormal/negative/NaN handling is needed in the
+// kernel and the fdlibm-style log below covers the full input domain.
+//
+// Dispatch contract: the AVX2 and scalar backends are THE SAME algorithm —
+// identical operation sequence, identical accumulator shape (four
+// interleaved lanes, fixed reduction order), log evaluated by the same
+// branch-free polynomial — so results are bit-identical across levels. That
+// is what lets the pipeline's byte-identical equivalence suites pin one
+// expected output regardless of the machine CI lands on, and what makes
+// FLOCK_FORCE_SCALAR=1 a pure performance A/B with no numeric drift.
+// (src/common/simd.cpp is compiled with -ffp-contract=off so the scalar
+// backend cannot be FMA-contracted into a different rounding sequence.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flock::simd {
+
+enum class Level : std::uint8_t {
+  kScalar = 0,  // portable 4-lane unrolled loop (also the forced fallback)
+  kAvx2 = 1,    // 4 doubles per op via AVX2 intrinsics
+};
+
+// The level the process dispatches to: the best the CPU supports, downgraded
+// to kScalar when the FLOCK_FORCE_SCALAR environment variable is set to
+// anything but "0" or empty at first use.
+Level active_level();
+
+// Highest level this CPU supports, ignoring the environment override.
+Level max_supported_level();
+
+const char* level_name(Level level);
+
+// Re-pin the dispatch level in-process; returns the level actually in
+// effect (requests above max_supported_level() clamp down). Test/bench hook
+// for same-process A/B runs — call it only while no other thread is inside
+// the kernel.
+Level set_level(Level level);
+
+// Σ_i wt[i] · log(a · es[i] + c) over n contiguous rows. Requires
+// a ≥ 1, c ≥ 0, es[i] ≥ 0 and a·es[i] + c ≥ 1 (see the domain note above).
+// Bit-identical at every level.
+double weighted_log_sum(const double* es, const double* wt, std::size_t n, double a, double c);
+
+}  // namespace flock::simd

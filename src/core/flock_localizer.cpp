@@ -78,6 +78,7 @@ LocalizationResult FlockLocalizer::localize_impl(
 
   result.log_likelihood = engine.log_posterior();
   result.hypotheses_scanned = engine.hypotheses_scanned();
+  result.memo_hits = engine.memo_hits();
   result.seconds = watch.seconds();
   return result;
 }

@@ -1,5 +1,6 @@
 #include "core/flow_table.h"
 
+#include <cassert>
 #include <limits>
 
 #include "core/inference_input.h"
@@ -31,6 +32,11 @@ std::int32_t FlowTable::group_of(PathSetId path_set, ComponentId src_link,
   const auto gi = static_cast<std::int32_t>(groups_.size());
   slot = gi;
   FlowGroup group;
+  if (!spare_groups_.empty()) {
+    // Recycled table: reuse a parked group's column capacity.
+    group = std::move(spare_groups_.back());
+    spare_groups_.pop_back();
+  }
   group.path_set = path_set;
   group.src_link = src_link;
   group.dst_link = dst_link;
@@ -101,7 +107,44 @@ void FlowTable::merge_from(FlowTable&& other) {
   }
   observations_ += other.observations_;
   weight_saturations_ += other.weight_saturations_;
-  other = FlowTable(other.dedup_);
+  // Leave other empty but with its capacity intact: the epoch barrier hands
+  // merged-out batch tables back to the origin shard's arena.
+  other.reset();
+}
+
+void FlowTable::reset() {
+  for (FlowGroup& group : groups_) {
+    group.taken_path.clear();
+    group.packets.clear();
+    group.bad.clear();
+    group.weight.clear();
+    spare_groups_.push_back(std::move(group));
+  }
+  groups_.clear();
+  rows_ = 0;
+  observations_ = 0;
+  weight_saturations_ = 0;
+  group_index_.clear();
+  row_index_.clear();
+}
+
+std::size_t FlowTable::retained_bytes() const {
+  std::size_t bytes = group_index_.capacity_bytes() + row_index_.capacity_bytes();
+  bytes += (groups_.capacity() + spare_groups_.capacity()) * sizeof(FlowGroup);
+  auto columns = [&](const FlowGroup& g) {
+    return g.taken_path.capacity() * sizeof(std::int32_t) +
+           g.packets.capacity() * sizeof(std::uint32_t) +
+           g.bad.capacity() * sizeof(std::uint32_t) +
+           g.weight.capacity() * sizeof(std::uint32_t);
+  };
+  for (const FlowGroup& g : groups_) bytes += columns(g);
+  for (const FlowGroup& g : spare_groups_) bytes += columns(g);
+  return bytes;
+}
+
+void FlowTable::set_dedup_enabled(bool dedup) {
+  assert(groups_.empty() && "dedup mode can only change while the table is empty");
+  dedup_ = dedup;
 }
 
 std::vector<FlowObservation> FlowTable::expanded() const {

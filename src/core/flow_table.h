@@ -87,6 +87,24 @@ class FlowTable {
   // hot consumers iterate groups() instead.
   std::vector<FlowObservation> expanded() const;
 
+  // Empty the table while retaining every allocation it has made — group
+  // records, their column vectors (parked in a spare pool that group_of()
+  // draws from on refill), and both index bucket arrays. The epoch-arena
+  // recycle path (common/arena.h): epochs are a natural reset point, and a
+  // shard's next epoch has roughly the same group/row shape as its last, so
+  // a reset table refills without touching the allocator. A reset table is
+  // indistinguishable from a fresh one to every reader — refilling it with
+  // the same observation sequence reproduces byte-identical contents.
+  void reset();
+
+  // Approximate bytes of storage retained across reset() (column capacities,
+  // group records, index buckets) — the arena's bytes_recycled metric.
+  std::size_t retained_bytes() const;
+
+  // Flip the dedup mode of an empty table (arenas pool tables regardless of
+  // the mode their previous epoch used).
+  void set_dedup_enabled(bool dedup);
+
  private:
   std::int32_t group_of(PathSetId path_set, ComponentId src_link, ComponentId dst_link);
   void add_row(PathSetId path_set, ComponentId src_link, ComponentId dst_link,
@@ -95,6 +113,9 @@ class FlowTable {
 
   bool dedup_;
   std::vector<FlowGroup> groups_;
+  // Column vectors parked by reset(), handed back out by group_of() when a
+  // recycled table starts a new group (capacity only; always size 0).
+  std::vector<FlowGroup> spare_groups_;
   std::size_t rows_ = 0;
   std::uint64_t observations_ = 0;
   std::uint64_t weight_saturations_ = 0;

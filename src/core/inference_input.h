@@ -70,6 +70,15 @@ class InferenceInput {
   explicit InferenceInput(std::shared_ptr<const InferenceContext> ctx)
       : ctx_(std::move(ctx)) {}
 
+  // Pipeline use with arena-recycled storage: adopt an (empty, reset) table
+  // whose column/index capacity survived a previous epoch (common/arena.h).
+  InferenceInput(std::shared_ptr<const InferenceContext> ctx, FlowTable table)
+      : ctx_(std::move(ctx)), table_(std::move(table)) {}
+
+  // Surrender the table for arena recycling; this input stays valid but
+  // empty. Called once the sink has consumed the epoch.
+  FlowTable release_table() { return std::move(table_); }
+
   const Topology& topology() const { return *ctx_->topo; }
   const EcmpRouter& router() const { return *ctx_->router; }
   const std::shared_ptr<const InferenceContext>& context() const { return ctx_; }
@@ -113,6 +122,9 @@ struct LocalizationResult {
   std::vector<ComponentId> predicted;
   double log_likelihood = 0.0;  // of the returned hypothesis (PGM schemes)
   std::int64_t hypotheses_scanned = 0;
+  // Lookups the likelihood engine's dense S(x) memo served without a column
+  // scan (see core/likelihood_engine.h); rides into PipelineStats::memo_hits.
+  std::uint64_t memo_hits = 0;
   double seconds = 0.0;
 };
 

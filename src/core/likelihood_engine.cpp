@@ -5,24 +5,37 @@
 #include <stdexcept>
 
 #include "common/math_util.h"
+#include "common/simd.h"
 
 namespace flock {
 
-double LikelihoodEngine::flow_ll(std::int64_t bad_paths, std::int64_t total_paths, double s) {
-  if (bad_paths <= 0) return 0.0;
-  if (bad_paths >= total_paths) return s;  // exact: log(w·e^s / w)
-  return flow_log_likelihood_delta(bad_paths, total_paths, s);
-}
+namespace {
+// Rows with s above this go to a group's extreme tail: e^s would overflow or
+// dwarf (w − b) so the vectorized log(b·e^s + (w−b)) form loses its footing,
+// while the stable per-row flow_log_likelihood_delta handles any s. e^690 ≈
+// 5e299 leaves four orders of magnitude of headroom for the b multiplier.
+constexpr double kMaxVectorEvidence = 690.0;
+}  // namespace
 
 double LikelihoodEngine::ugroup_sum(const UnknownGroup& g, std::int64_t bad_paths,
                                     std::int64_t total_paths) const {
   if (bad_paths <= 0) return 0.0;
   if (bad_paths >= total_paths) return g.sum_ws;
-  const double* s = u_s_.data();
-  const double* wt = u_weight_.data();
   double total = 0.0;
-  for (std::int32_t i = g.row_begin; i < g.row_end; ++i) {
-    total += wt[i] * flow_log_likelihood_delta(bad_paths, total_paths, s[i]);
+  const auto n_vec = static_cast<std::size_t>(g.vec_end - g.row_begin);
+  if (n_vec > 0) {
+    // Σ w·f = Σ w·log(b·e^s + (w−b)) − log(w)·Σ w, with the first sum the
+    // runtime-dispatched SIMD kernel (bit-identical at every level).
+    total = simd::weighted_log_sum(u_es_.data() + g.row_begin,
+                                   u_weight_.data() + g.row_begin, n_vec,
+                                   static_cast<double>(bad_paths),
+                                   static_cast<double>(total_paths - bad_paths)) -
+            g.log_w * g.safe_sum_w;
+  }
+  for (std::int32_t i = g.vec_end; i < g.row_end; ++i) {
+    total += u_weight_[static_cast<std::size_t>(i)] *
+             flow_log_likelihood_delta(bad_paths, total_paths,
+                                       u_s_[static_cast<std::size_t>(i)]);
   }
   return total;
 }
@@ -56,16 +69,23 @@ LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParam
 
   const FlowTable& table = input.table();
   u_s_.reserve(table.num_rows());
+  u_es_.reserve(table.num_rows());
   u_weight_.reserve(table.num_rows());
 
   // Scratch for the known-path entries of one group: (taken_path, entry).
   std::vector<std::pair<std::int32_t, std::int32_t>> group_entries;
+  // Scratch for one group's rare extreme-evidence rows (s, weight): they are
+  // appended after the group's vectorizable prefix so [row_begin, vec_end)
+  // is contiguous kernel input.
+  std::vector<std::pair<double, double>> extreme_rows;
 
   for (const FlowGroup& group : table.groups()) {
     // Unknown-path rows: one UnknownGroup with contiguous evidence columns.
     const auto row_begin = static_cast<std::int32_t>(u_s_.size());
     double sum_ws = 0.0;
+    double safe_sum_w = 0.0;
     group_entries.clear();
+    extreme_rows.clear();
     for (std::size_t r = 0; r < group.size(); ++r) {
       const std::uint32_t packets = group.packets[r];
       const std::uint32_t bad = group.bad[r];
@@ -77,9 +97,15 @@ LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParam
       const double weight = static_cast<double>(group.weight[r]);
       const std::int32_t tp = group.taken_path[r];
       if (tp < 0) {
-        u_s_.push_back(s);
-        u_weight_.push_back(weight);
         sum_ws += weight * s;
+        if (s <= kMaxVectorEvidence) {
+          u_s_.push_back(s);
+          u_es_.push_back(std::exp(s));
+          u_weight_.push_back(weight);
+          safe_sum_w += weight;
+        } else {
+          extreme_rows.emplace_back(s, weight);
+        }
         continue;
       }
       // Known-path row: find or create the (group, taken_path) entry. The
@@ -111,6 +137,12 @@ LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParam
       }
       kentries_[static_cast<std::size_t>(ei)].sum_ws += weight * s;
     }
+    const auto vec_end = static_cast<std::int32_t>(u_s_.size());
+    for (const auto& [s, weight] : extreme_rows) {
+      u_s_.push_back(s);
+      u_es_.push_back(0.0);  // never read: the tail uses u_s_ directly
+      u_weight_.push_back(weight);
+    }
     const auto row_end = static_cast<std::int32_t>(u_s_.size());
     if (row_end == row_begin) continue;
 
@@ -120,8 +152,12 @@ LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParam
     g.src_link = group.src_link;
     g.dst_link = group.dst_link;
     g.row_begin = row_begin;
+    g.vec_end = vec_end;
     g.row_end = row_end;
     g.sum_ws = sum_ws;
+    g.safe_sum_w = safe_sum_w;
+    g.log_w = std::log(
+        static_cast<double>(router.path_set(group.path_set).paths.size()));
     ugroups_.push_back(g);
 
     auto& idx = ps_state_index_[static_cast<std::size_t>(group.path_set)];
@@ -242,7 +278,6 @@ void LikelihoodEngine::apply_pathset_contribs(PathSetId ps, double sign) {
   const auto w = static_cast<std::int64_t>(router.path_set(ps).paths.size());
   const std::int64_t b = st.bad_paths;
   compute_counters(ps);
-  sum_memo_.clear();
 
   double sum_at_b = 0.0;
   for (std::int32_t gi : st.ugroups) {
@@ -266,25 +301,49 @@ void LikelihoodEngine::apply_pathset_contribs(PathSetId ps, double sign) {
       delta_[static_cast<std::size_t>(e)] += sign * (ugroup_sum(g, b, w) - g.sum_ws);
     }
   }
-  sum_memo_.emplace(b, sum_at_b);
 
-  auto memoized_sum = [&](std::int64_t x) {
-    auto it = sum_memo_.find(x);
-    if (it != sum_memo_.end()) return it->second;
-    double total = 0.0;
+  // Dense S(x) memo for this update: mark the flip targets the universe
+  // needs, batch-fill the marked slots group-major (each group's columns
+  // stream through the kernel once per needed x while hot), then apply.
+  sum_table_.assign(static_cast<std::size_t>(w) + 1, 0.0);
+  sum_mark_.assign(static_cast<std::size_t>(w) + 1, 0);
+  sum_table_[static_cast<std::size_t>(b)] = sum_at_b;
+  sum_mark_[static_cast<std::size_t>(b)] = 1;
+  bool any_needed = false;
+  for (ComponentId c : st.universe) {
+    const std::int64_t x = failed_[static_cast<std::size_t>(c)] ? b - counter_crit(c)
+                                                                : b + counter_good(c);
+    if (x == b) continue;
+    ++memo_lookups_;
+    if (sum_mark_[static_cast<std::size_t>(x)] == 0) {
+      sum_mark_[static_cast<std::size_t>(x)] = 2;
+      any_needed = true;
+    }
+  }
+  if (any_needed) {
     for (std::int32_t gi : st.ugroups) {
       const UnknownGroup& g = ugroups_[static_cast<std::size_t>(gi)];
-      if (g.endpoint_fail_count == 0) total += ugroup_sum(g, x, w);
+      if (g.endpoint_fail_count != 0) continue;
+      for (std::int64_t x = 0; x <= w; ++x) {
+        if (sum_mark_[static_cast<std::size_t>(x)] == 2) {
+          sum_table_[static_cast<std::size_t>(x)] += ugroup_sum(g, x, w);
+        }
+      }
     }
-    sum_memo_.emplace(x, total);
-    return total;
-  };
+    for (std::int64_t x = 0; x <= w; ++x) {
+      if (sum_mark_[static_cast<std::size_t>(x)] == 2) {
+        sum_mark_[static_cast<std::size_t>(x)] = 1;
+        ++memo_entries_;
+      }
+    }
+  }
 
   for (ComponentId c : st.universe) {
     const std::int64_t x = failed_[static_cast<std::size_t>(c)] ? b - counter_crit(c)
                                                                 : b + counter_good(c);
     if (x == b) continue;
-    delta_[static_cast<std::size_t>(c)] += sign * (memoized_sum(x) - sum_at_b);
+    delta_[static_cast<std::size_t>(c)] +=
+        sign * (sum_table_[static_cast<std::size_t>(x)] - sum_at_b);
   }
 }
 
@@ -297,16 +356,37 @@ void LikelihoodEngine::apply_ugroup_contribs(std::int32_t gi, double sign) {
   if (g.endpoint_fail_count == 0) {
     const double fb = ugroup_sum(g, b, w);
     compute_counters(g.path_set);
-    sum_memo_.clear();
+    // Single-group form of the dense S(x) memo: mark, batch-fill, apply.
+    sum_table_.assign(static_cast<std::size_t>(w) + 1, 0.0);
+    sum_mark_.assign(static_cast<std::size_t>(w) + 1, 0);
+    sum_table_[static_cast<std::size_t>(b)] = fb;
+    sum_mark_[static_cast<std::size_t>(b)] = 1;
+    bool any_needed = false;
     for (ComponentId c : st.universe) {
       const std::int64_t x = failed_[static_cast<std::size_t>(c)] ? b - counter_crit(c)
                                                                   : b + counter_good(c);
       if (x == b) continue;
-      auto it = sum_memo_.find(x);
-      const double fx = it != sum_memo_.end() ? it->second
-                                              : sum_memo_.emplace(x, ugroup_sum(g, x, w))
-                                                    .first->second;
-      delta_[static_cast<std::size_t>(c)] += sign * (fx - fb);
+      ++memo_lookups_;
+      if (sum_mark_[static_cast<std::size_t>(x)] == 0) {
+        sum_mark_[static_cast<std::size_t>(x)] = 2;
+        any_needed = true;
+      }
+    }
+    if (any_needed) {
+      for (std::int64_t x = 0; x <= w; ++x) {
+        if (sum_mark_[static_cast<std::size_t>(x)] == 2) {
+          sum_table_[static_cast<std::size_t>(x)] = ugroup_sum(g, x, w);
+          sum_mark_[static_cast<std::size_t>(x)] = 1;
+          ++memo_entries_;
+        }
+      }
+    }
+    for (ComponentId c : st.universe) {
+      const std::int64_t x = failed_[static_cast<std::size_t>(c)] ? b - counter_crit(c)
+                                                                  : b + counter_good(c);
+      if (x == b) continue;
+      delta_[static_cast<std::size_t>(c)] +=
+          sign * (sum_table_[static_cast<std::size_t>(x)] - fb);
     }
     if (g.src_link != kInvalidComponent) {
       delta_[static_cast<std::size_t>(g.src_link)] += sign * (g.sum_ws - fb);

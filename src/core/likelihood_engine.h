@@ -43,7 +43,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -105,6 +104,13 @@ class LikelihoodEngine {
 
   bool jle_enabled() const { return maintain_delta_; }
 
+  // Reuse of the dense per-call S(x) memo across all JLE updates so far:
+  // lookups served from an already-computed table entry vs entries that
+  // actually ran a column scan. memo_hits() is what rides up into
+  // PipelineStats::memo_hits.
+  std::uint64_t memo_lookups() const { return memo_lookups_; }
+  std::uint64_t memo_hits() const { return memo_lookups_ - memo_entries_; }
+
  private:
   // Unknown-path flows of one table group: rows share (path_set, src_link,
   // dst_link), so the endpoint fail state is one counter and every per-group
@@ -113,10 +119,17 @@ class LikelihoodEngine {
     PathSetId path_set = kInvalidPathSet;
     ComponentId src_link = kInvalidComponent;
     ComponentId dst_link = kInvalidComponent;
-    std::int32_t row_begin = 0;  // into u_s_ / u_weight_
+    std::int32_t row_begin = 0;  // into u_s_ / u_es_ / u_weight_
+    // Rows are partitioned at construction: [row_begin, vec_end) have
+    // moderate evidence (e^s finite and overflow-safe) and run through the
+    // vectorized Σ w·log(b·e^s + (w−b)) kernel; the rare extreme-evidence
+    // tail [vec_end, row_end) runs the stable per-row form instead.
+    std::int32_t vec_end = 0;
     std::int32_t row_end = 0;
     std::int32_t endpoint_fail_count = 0;  // failed endpoints under H (0..2)
     double sum_ws = 0.0;                   // Σ_rows weight · s
+    double safe_sum_w = 0.0;               // Σ weight over [row_begin, vec_end)
+    double log_w = 0.0;                    // log(path-set width)
   };
 
   // Known-path flows of one (group, taken_path): rows share the full
@@ -134,8 +147,6 @@ class LikelihoodEngine {
     std::vector<ComponentId> universe;  // distinct components across paths
     std::int32_t bad_paths = 0;         // paths with >= 1 failed component
   };
-
-  static double flow_ll(std::int64_t bad_paths, std::int64_t total_paths, double s);
 
   const PathSetState& ps_state(PathSetId ps) const {
     return ps_states_[static_cast<std::size_t>(ps_state_index_[static_cast<std::size_t>(ps)])];
@@ -180,9 +191,12 @@ class LikelihoodEngine {
   double prior_ll_ = 0.0;
   std::int64_t hypotheses_scanned_ = 0;
 
-  // Unknown-path side: group records + row columns (evidence, dedup weight).
+  // Unknown-path side: group records + row columns (evidence, its
+  // exponential — the vectorized kernel's operand, meaningful only for rows
+  // below each group's vec_end — and the dedup weight).
   std::vector<UnknownGroup> ugroups_;
   std::vector<double> u_s_;
+  std::vector<double> u_es_;
   std::vector<double> u_weight_;
 
   // Known-path side: entry records + flattened component lists.
@@ -210,9 +224,17 @@ class LikelihoodEngine {
   mutable std::vector<std::int32_t> scratch_crit_;
   mutable std::int64_t epoch_ = 0;
 
-  // Per-update memo of S(x) = weighted sum over the active groups' rows of
-  // f(x, w, s).
-  mutable std::unordered_map<std::int64_t, double> sum_memo_;
+  // Dense per-update memo of S(x) = weighted sum over the active groups'
+  // rows of f(x, w, s), indexed by the flip target x ∈ [0, w]. Rebuilt per
+  // apply call: the universe scan first marks the x values it needs
+  // (sum_mark_: 0 = absent, 2 = needed, 1 = filled), then the marked slots
+  // are batch-filled group-major so each group's columns stream through the
+  // kernel once per needed x while hot. Replaces the old per-x
+  // unordered_map (no hashing on the hot path, no rehash churn).
+  mutable std::vector<double> sum_table_;
+  mutable std::vector<std::uint8_t> sum_mark_;
+  mutable std::uint64_t memo_lookups_ = 0;
+  mutable std::uint64_t memo_entries_ = 0;
 };
 
 }  // namespace flock

@@ -30,7 +30,11 @@ StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
           }),
           config.localizer_threads,
           [this](EpochSnapshot snap, LocalizationResult result) {
+            memo_hits_.fetch_add(result.memo_hits, std::memory_order_relaxed);
             sink_->add(snap, result);
+            // The sink copies what it keeps; the snapshot's table goes back
+            // to its origin shard's epoch arena.
+            shards_->recycle(std::move(snap));
           })),
       shards_(std::make_unique<ShardExecutor>(
           topo, router,
@@ -42,6 +46,7 @@ StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
             // so the epoch completes.
             if (snap.input.num_flows() == 0) {
               sink_->add(snap, LocalizationResult{});
+              shards_->recycle(std::move(snap));
             } else {
               pool_->submit(std::move(snap));
             }
@@ -136,6 +141,9 @@ PipelineStats StreamingPipeline::stats() const {
   s.inference_observations = shards_->inference_observations();
   s.inference_rows = shards_->inference_rows();
   s.weight_saturations = shards_->weight_saturations();
+  s.arena_reuses = shards_->arena_reuses();
+  s.arena_bytes_recycled = shards_->arena_bytes_recycled();
+  s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
   const auto t = tracker_->stats();
   s.tracker_confirmations = t.confirmations;
   s.tracker_flaps = t.flaps_detected;

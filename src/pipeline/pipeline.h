@@ -93,6 +93,14 @@ struct PipelineStats {
   std::uint64_t inference_rows = 0;
   // Dedup weights clamped at the uint32 ceiling instead of wrapping.
   std::uint64_t weight_saturations = 0;
+  // Epoch-arena recycling (see common/arena.h): epoch FlowTables whose
+  // storage a later epoch's build reused, and the bytes of allocation that
+  // reuse saved across the run.
+  std::uint64_t arena_reuses = 0;
+  std::uint64_t arena_bytes_recycled = 0;
+  // Likelihood-engine dense S(x) memo: lookups served without a column scan,
+  // across every inference run (see core/likelihood_engine.h).
+  std::uint64_t memo_hits = 0;
   // Temporal layer (see pipeline/temporal_tracker.h): component state
   // machine transitions across all merged epochs so far.
   std::uint64_t tracker_confirmations = 0;
@@ -169,6 +177,7 @@ class StreamingPipeline {
   // offers and boundaries.
   std::atomic<std::uint64_t> boundary_pushes_{0};
   std::atomic<std::uint64_t> boundary_rejections_{0};
+  std::atomic<std::uint64_t> memo_hits_{0};
   bool stopped_ = false;
 };
 

@@ -103,6 +103,11 @@ void ShardExecutor::worker_loop(std::int32_t shard_id) {
   // mutex, counted in PipelineStats::router_read_retries).
   Collector scratch(ctx_, *router_, collector_options_);
   Shard& shard = *shards_[static_cast<std::size_t>(shard_id)];
+  // Batch tables draw their storage from the worker's own shard's arena.
+  // Stolen batches join on the thief's scratch, so a table can be acquired
+  // from the thief's arena and released to the origin's — the pools just
+  // rebalance; accounting stays per-origin via the barrier.
+  scratch.set_arena(&shard.arena);
   const bool stealing = steal_batch_ > 0;
   std::chrono::microseconds poll = kStealPollMin;
   for (;;) {
@@ -214,6 +219,12 @@ void ShardExecutor::run_barrier(const Task& task) {
     input.merge_from(std::move(p.input));
     unresolved += p.unresolved;
   }
+  // The merge consumed the batch tables (the first non-empty one wholesale —
+  // that shell retains nothing and is dropped — the rest row-wise, leaving
+  // their capacity intact): park them for this shard's next epoch.
+  for (Contribution& p : parts) {
+    shard.arena.release(p.input.release_table());
+  }
   inference_observations_.fetch_add(input.num_flows(), std::memory_order_relaxed);
   inference_rows_.fetch_add(input.num_rows(), std::memory_order_relaxed);
   if (input.num_weight_saturations() > 0) {
@@ -221,6 +232,24 @@ void ShardExecutor::run_barrier(const Task& task) {
   }
   on_snapshot_(EpochSnapshot{task.epoch_id, task.origin, std::move(input), unresolved,
                              task.since_close, stolen});
+}
+
+void ShardExecutor::recycle(EpochSnapshot&& snapshot) {
+  const auto s = static_cast<std::size_t>(snapshot.shard);
+  if (s >= shards_.size()) return;
+  shards_[s]->arena.release(snapshot.input.release_table());
+}
+
+std::uint64_t ShardExecutor::arena_reuses() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->arena.reuses();
+  return total;
+}
+
+std::uint64_t ShardExecutor::arena_bytes_recycled() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->arena.bytes_recycled();
+  return total;
 }
 
 }  // namespace flock

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/stopwatch.h"
 #include "core/inference_input.h"
 #include "pipeline/ingest_queue.h"
@@ -97,6 +98,12 @@ class ShardExecutor {
   // core/inference_input.h for the lifetime contract).
   const std::shared_ptr<const InferenceContext>& context() const { return ctx_; }
 
+  // Return a consumed snapshot's FlowTable storage to its origin shard's
+  // epoch arena, where that shard's scratch collectors pick it back up next
+  // epoch (see common/arena.h). The pipeline calls this once the sink has
+  // absorbed the snapshot; safe from any thread.
+  void recycle(EpochSnapshot&& snapshot);
+
   // Monotonic counters (safe to read concurrently).
   std::uint64_t records_decoded() const { return records_decoded_.load(std::memory_order_relaxed); }
   std::uint64_t malformed_messages() const { return malformed_.load(std::memory_order_relaxed); }
@@ -119,6 +126,11 @@ class ShardExecutor {
   std::uint64_t weight_saturations() const {
     return weight_saturations_.load(std::memory_order_relaxed);
   }
+  // Epoch-arena effectiveness, summed across shards (see common/arena.h):
+  // tables whose storage a later epoch reused, and the bytes that reuse
+  // saved the allocator.
+  std::uint64_t arena_reuses() const;
+  std::uint64_t arena_bytes_recycled() const;
   // Datagrams dispatched to (and accounted against) a shard, wherever they
   // were executed.
   std::uint64_t shard_datagrams(std::int32_t shard) const {
@@ -165,6 +177,10 @@ class ShardExecutor {
     std::condition_variable acct_cv;
     std::unordered_map<std::uint64_t, EpochAccount> accounts;
     std::uint64_t batches_this_epoch = 0;  // dispatcher-thread only
+    // Recycled FlowTable storage: filled by the barrier (merged-out batch
+    // tables) and by recycle() (sink-consumed epoch tables), drained by this
+    // shard's scratch collectors.
+    EpochArena<FlowTable> arena;
   };
 
   void worker_loop(std::int32_t shard_id);

@@ -23,7 +23,12 @@ bool Collector::ingest(const std::vector<std::uint8_t>& message) {
 }
 
 InferenceInput Collector::drain_into_input() {
-  InferenceInput input(ctx_);
+  FlowTable table(/*dedup=*/true);
+  if (arena_ != nullptr) {
+    table = arena_->acquire();
+    table.set_dedup_enabled(true);
+  }
+  InferenceInput input(ctx_, std::move(table));
   input.reserve(records_.size());
   for (const FlowRecord& rec : records_) {
     const NodeId src = addr_to_node(rec.src_addr);

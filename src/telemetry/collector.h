@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/inference_input.h"
 #include "telemetry/flow_record.h"
 #include "telemetry/ipfix.h"
@@ -49,6 +50,11 @@ class Collector {
   // Records that cannot be resolved are dropped and counted.
   InferenceInput drain_into_input();
 
+  // Draw drained inputs' FlowTable storage from `arena` (the per-shard epoch
+  // recycling of common/arena.h) instead of allocating fresh. Borrowed; null
+  // restores plain allocation.
+  void set_arena(EpochArena<FlowTable>* arena) { arena_ = arena; }
+
   std::uint64_t unresolved_records() const { return unresolved_; }
 
  private:
@@ -59,6 +65,7 @@ class Collector {
   IpfixDecoder decoder_;
   std::vector<FlowRecord> records_;
   std::uint64_t unresolved_ = 0;
+  EpochArena<FlowTable>* arena_ = nullptr;
 };
 
 }  // namespace flock

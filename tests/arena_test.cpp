@@ -1,0 +1,236 @@
+// Epoch-arena recycling (common/arena.h + FlowTable::reset): a recycled
+// table must be indistinguishable from a fresh one — same observation
+// sequence in, byte-identical columns out — and the pipeline's per-shard
+// arenas must actually recycle across epochs without leaking any state from
+// one epoch's table into the next. Runs on the sanitizer CI legs (label
+// "sanitize"): reset/refill is exactly the use-after-reset surface ASan is
+// for, and the pipeline leg exercises release/acquire races under TSan.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/rng.h"
+#include "core/flow_table.h"
+#include "core/inference_input.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "pipeline/pipeline.h"
+#include "telemetry/agent.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+std::vector<FlowObservation> simulated_observations(std::uint64_t seed) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  Rng rng(seed);
+  GroundTruth truth = make_silent_link_drops(topo, 1, DropRateConfig{1e-4, 4e-3, 1e-2}, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 800;
+  Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+  ViewOptions view;
+  view.telemetry = kTelemetryA1 | kTelemetryA2 | kTelemetryP;
+  return make_view(topo, router, trace, view).expanded_flows();
+}
+
+void expect_same_groups(const FlowTable& a, const FlowTable& b) {
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_observations(), b.num_observations());
+  for (std::size_t g = 0; g < a.num_groups(); ++g) {
+    const FlowGroup& x = a.groups()[g];
+    const FlowGroup& y = b.groups()[g];
+    EXPECT_EQ(x.path_set, y.path_set) << "group " << g;
+    EXPECT_EQ(x.src_link, y.src_link) << "group " << g;
+    EXPECT_EQ(x.dst_link, y.dst_link) << "group " << g;
+    EXPECT_EQ(x.taken_path, y.taken_path) << "group " << g;
+    EXPECT_EQ(x.packets, y.packets) << "group " << g;
+    EXPECT_EQ(x.bad, y.bad) << "group " << g;
+    EXPECT_EQ(x.weight, y.weight) << "group " << g;
+  }
+}
+
+// The core reset contract: refilling a reset table with the same observation
+// sequence reproduces byte-identical contents — group order, row order,
+// dedup weights, everything — while the second build runs on retained
+// storage instead of fresh allocations.
+TEST(FlowTableReset, RefillAfterResetIsByteIdentical) {
+  const std::vector<FlowObservation> flows = simulated_observations(9001);
+  FlowTable reference(/*dedup=*/true);
+  for (const FlowObservation& obs : flows) reference.add(obs);
+  ASSERT_GT(reference.num_rows(), 0u);
+
+  FlowTable recycled(/*dedup=*/true);
+  for (const FlowObservation& obs : flows) recycled.add(obs);
+  recycled.reset();
+  EXPECT_EQ(recycled.num_groups(), 0u);
+  EXPECT_EQ(recycled.num_rows(), 0u);
+  EXPECT_EQ(recycled.num_observations(), 0u);
+  EXPECT_GT(recycled.retained_bytes(), 0u);  // capacity survived the reset
+
+  for (const FlowObservation& obs : flows) recycled.add(obs);
+  expect_same_groups(recycled, reference);
+}
+
+// No cross-epoch leakage: refilling with a DIFFERENT sequence must produce
+// exactly what a fresh table produces from that sequence — nothing of the
+// first epoch (stale index entries, stale weights) may show through.
+TEST(FlowTableReset, ResetTableCarriesNothingIntoADifferentEpoch) {
+  const std::vector<FlowObservation> epoch1 = simulated_observations(9002);
+  const std::vector<FlowObservation> epoch2 = simulated_observations(9003);
+
+  FlowTable recycled(/*dedup=*/true);
+  for (const FlowObservation& obs : epoch1) recycled.add(obs);
+  recycled.reset();
+  for (const FlowObservation& obs : epoch2) recycled.add(obs);
+
+  FlowTable fresh(/*dedup=*/true);
+  for (const FlowObservation& obs : epoch2) fresh.add(obs);
+  expect_same_groups(recycled, fresh);
+}
+
+TEST(EpochArena, PoolsOnlyTablesThatRetainStorageAndCountsReuse) {
+  EpochArena<FlowTable> arena;
+
+  // A table that never allocated retains nothing: dropped, not pooled.
+  arena.release(FlowTable(/*dedup=*/true));
+  EXPECT_EQ(arena.pooled(), 0u);
+  EXPECT_EQ(arena.bytes_recycled(), 0u);
+
+  // A populated table is reset and parked, its retained bytes counted.
+  const std::vector<FlowObservation> flows = simulated_observations(9004);
+  FlowTable table(/*dedup=*/true);
+  for (const FlowObservation& obs : flows) table.add(obs);
+  arena.release(std::move(table));
+  EXPECT_EQ(arena.pooled(), 1u);
+  EXPECT_GT(arena.bytes_recycled(), 0u);
+
+  // A moved-from shell (the barrier's wholesale-merge case) retains nothing.
+  FlowTable donor(/*dedup=*/true);
+  for (const FlowObservation& obs : flows) donor.add(obs);
+  FlowTable sink(/*dedup=*/true);
+  sink.merge_from(std::move(donor));
+  arena.release(std::move(donor));
+  EXPECT_EQ(arena.pooled(), 1u);
+
+  // Acquire hands the warm table back and counts the reuse; the next acquire
+  // finds an empty pool and default-constructs without counting.
+  EXPECT_EQ(arena.reuses(), 0u);
+  FlowTable out = arena.acquire();
+  EXPECT_EQ(arena.reuses(), 1u);
+  EXPECT_EQ(arena.pooled(), 0u);
+  EXPECT_EQ(out.num_rows(), 0u);
+  EXPECT_GT(out.retained_bytes(), 0u);
+  FlowTable cold = arena.acquire();
+  EXPECT_EQ(arena.reuses(), 1u);
+  EXPECT_EQ(cold.retained_bytes(), 0u);
+}
+
+TEST(EpochArena, PoolIsCappedAndDedupModeIsRebindable) {
+  EpochArena<FlowTable> arena;
+  const std::vector<FlowObservation> flows = simulated_observations(9005);
+  for (std::size_t i = 0; i < EpochArena<FlowTable>::kMaxPooled + 8; ++i) {
+    FlowTable table(/*dedup=*/true);
+    for (const FlowObservation& obs : flows) table.add(obs);
+    arena.release(std::move(table));
+  }
+  EXPECT_EQ(arena.pooled(), EpochArena<FlowTable>::kMaxPooled);
+
+  // Arenas pool tables regardless of the mode their previous epoch used; an
+  // acquirer re-pins the mode while the table is empty.
+  FlowTable table = arena.acquire();
+  table.set_dedup_enabled(false);
+  EXPECT_FALSE(table.dedup_enabled());
+  for (const FlowObservation& obs : flows) table.add(obs);
+  EXPECT_EQ(table.num_rows(), static_cast<std::size_t>(table.num_observations()));
+}
+
+// --- pipeline: arenas recycle across epochs, results stay identical ----------
+
+// Per-host IPFIX export of a simulated trace, same shape as the pipeline
+// tests use. The topology and router are part of the fixture: the pipeline
+// must join against the SAME router the export referenced, and simulate()
+// leaves it fully interned, so every replayed epoch decodes identically.
+struct ArenaStreamFixture {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router{topo};
+  std::vector<IngestDatagram> datagrams;
+
+  explicit ArenaStreamFixture(std::uint64_t seed = 4242) {
+    Rng rng(seed);
+    GroundTruth truth = make_silent_link_drops(topo, 1, DropRateConfig{1e-4, 5e-3, 1e-2}, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = 500;
+    Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+    std::unordered_map<NodeId, Agent> agents;
+    for (NodeId h : topo.hosts()) {
+      AgentConfig cfg;
+      cfg.observation_domain = static_cast<std::uint32_t>(h);
+      agents.emplace(h, Agent(topo, cfg));
+    }
+    for (const SimFlow& f : trace.flows) {
+      SimFlow passive = f;
+      if (f.kind == SimFlowKind::kApp) passive.taken_path = -1;
+      agents.at(f.src_host).observe(passive);
+    }
+    for (NodeId h : topo.hosts()) {
+      for (auto& msg : agents.at(h).flush(1000)) {
+        datagrams.push_back({node_to_addr(h), std::move(msg)});
+      }
+    }
+  }
+};
+
+// Feed the SAME datagrams as several epochs through one pipeline: every
+// epoch must localize identically (epoch 2+ runs on tables recycled from
+// epoch 1 — any cross-epoch leakage through the arena changes the result),
+// and the arena counters must show the recycling actually happened. Epochs
+// are paced — each one fully merged before the next is offered — so the
+// recycled tables are actually back in the shard arenas when the next
+// epoch's batches draw scratch storage.
+TEST(EpochArena, PipelineRecyclesTablesAcrossEpochsWithIdenticalResults) {
+  ArenaStreamFixture fx;
+  PipelineConfig config;
+  config.num_shards = 2;
+  config.localizer_threads = 1;
+  config.localizer.params.p_g = 1e-4;
+  config.localizer.params.p_b = 6e-3;
+  config.localizer.params.rho = 1e-3;
+  StreamingPipeline pipeline(fx.topo, fx.router, config);
+
+  constexpr int kEpochs = 4;
+  for (int e = 0; e < kEpochs; ++e) {
+    for (const IngestDatagram& d : fx.datagrams) ASSERT_TRUE(pipeline.offer_wait(d));
+    pipeline.close_epoch();
+    while (pipeline.results().completed().size() < static_cast<std::size_t>(e + 1)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // The sink completing the epoch slightly precedes the recycle call; give
+    // the tables a beat to land back in the arenas.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  pipeline.stop();
+
+  const auto epochs = pipeline.results().completed();
+  ASSERT_EQ(epochs.size(), static_cast<std::size_t>(kEpochs));
+  for (int e = 1; e < kEpochs; ++e) {
+    EXPECT_EQ(epochs[static_cast<std::size_t>(e)].flows, epochs[0].flows) << "epoch " << e;
+    EXPECT_EQ(epochs[static_cast<std::size_t>(e)].predicted, epochs[0].predicted)
+        << "epoch " << e;
+  }
+
+  const PipelineStats stats = pipeline.stats();
+  EXPECT_GT(stats.arena_reuses, 0u);
+  EXPECT_GT(stats.arena_bytes_recycled, 0u);
+  EXPECT_GT(stats.memo_hits, 0u);
+}
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,209 @@
+// SIMD-vs-scalar equivalence for the likelihood kernel (common/simd.h) and
+// everything built on it. The dispatch contract says the AVX2 and scalar
+// backends are the SAME algorithm — identical operation sequence, identical
+// accumulator shape — so this suite demands *bit* equality at the kernel
+// level, across every array length (tails included) and randomized inputs,
+// and byte-identical localization predictions from the full engine at every
+// level. Runs on the sanitizer CI legs (label "sanitize") so the intrinsics
+// path stays clean under ASan/UBSan too.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "core/flock_localizer.h"
+#include "core/likelihood_engine.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+// Distance in representable doubles (same-sign finite values only — every
+// quantity in this suite is a finite log-likelihood).
+std::uint64_t ulp_distance(double a, double b) {
+  const std::uint64_t ua = bits_of(a);
+  const std::uint64_t ub = bits_of(b);
+  if ((ua >> 63) != (ub >> 63)) return (ua << 1 >> 1) + (ub << 1 >> 1);
+  return ua > ub ? ua - ub : ub - ua;
+}
+
+// Restore the dispatch level on scope exit, so one test's set_level never
+// leaks into another (or into the FLOCK_FORCE_SCALAR choice a CI leg made).
+struct LevelGuard {
+  simd::Level saved = simd::active_level();
+  ~LevelGuard() { simd::set_level(saved); }
+};
+
+TEST(SimdDispatch, SetLevelClampsToWhatTheCpuSupports) {
+  LevelGuard guard;
+  const simd::Level max = simd::max_supported_level();
+  EXPECT_LE(simd::set_level(simd::Level::kAvx2), max);
+  EXPECT_EQ(simd::set_level(simd::Level::kScalar), simd::Level::kScalar);
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  EXPECT_STRNE(simd::level_name(simd::Level::kScalar), simd::level_name(simd::Level::kAvx2));
+}
+
+// n = 1, wt = 1 turns the kernel into a plain log(a·es + c): its branch-free
+// polynomial must track std::log to ~1 ulp over the engine's whole input
+// domain (argument ≥ 1, up to the huge-evidence range the engine still
+// vectorizes).
+TEST(SimdKernel, LogMatchesStdLogWithinOneUlp) {
+  LevelGuard guard;
+  simd::set_level(simd::Level::kScalar);
+  Rng rng(20260808);
+  const double one = 1.0;
+  std::uint64_t worst = 0;
+  for (int i = 0; i < 200000; ++i) {
+    // log-uniform argument in [1, e^690]: the vectorized evidence range.
+    const double arg = std::exp(rng.uniform(0.0, 690.0));
+    const double got = simd::weighted_log_sum(&arg, &one, 1, 1.0, 0.0);
+    const double want = std::log(arg);
+    const std::uint64_t d = ulp_distance(got, want);
+    worst = std::max(worst, d);
+    ASSERT_LE(d, 1u) << "arg=" << arg;
+  }
+  // The polynomial is exact at 1 (log 1 = 0 with no rounding).
+  EXPECT_EQ(simd::weighted_log_sum(&one, &one, 1, 1.0, 0.0), 0.0);
+  EXPECT_LE(worst, 1u);
+}
+
+// The core contract: every supported level produces the same bits as the
+// scalar backend, for every array length — especially the 0..20 range that
+// exercises empty input, pure-tail loops and the vector/tail seam — and for
+// lengths around the 4-lane unroll boundary.
+TEST(SimdKernel, AllLevelsAreBitIdenticalToScalarIncludingTails) {
+  LevelGuard guard;
+  const auto max = static_cast<int>(simd::max_supported_level());
+  if (max == 0) GTEST_SKIP() << "no SIMD level on this CPU; scalar is trivially identical";
+  Rng rng(7151);
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n <= 20; ++n) lengths.push_back(n);
+  for (std::size_t n : {31u, 32u, 33u, 63u, 64u, 65u, 127u, 500u, 1021u}) lengths.push_back(n);
+  for (std::size_t n : lengths) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const double a = static_cast<double>(1 + rng.next_below(64));
+      const double c = static_cast<double>(rng.next_below(64));
+      // Respect the kernel's domain a·es + c ≥ 1 (simd.h): with c = 0 the
+      // evidence exponent must be non-negative so a·es alone clears 1.
+      const double s_lo = (c == 0.0) ? 0.0 : -30.0;
+      std::vector<double> es(n), wt(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        es[i] = std::exp(rng.uniform(s_lo, 690.0));  // e^s for s in the safe range
+        wt[i] = static_cast<double>(1 + rng.next_below(100000));
+      }
+      simd::set_level(simd::Level::kScalar);
+      const double scalar = simd::weighted_log_sum(es.data(), wt.data(), n, a, c);
+      for (int level = 1; level <= max; ++level) {
+        simd::set_level(static_cast<simd::Level>(level));
+        const double vec = simd::weighted_log_sum(es.data(), wt.data(), n, a, c);
+        ASSERT_EQ(bits_of(vec), bits_of(scalar))
+            << "n=" << n << " rep=" << rep << " level=" << level << " scalar=" << scalar
+            << " vec=" << vec;
+      }
+    }
+  }
+}
+
+// Full-stack equivalence: the localizer run at every dispatch level must
+// produce the same component predictions and a log-likelihood within 1 ulp
+// (in practice: the same bits — the tolerance is documentation, not slack)
+// on randomized scenarios, including flows whose evidence exceeds the
+// kernel's vectorizable range and take the engine's scalar extreme-row tail.
+TEST(SimdKernel, LocalizerPredictionsAreIdenticalAtEveryLevel) {
+  LevelGuard guard;
+  const auto max = static_cast<int>(simd::max_supported_level());
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  FlockOptions options;
+  options.params.p_g = 1e-4;
+  options.params.p_b = 6e-3;
+  options.params.rho = 1e-3;
+  const FlockLocalizer localizer(options);
+
+  for (std::uint64_t seed : {601u, 602u, 603u, 604u}) {
+    Rng rng(seed);
+    GroundTruth truth = make_silent_link_drops(topo, 2, DropRateConfig{1e-4, 4e-3, 1e-2}, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = 1000;
+    Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+    ViewOptions view;
+    view.telemetry = kTelemetryA1 | kTelemetryA2 | kTelemetryP;
+    InferenceInput input = make_view(topo, router, trace, view);
+    // Graft in rows whose evidence s = log L(bad|path) is far beyond the
+    // vectorized range (s ≈ 8000 ≫ 690): these must land in the engine's
+    // per-group scalar tail in BOTH modes and keep everything finite.
+    auto flows = input.expanded_flows();
+    for (std::size_t i = 0; i < 5 && i < flows.size(); ++i) {
+      FlowObservation hot = flows[i * (flows.size() / 5)];
+      hot.packets_sent = 4000;
+      hot.bad_packets = 2000;
+      ASSERT_GT(bad_path_log_evidence(hot.bad_packets, hot.packets_sent, options.params.p_g,
+                                      options.params.p_b),
+                690.0);
+      input.add(hot);
+    }
+
+    simd::set_level(simd::Level::kScalar);
+    const LocalizationResult scalar = localizer.localize(input);
+    ASSERT_TRUE(std::isfinite(scalar.log_likelihood)) << "seed " << seed;
+    for (int level = 1; level <= max; ++level) {
+      simd::set_level(static_cast<simd::Level>(level));
+      const LocalizationResult vec = localizer.localize(input);
+      EXPECT_EQ(vec.predicted, scalar.predicted)
+          << "seed " << seed << " level " << level;
+      EXPECT_LE(ulp_distance(vec.log_likelihood, scalar.log_likelihood), 1u)
+          << "seed " << seed << " level " << level << " scalar=" << scalar.log_likelihood
+          << " vec=" << vec.log_likelihood;
+      EXPECT_EQ(vec.memo_hits, scalar.memo_hits) << "seed " << seed << " level " << level;
+    }
+  }
+}
+
+// The dense S(x) memo must actually be hit: a flip walk that revisits
+// components re-reads table entries instead of rescanning columns, and the
+// engine's LL stays in lockstep with an engine that never flipped (the memo
+// is per-apply scratch, not cross-call state).
+TEST(SimdKernel, MemoCountersSeeHitsAndMatchAcrossLevels) {
+  LevelGuard guard;
+  Topology topo = make_fat_tree(4);
+  EcmpRouter router(topo);
+  Rng rng(77);
+  GroundTruth truth = make_silent_link_drops(topo, 1, DropRateConfig{1e-4, 4e-3, 1e-2}, rng);
+  TrafficConfig traffic;
+  traffic.num_app_flows = 600;
+  Trace trace = simulate(topo, router, std::move(truth), traffic, ProbeConfig{}, rng);
+  ViewOptions view;
+  view.telemetry = kTelemetryA1 | kTelemetryA2 | kTelemetryP;
+  const InferenceInput input = make_view(topo, router, trace, view);
+  FlockParams params;
+  params.p_g = 1e-4;
+  params.p_b = 6e-3;
+  params.rho = 1e-3;
+
+  simd::set_level(simd::Level::kScalar);
+  LikelihoodEngine engine(input, params, /*maintain_delta=*/true);
+  for (int step = 0; step < 8; ++step) {
+    engine.flip(static_cast<ComponentId>(
+        rng.next_below(static_cast<std::uint64_t>(topo.num_components()))));
+  }
+  EXPECT_GT(engine.memo_lookups(), 0u);
+  EXPECT_GT(engine.memo_hits(), 0u);
+  EXPECT_LT(engine.memo_hits(), engine.memo_lookups());
+}
+
+}  // namespace
+}  // namespace flock
