@@ -6,20 +6,32 @@
 // clear-then-reblame churn (false clears), and settle on a sticky `flapping`
 // verdict that survives the healthy half-periods.
 //
-// The identical pre-generated epoch bursts run twice: evidence carryover off
-// (prior_weight 0 — the memoryless baseline plus passive tracking) and on
-// (prior_weight 1 — recently blamed components re-confirm on less fresh
-// evidence). Epochs are closed manually and awaited one at a time, so both
-// runs — including the prior feedback — are deterministic.
+// The identical pre-generated epoch bursts run four times:
+//   prior 0 / decay 0   memoryless baseline plus passive tracking
+//   prior 1 / decay 0   evidence carryover on (recently blamed components
+//                       re-confirm on less fresh evidence)
+//   prior 1 / decay 4   carryover with age decay (half-life 4 epochs): the
+//                       sticky flap verdict's exported prior shrinks while
+//                       the link is in its healthy half-period instead of
+//                       impersonating a fresh fault forever
+//   restart             the prior-1/decay-0 run split at epoch 11: the
+//                       tracker snapshot taken at the boundary seeds a fresh
+//                       pipeline for the second half, and the combined run
+//                       must match the uninterrupted one epoch for epoch
+// Epochs are closed manually and awaited one at a time, so every run —
+// including the prior feedback — is deterministic.
 //
-// Gates: the flapping link must end in the `flapping` state with at least
-// one false clear on record (not an endless confirm/clear cycle), the
-// prior-on run must blame the faulty epochs at least as often as the
-// prior-off run, and the JSON rows pin detection latency, false clears and
-// records/sec in bench/pipeline_baseline.json (latency and false-clear
-// counts are identity fields there: any drift fails CI, not just slowdowns).
+// Gates: the flapping link must end `flapping` with at least one false clear
+// on record, the prior-on run must blame the faulty epochs at least as often
+// as the prior-off run, age decay must strictly shrink the quiet-period
+// prior export (and only that), and the restart leg must be
+// indistinguishable from its uninterrupted twin. The JSON rows pin latency,
+// false clears and records/sec in bench/pipeline_baseline.json (latency and
+// false-clear counts are identity fields there: any drift fails CI, not
+// just slowdowns).
 #include <algorithm>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "bench_common.h"
@@ -34,6 +46,7 @@ namespace {
 
 constexpr int kEpochs = 22;
 constexpr std::uint64_t kFirstFaultyEpoch = 2;
+constexpr int kSplitEpoch = 11;  // restart boundary, mid-flap
 
 // 2-on / 2-off flap from epoch 2 on.
 bool faulty_epoch(int epoch) {
@@ -53,7 +66,7 @@ int main() {
   const Topology topo = make_fat_tree(4);
   const std::int64_t flows_per_epoch = scaled_flows(1500);
 
-  // Pre-generate every epoch's datagram burst once; both runs replay them.
+  // Pre-generate every epoch's datagram burst once; all runs replay them.
   std::vector<std::vector<IngestDatagram>> bursts;
   std::uint64_t total_records = 0;
   ComponentId true_failure = kInvalidComponent;
@@ -109,17 +122,11 @@ int main() {
     int faulty_hits = 0;    // faulty epochs whose diagnosis named the truth class
     int faulty_total = 0;
     int healthy_alarms = 0; // healthy epochs that blamed the truth class anyway
+    double flagged_prior = 0.0;  // tracker's final prior export for the flagged comp
+    std::vector<std::vector<ComponentId>> per_epoch;  // merged diagnosis per epoch
   };
-  Outcome outcomes[2];
 
-  Table table({"prior", "seconds", "records/s", "latency", "false clears", "verdict",
-               "faulty hits", "healthy alarms"});
-  BenchJson json("pipeline_flap");
-
-  for (const double prior_weight : {0.0, 1.0}) {
-    EcmpRouter router(topo);
-    router.build_all_tor_pairs();
-
+  const auto make_config = [](double prior_weight, double decay_half_life) {
     PipelineConfig config;
     config.num_shards = 2;
     config.localizer_threads = 1;  // serialized epochs: deterministic feedback
@@ -133,10 +140,11 @@ int main() {
     config.temporal.clear_epochs = 2;
     config.temporal.flap_transitions = 3;
     config.temporal.prior_weight = prior_weight;
-    StreamingPipeline pipeline(topo, router, config);
-
-    Stopwatch watch;
-    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    config.temporal.age_half_life_epochs = decay_half_life;
+    return config;
+  };
+  const auto feed = [&](StreamingPipeline& pipeline, int first, int last) {
+    for (int epoch = first; epoch < last; ++epoch) {
       for (const IngestDatagram& d : bursts[static_cast<std::size_t>(epoch)]) {
         pipeline.offer_wait(d);
       }
@@ -144,25 +152,66 @@ int main() {
       // Reporting intervals dwarf processing time in the deployed loop; the
       // wait also makes the carryover prior a deterministic function of the
       // already-merged epochs.
-      pipeline.results().wait_for_epochs(static_cast<std::size_t>(epoch) + 1);
+      pipeline.results().wait_for_epochs(static_cast<std::size_t>(epoch - first) + 1);
     }
     pipeline.stop();
+  };
 
-    Outcome& out = outcomes[prior_weight > 0 ? 1 : 0];
-    out.seconds = watch.seconds();
-
-    // The fault is only identifiable up to its ECMP class; find the member
-    // the tracker actually flagged.
-    const auto classes = ecmp_equivalence_classes(router);
-    std::vector<ComponentId> truth_class{true_failure};
-    for (const auto& cls : classes) {
-      if (std::find(cls.begin(), cls.end(), true_failure) != cls.end()) truth_class = cls;
-    }
+  // Runs one leg; when `restart`, the run is split at kSplitEpoch and the
+  // second half continues in a fresh pipeline seeded by the first's tracker
+  // snapshot (new router, scheduler counting epochs from 0 again).
+  const auto run_leg = [&](double prior_weight, double decay, bool restart) {
+    Outcome out;
+    Stopwatch watch;
+    std::stringstream snapshot;
+    std::vector<EpochResult> epochs;
     ComponentVerdict flagged;
-    for (const ComponentId c : truth_class) {
-      const ComponentVerdict v = pipeline.tracker().verdict(c);
-      if (v.confirmations > 0 || v.state != ComponentHealth::kHealthy) flagged = v;
+    std::vector<double> final_prior;
+    std::vector<ComponentId> truth_class{true_failure};
+
+    const auto finish = [&](StreamingPipeline& pipeline, EcmpRouter& router,
+                            std::uint64_t epoch_offset) {
+      for (EpochResult e : pipeline.results().completed()) {
+        e.epoch += epoch_offset;
+        epochs.push_back(std::move(e));
+      }
+      // The fault is only identifiable up to its ECMP class; find the member
+      // the tracker actually flagged.
+      const auto classes = ecmp_equivalence_classes(router);
+      for (const auto& cls : classes) {
+        if (std::find(cls.begin(), cls.end(), true_failure) != cls.end()) truth_class = cls;
+      }
+      for (const ComponentId c : truth_class) {
+        const ComponentVerdict v = pipeline.tracker().verdict(c);
+        if (v.confirmations > 0 || v.state != ComponentHealth::kHealthy) flagged = v;
+      }
+      final_prior = pipeline.tracker().prior_logodds(
+          static_cast<std::size_t>(topo.num_components()));
+    };
+
+    if (!restart) {
+      EcmpRouter router(topo);
+      router.build_all_tor_pairs();
+      StreamingPipeline pipeline(topo, router, make_config(prior_weight, decay));
+      feed(pipeline, 0, kEpochs);
+      finish(pipeline, router, 0);
+    } else {
+      {
+        EcmpRouter router(topo);
+        router.build_all_tor_pairs();
+        StreamingPipeline first_half(topo, router, make_config(prior_weight, decay));
+        feed(first_half, 0, kSplitEpoch);
+        first_half.save_tracker(snapshot);
+        for (const EpochResult& e : first_half.results().completed()) epochs.push_back(e);
+      }
+      EcmpRouter router(topo);
+      router.build_all_tor_pairs();
+      StreamingPipeline second_half(topo, router, make_config(prior_weight, decay));
+      second_half.load_tracker(snapshot);
+      feed(second_half, kSplitEpoch, kEpochs);
+      finish(second_half, router, kSplitEpoch);
     }
+    out.seconds = watch.seconds();
     out.flapping = flagged.state == ComponentHealth::kFlapping;
     out.false_clears = flagged.false_clears;
     // First fault -> first confirmation (confirmed_epoch tracks the most
@@ -171,8 +220,17 @@ int main() {
                                 ? (flagged.first_blamed_epoch - kFirstFaultyEpoch) +
                                       flagged.epochs_to_confirm
                                 : kEpochs;
+    out.flagged_prior =
+        flagged.component >= 0 &&
+                static_cast<std::size_t>(flagged.component) < final_prior.size()
+            ? final_prior[static_cast<std::size_t>(flagged.component)]
+            : 0.0;
 
-    for (const auto& epoch : pipeline.results().completed()) {
+    std::sort(epochs.begin(), epochs.end(),
+              [](const EpochResult& a, const EpochResult& b) { return a.epoch < b.epoch; });
+    out.per_epoch.resize(static_cast<std::size_t>(kEpochs));
+    for (const auto& epoch : epochs) {
+      out.per_epoch[static_cast<std::size_t>(epoch.epoch)] = epoch.predicted;
       const bool hit = std::any_of(
           epoch.predicted.begin(), epoch.predicted.end(), [&](ComponentId c) {
             return std::find(truth_class.begin(), truth_class.end(), c) != truth_class.end();
@@ -184,20 +242,48 @@ int main() {
         out.healthy_alarms += hit ? 1 : 0;
       }
     }
+    return std::pair<Outcome, ComponentVerdict>(std::move(out), flagged);
+  };
 
-    table.add_row({prior_weight > 0 ? "on" : "off", Table::num(out.seconds, 3),
+  struct Leg {
+    const char* name;
+    double prior;
+    double decay;
+    bool restart;
+  };
+  const Leg legs[] = {
+      {"off", 0.0, 0.0, false},
+      {"on", 1.0, 0.0, false},
+      {"on+decay", 1.0, 4.0, false},
+      {"on+restart", 1.0, 0.0, true},
+  };
+
+  Table table({"leg", "seconds", "records/s", "latency", "false clears", "verdict",
+               "faulty hits", "healthy alarms", "final prior"});
+  BenchJson json("pipeline_flap");
+  Outcome outcomes[4];
+  ComponentVerdict verdicts[4];
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Leg& leg = legs[i];
+    auto [out, flagged] = run_leg(leg.prior, leg.decay, leg.restart);
+    table.add_row({leg.name, Table::num(out.seconds, 3),
                    Table::num(static_cast<double>(total_records) / out.seconds, 0),
                    Table::integer(static_cast<long long>(out.detection_latency)),
                    Table::integer(static_cast<long long>(out.false_clears)),
                    to_string(flagged.state),
                    Table::integer(out.faulty_hits) + "/" + Table::integer(out.faulty_total),
-                   Table::integer(out.healthy_alarms)});
-    json.add_row({{"prior", prior_weight > 0 ? 1.0 : 0.0},
+                   Table::integer(out.healthy_alarms), Table::num(out.flagged_prior, 3)});
+    json.add_row({{"prior", leg.prior},
+                  {"decay", leg.decay},
+                  {"restart", leg.restart ? 1.0 : 0.0},
                   {"detection_latency_epochs", static_cast<double>(out.detection_latency)},
                   {"false_clears", static_cast<double>(out.false_clears)},
                   {"flapping", out.flapping ? 1.0 : 0.0},
                   {"seconds", out.seconds},
                   {"records_per_sec", static_cast<double>(total_records) / out.seconds}});
+    outcomes[i] = std::move(out);
+    verdicts[i] = flagged;
   }
   table.print(std::cout);
   json.write();
@@ -206,6 +292,8 @@ int main() {
   // latency / false-clear / flapping values and a records/sec floor).
   const Outcome& off = outcomes[0];
   const Outcome& on = outcomes[1];
+  const Outcome& decayed = outcomes[2];
+  const Outcome& restarted = outcomes[3];
   bool ok = true;
   if (!on.flapping) {
     std::cerr << "FAIL: with the carryover prior on, the flapping link must end in the "
@@ -232,10 +320,42 @@ int main() {
               << on.healthy_alarms << " > " << off.healthy_alarms << ")\n";
     ok = false;
   }
+  // Age decay: the run ends inside a healthy half-period (epochs 20/21), so
+  // the flagged class is 2 quiet epochs old — the decayed export must be
+  // strictly below the undecayed one, yet still positive (the verdict has
+  // not been forgotten, only aged).
+  if (!(decayed.flagged_prior > 0.0 && decayed.flagged_prior < on.flagged_prior)) {
+    std::cerr << "FAIL: age decay must strictly shrink (not zero) the quiet-period prior "
+                 "export: decayed "
+              << decayed.flagged_prior << " vs undecayed " << on.flagged_prior << "\n";
+    ok = false;
+  }
+  if (!decayed.flapping) {
+    std::cerr << "FAIL: age decay touches the prior export only; the flap verdict itself "
+                 "must be unchanged\n";
+    ok = false;
+  }
+  // The restart leg replays the prior-on run split across a snapshot
+  // restore; any divergence means the snapshot lost temporal memory.
+  if (restarted.per_epoch != on.per_epoch) {
+    std::cerr << "FAIL: the snapshot-restarted run diverged from its uninterrupted twin's "
+                 "per-epoch diagnoses\n";
+    ok = false;
+  }
+  if (verdicts[3].state != verdicts[1].state ||
+      restarted.false_clears != on.false_clears ||
+      restarted.detection_latency != on.detection_latency) {
+    std::cerr << "FAIL: the snapshot-restarted run's final verdict/false-clear/latency "
+                 "accounting diverged from its uninterrupted twin\n";
+    ok = false;
+  }
   if (ok) {
     std::cout << "\nflap verdict sticky, " << on.false_clears
               << " false clear(s) recorded, detection latency " << on.detection_latency
-              << " epoch(s) past first fault\n";
+              << " epoch(s) past first fault; decay shrank the quiet-period prior "
+              << Table::num(on.flagged_prior, 3) << " -> "
+              << Table::num(decayed.flagged_prior, 3)
+              << "; snapshot restart matched the uninterrupted run\n";
   }
   return ok ? 0 : 1;
 }

@@ -216,6 +216,10 @@ int main() {
          "agents: per-agent datagrams sum to received");
     gate(net.agents == kSenders, "agents: one accounting entry per sender socket");
     gate(net.quarantined() > 0, "workload: malformed datagrams actually arrived");
+    // Epochs flow to the tracker in merge order; the bounded pending buffer
+    // may reorder but must never overflow under a single in-order scheduler.
+    gate(stats.tracker_dropped_epochs == 0,
+         "tracker: no epochs dropped by the bounded out-of-order buffer");
     if (!ok) return 1;
 
     const bool overloaded = net.admission_drops + stats.dropped > 0;

@@ -1,0 +1,105 @@
+// Flag parsing for examples/streaming_service — split out so the validation
+// rules are unit-testable (tests/service_args_test.cpp) instead of only
+// exercised by eyeballing the demo's stderr.
+//
+// Rules enforced here, not downstream:
+//   --listen and --replay are exclusive (a service is fed by the wire or by
+//     a log, never both);
+//   --paced is meaningless without --replay (the live fleet sets its own
+//     tempo) and is rejected rather than ignored;
+//   --speed requires --paced and must be a finite value > 0 — replay_dgram_log
+//     would throw the same complaint later, but a flag typo should die at the
+//     usage line, not mid-replay;
+//   --listen=PORT must parse as a UDP port (0..65535);
+//   anything unrecognized is an error, never silently skipped.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace flock {
+
+struct ServiceOptions {
+  bool listen = false;
+  std::uint16_t port = 0;  // --listen only; 0 = ephemeral
+  std::string capture;     // empty = no tap
+  std::string replay;      // empty = live fleet
+  bool paced = false;
+  double speed = 1.0;        // --paced only; time-compression factor
+  std::string tracker_save;  // snapshot the temporal tracker here after stop()
+  std::string tracker_load;  // restore the tracker from here before ingest
+};
+
+inline const char* service_usage() {
+  return "[--listen[=PORT]] [--capture=FILE] [--replay=FILE] [--paced] [--speed=X]"
+         " [--tracker-save=FILE] [--tracker-load=FILE]";
+}
+
+// Parses argv[1..argc) into `opts`. Returns true on success; on failure
+// `error` names the offending flag and why.
+inline bool parse_service_args(int argc, const char* const* argv, ServiceOptions& opts,
+                               std::string& error) {
+  bool speed_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--listen") {
+      opts.listen = true;
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      opts.listen = true;
+      const std::string value = arg.substr(9);
+      try {
+        std::size_t used = 0;
+        const int port = std::stoi(value, &used);
+        if (used != value.size() || port < 0 || port > 65535) throw std::invalid_argument("");
+        opts.port = static_cast<std::uint16_t>(port);
+      } catch (const std::exception&) {
+        error = "--listen: '" + value + "' is not a UDP port (0..65535)";
+        return false;
+      }
+    } else if (arg.rfind("--capture=", 0) == 0) {
+      opts.capture = arg.substr(10);
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      opts.replay = arg.substr(9);
+    } else if (arg == "--paced") {
+      opts.paced = true;
+    } else if (arg.rfind("--speed=", 0) == 0) {
+      const std::string value = arg.substr(8);
+      try {
+        std::size_t used = 0;
+        opts.speed = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument("");
+      } catch (const std::exception&) {
+        error = "--speed: '" + value + "' is not a number";
+        return false;
+      }
+      speed_given = true;
+    } else if (arg.rfind("--tracker-save=", 0) == 0) {
+      opts.tracker_save = arg.substr(15);
+    } else if (arg.rfind("--tracker-load=", 0) == 0) {
+      opts.tracker_load = arg.substr(15);
+    } else {
+      error = "unknown flag: " + arg;
+      return false;
+    }
+  }
+  if (opts.listen && !opts.replay.empty()) {
+    error = "--listen and --replay are exclusive";
+    return false;
+  }
+  if (opts.paced && opts.replay.empty()) {
+    error = "--paced requires --replay";
+    return false;
+  }
+  if (speed_given && !opts.paced) {
+    error = "--speed requires --paced";
+    return false;
+  }
+  if (speed_given && (!std::isfinite(opts.speed) || opts.speed <= 0)) {
+    error = "--speed must be finite and > 0";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace flock

@@ -17,8 +17,14 @@
 //                    datagram is logged for later replay
 //   --replay=FILE    skip the fleet entirely and re-offer a captured log
 //                    (routing state is reconstructed deterministically, so
-//                    a same-build replay reproduces the captured run)
+//                    a same-build replay reproduces the captured run; the
+//                    log's router fingerprint is checked against it)
 //   --paced          with --replay: pace offers to the captured gaps
+//   --speed=X        with --paced: compress/stretch the captured gaps by X
+//   --tracker-save=FILE  snapshot the temporal tracker after the run
+//   --tracker-load=FILE  restore a tracker snapshot before ingest, so the
+//                    restarted service resumes blame streaks instead of
+//                    relearning them (pairs with --replay of a split capture)
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -29,6 +35,7 @@
 
 #include "common/rng.h"
 #include "common/simd.h"
+#include "service_args.h"
 #include "flowsim/scenario.h"
 #include "flowsim/simulate.h"
 #include "net/dgram_log.h"
@@ -42,39 +49,10 @@ namespace {
 
 using namespace flock;
 
-struct Options {
-  bool listen = false;
-  std::uint16_t port = 0;  // --listen only; 0 = ephemeral
-  std::string capture;     // empty = no tap
-  std::string replay;      // empty = live fleet
-  bool paced = false;
-};
-
-int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--listen[=PORT]] [--capture=FILE] [--replay=FILE] [--paced]\n";
+int usage(const char* argv0, const std::string& error) {
+  if (!error.empty()) std::cerr << argv0 << ": " << error << "\n";
+  std::cerr << "usage: " << argv0 << " " << service_usage() << "\n";
   return 2;
-}
-
-bool parse_args(int argc, char** argv, Options& opts) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--listen") {
-      opts.listen = true;
-    } else if (arg.rfind("--listen=", 0) == 0) {
-      opts.listen = true;
-      opts.port = static_cast<std::uint16_t>(std::stoi(arg.substr(9)));
-    } else if (arg.rfind("--capture=", 0) == 0) {
-      opts.capture = arg.substr(10);
-    } else if (arg.rfind("--replay=", 0) == 0) {
-      opts.replay = arg.substr(9);
-    } else if (arg == "--paced") {
-      opts.paced = true;
-    } else {
-      return false;
-    }
-  }
-  return !(opts.listen && !opts.replay.empty());  // listen and replay are exclusive
 }
 
 // Block until the server's receive counter stays flat for ~200ms — the
@@ -96,8 +74,9 @@ void wait_for_drain(const UdpIngestServer& server) {
 int main(int argc, char** argv) {
   using namespace flock;
 
-  Options opts;
-  if (!parse_args(argc, argv, opts)) return usage(argv[0]);
+  ServiceOptions opts;
+  std::string parse_error;
+  if (!parse_service_args(argc, argv, opts, parse_error)) return usage(argv[0], parse_error);
 
   const Topology topo = make_fat_tree(4);
   EcmpRouter router(topo);
@@ -127,6 +106,24 @@ int main(int argc, char** argv) {
   config.temporal.clear_epochs = 2;
   config.temporal.prior_weight = 1.0;
   StreamingPipeline pipeline(topo, router, config);
+
+  if (!opts.tracker_load.empty()) {
+    // Restore BEFORE any datagram is offered: the snapshot rebases the
+    // restarted scheduler's epoch 0 onto the saved stream's next epoch, and
+    // load refuses once observations have started.
+    std::ifstream is(opts.tracker_load, std::ios::binary);
+    if (!is.good()) {
+      std::cerr << "cannot open tracker snapshot " << opts.tracker_load << "\n";
+      return 1;
+    }
+    try {
+      pipeline.load_tracker(is);
+    } catch (const std::exception& e) {
+      std::cerr << "tracker restore failed: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "restored tracker snapshot from " << opts.tracker_load << "\n";
+  }
 
   // The offer edge, optionally behind a capture tap: whatever feeds the
   // pipeline (in-process fleet, UDP server, or a replayed log) goes through
@@ -162,6 +159,12 @@ int main(int argc, char** argv) {
     }
     ReplayOptions replay_options;
     replay_options.paced = opts.paced;
+    replay_options.speed = opts.speed;
+    // The warm-up above interned the same path sets in the same order as the
+    // capturing run, so the fingerprints must agree — a v2 log captured
+    // against different routing state fails here instead of producing
+    // silently wrong joins.
+    replay_options.expect_fingerprint = router_fingerprint(router);
     try {
       const ReplayStats rs = replay_dgram_log(opts.replay, offer, replay_options);
       std::cout << "replayed " << rs.datagrams << " datagrams from " << opts.replay
@@ -241,6 +244,26 @@ int main(int argc, char** argv) {
   }
   if (server) server->stop();
   pipeline.stop();
+  if (tap) {
+    // The router was cold when the tap opened the log; now that the run
+    // interned every path set, patch its identity into the header so a
+    // future replay can refuse mismatched routing state.
+    tap->set_router_fingerprint(router_fingerprint(router));
+  }
+  if (!opts.tracker_save.empty()) {
+    std::ofstream os(opts.tracker_save, std::ios::binary | std::ios::trunc);
+    if (!os.good()) {
+      std::cerr << "cannot open tracker snapshot " << opts.tracker_save << "\n";
+      return 1;
+    }
+    try {
+      pipeline.save_tracker(os);
+    } catch (const std::exception& e) {
+      std::cerr << "tracker snapshot failed: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "saved tracker snapshot to " << opts.tracker_save << "\n";
+  }
 
   // The true failure is only identifiable up to its ECMP equivalence class.
   const auto classes = ecmp_equivalence_classes(router);

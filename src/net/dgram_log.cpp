@@ -1,5 +1,6 @@
 #include "net/dgram_log.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -8,11 +9,17 @@
 #include <thread>
 #include <utility>
 
+#include "topology/ecmp.h"
+
 namespace flock {
 namespace {
 
 constexpr char kMagic[4] = {'F', 'L', 'K', 'D'};
-constexpr std::uint32_t kVersion = 1;
+// v1: no fingerprint fields. v2: u32 path_set_count + u64 hash follow the
+// version word. Old logs stay readable; new logs carry the routing identity.
+constexpr std::uint32_t kVersion = 2;
+// Byte offset of the fingerprint fields inside a v2 header (magic + version).
+constexpr std::streamoff kFingerprintOffset = 8;
 // Sanity bound on a single record: real datagrams are <= 64 KiB (UDP), so a
 // larger length field means the log is corrupt — reject instead of
 // allocating whatever a flipped bit asks for.
@@ -41,11 +48,64 @@ std::uint32_t get_u32(std::istream& is) {
   return v;
 }
 
+std::uint64_t get_u64(std::istream& is) {
+  std::uint64_t v;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("dgram_log: truncated input");
+  return v;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
-DgramLogWriter::DgramLogWriter(std::ostream& os) : os_(&os) {
+RouterFingerprint router_fingerprint(const EcmpRouter& router) {
+  RouterFingerprint fp;
+  fp.path_sets = static_cast<std::uint32_t>(router.num_path_sets());
+  // Order-sensitive by design: records carry interned path-set ids, so a
+  // replay-side router warmed in a different order is a different router
+  // even when the set of pairs is identical.
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (PathSetId ps = 0; ps < router.num_path_sets(); ++ps) {
+    const PathSet& set = router.path_set(ps);
+    h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(set.src_sw)));
+    h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(set.dst_sw)));
+    h = fnv1a(h, set.paths.size());
+    for (const PathId pid : set.paths) {
+      const Path& path = router.path(pid);
+      h = fnv1a(h, path.comps.size());
+      for (const ComponentId c : path.comps) {
+        h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(c)));
+      }
+    }
+  }
+  fp.hash = fp.path_sets == 0 ? 0 : h;
+  if (fp.path_sets != 0 && fp.hash == 0) fp.hash = 1;  // keep non-trivial state non-empty
+  return fp;
+}
+
+DgramLogWriter::DgramLogWriter(std::ostream& os, const RouterFingerprint& fingerprint)
+    : os_(&os) {
   os_->write(kMagic, sizeof kMagic);
   put_u32(*os_, kVersion);
+  put_u32(*os_, fingerprint.path_sets);
+  put_u64(*os_, fingerprint.hash);
+}
+
+void DgramLogWriter::set_fingerprint(const RouterFingerprint& fingerprint) {
+  const std::streamoff end = os_->tellp();
+  if (end < 0) throw std::runtime_error("dgram_log: stream is not seekable");
+  os_->seekp(kFingerprintOffset);
+  put_u32(*os_, fingerprint.path_sets);
+  put_u64(*os_, fingerprint.hash);
+  os_->seekp(end);
+  if (!*os_) throw std::runtime_error("dgram_log: fingerprint patch failed");
 }
 
 void DgramLogWriter::append(const LoggedDatagram& datagram) {
@@ -64,9 +124,13 @@ DgramLogReader::DgramLogReader(std::istream& is) : is_(&is) {
   if (!*is_ || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
     throw std::runtime_error("dgram_log: bad magic (not a datagram log)");
   }
-  const std::uint32_t version = get_u32(*is_);
-  if (version != kVersion) {
-    throw std::runtime_error("dgram_log: unsupported version " + std::to_string(version));
+  version_ = get_u32(*is_);
+  if (version_ != 1 && version_ != kVersion) {
+    throw std::runtime_error("dgram_log: unsupported version " + std::to_string(version_));
+  }
+  if (version_ >= 2) {
+    fingerprint_.path_sets = get_u32(*is_);
+    fingerprint_.hash = get_u64(*is_);
   }
 }
 
@@ -115,6 +179,11 @@ DgramOfferFn CaptureTap::as_offer_fn() {
   return [this](IngestDatagram datagram) { return offer(std::move(datagram)); };
 }
 
+void CaptureTap::set_router_fingerprint(const RouterFingerprint& fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer_.set_fingerprint(fingerprint);
+}
+
 std::uint64_t CaptureTap::captured() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return writer_.written();
@@ -122,10 +191,24 @@ std::uint64_t CaptureTap::captured() const {
 
 ReplayStats replay_dgram_log(std::istream& is, const DgramOfferFn& offer,
                              const ReplayOptions& options) {
+  if (options.paced && (!std::isfinite(options.speed) || options.speed <= 0)) {
+    throw std::invalid_argument("dgram_log: paced replay speed must be finite and > 0");
+  }
   DgramLogReader reader(is);
+  if (!options.expect_fingerprint.empty() && !reader.fingerprint().empty() &&
+      !(reader.fingerprint() == options.expect_fingerprint)) {
+    throw std::runtime_error(
+        "dgram_log: router fingerprint mismatch — log captured against " +
+        std::to_string(reader.fingerprint().path_sets) + " path sets (hash " +
+        std::to_string(reader.fingerprint().hash) + "), replaying against " +
+        std::to_string(options.expect_fingerprint.path_sets) + " (hash " +
+        std::to_string(options.expect_fingerprint.hash) +
+        "); records carry interned path-set ids and need equivalently-constructed "
+        "routing state");
+  }
   ReplayStats stats;
   const auto start = std::chrono::steady_clock::now();
-  const double speed = options.speed > 0 ? options.speed : 1.0;
+  const double speed = options.speed;
   LoggedDatagram logged;
   while (reader.next(logged)) {
     if (options.paced) {

@@ -10,49 +10,58 @@ StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
     : config_(config),
       router_(&router),
       localizer_(config.localizer),
-      tracker_(std::make_unique<TemporalTracker>(config.temporal)),
-      sink_(std::make_unique<ResultSink>(
-          config.num_shards, config.merge_equivalence_classes ? &router : nullptr,
-          [this](const EpochResult& epoch) { tracker_->observe(epoch); })),
-      pool_(std::make_unique<LocalizerPool>(
-          // Evidence carryover: with a positive prior weight, each inference
-          // run samples the tracker's current per-component prior (with one
-          // localizer thread and age-priority dispatch, that is exactly the
-          // state after every older epoch merged). Weight 0 bypasses the
-          // tracker entirely — byte-identical to a tracker-less pipeline.
-          LocalizerPool::LocalizeFn([this](const InferenceInput& input) {
-            if (config_.temporal.prior_weight > 0.0) {
-              return localizer_.localize(
-                  input, tracker_->prior_logodds(
-                             static_cast<std::size_t>(input.topology().num_components())));
-            }
-            return localizer_.localize(input);
-          }),
-          config.localizer_threads,
-          [this](EpochSnapshot snap, LocalizationResult result) {
-            memo_hits_.fetch_add(result.memo_hits, std::memory_order_relaxed);
-            sink_->add(snap, result);
-            // The sink copies what it keeps; the snapshot's table goes back
-            // to its origin shard's epoch arena.
-            shards_->recycle(std::move(snap));
-          })),
-      shards_(std::make_unique<ShardExecutor>(
-          topo, router,
-          ShardExecutorOptions{config.num_shards, config.shard_queue_capacity,
-                               config.steal_batch},
-          config.collector,
-          [this](EpochSnapshot snap) {
-            // Empty shards skip inference; the sink still needs their vote
-            // so the epoch completes.
-            if (snap.input.num_flows() == 0) {
-              sink_->add(snap, LocalizationResult{});
-              shards_->recycle(std::move(snap));
-            } else {
-              pool_->submit(std::move(snap));
-            }
-          })),
-      queue_(config.ingest_capacity),
-      scheduler_(std::make_unique<EpochScheduler>(queue_, *shards_, config.epoch)) {}
+      queue_(config.ingest_capacity) {
+  // The ECMP class partition is computed once and shared: the sink collapses
+  // each merged hypothesis to one representative per class, and the tracker
+  // keys its cross-epoch state by the class's canonical member — so blame
+  // history cannot fragment when the sink's representative changes between
+  // epochs.
+  std::vector<std::vector<ComponentId>> classes;
+  if (config.merge_equivalence_classes) classes = ecmp_equivalence_classes(router);
+  tracker_ = std::make_unique<TemporalTracker>(config.temporal);
+  if (config.merge_equivalence_classes) tracker_->set_equivalence_classes(classes);
+  sink_ = std::make_unique<ResultSink>(
+      config.num_shards, classes,
+      ResultSink::EpochFn([this](const EpochResult& epoch) { tracker_->observe(epoch); }));
+  pool_ = std::make_unique<LocalizerPool>(
+      // Evidence carryover: with a positive prior weight, each inference
+      // run samples the tracker's current per-component prior (with one
+      // localizer thread and age-priority dispatch, that is exactly the
+      // state after every older epoch merged). Weight 0 bypasses the
+      // tracker entirely — byte-identical to a tracker-less pipeline.
+      LocalizerPool::LocalizeFn([this](const InferenceInput& input) {
+        if (config_.temporal.prior_weight > 0.0) {
+          return localizer_.localize(
+              input, tracker_->prior_logodds(
+                         static_cast<std::size_t>(input.topology().num_components())));
+        }
+        return localizer_.localize(input);
+      }),
+      config.localizer_threads,
+      [this](EpochSnapshot snap, LocalizationResult result) {
+        memo_hits_.fetch_add(result.memo_hits, std::memory_order_relaxed);
+        sink_->add(snap, result);
+        // The sink copies what it keeps; the snapshot's table goes back
+        // to its origin shard's epoch arena.
+        shards_->recycle(std::move(snap));
+      });
+  shards_ = std::make_unique<ShardExecutor>(
+      topo, router,
+      ShardExecutorOptions{config.num_shards, config.shard_queue_capacity,
+                           config.steal_batch},
+      config.collector,
+      [this](EpochSnapshot snap) {
+        // Empty shards skip inference; the sink still needs their vote
+        // so the epoch completes.
+        if (snap.input.num_flows() == 0) {
+          sink_->add(snap, LocalizationResult{});
+          shards_->recycle(std::move(snap));
+        } else {
+          pool_->submit(std::move(snap));
+        }
+      });
+  scheduler_ = std::make_unique<EpochScheduler>(queue_, *shards_, config.epoch);
+}
 
 StreamingPipeline::~StreamingPipeline() {
   stop();
@@ -149,7 +158,12 @@ PipelineStats StreamingPipeline::stats() const {
   s.tracker_flaps = t.flaps_detected;
   s.tracker_clears = t.clears;
   s.tracker_false_clears = t.false_clears;
+  s.tracker_dropped_epochs = t.dropped_epochs;
   return s;
 }
+
+void StreamingPipeline::save_tracker(std::ostream& os) const { tracker_->save(os); }
+
+void StreamingPipeline::load_tracker(std::istream& is) { tracker_->load(is); }
 
 }  // namespace flock

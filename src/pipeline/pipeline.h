@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 
 #include "core/flock_localizer.h"
@@ -102,11 +103,14 @@ struct PipelineStats {
   // across every inference run (see core/likelihood_engine.h).
   std::uint64_t memo_hits = 0;
   // Temporal layer (see pipeline/temporal_tracker.h): component state
-  // machine transitions across all merged epochs so far.
+  // machine transitions across all merged epochs so far, plus epochs the
+  // tracker had to skip because its bounded out-of-order buffer overflowed
+  // (0 in a healthy pipeline — the sink merges every epoch).
   std::uint64_t tracker_confirmations = 0;
   std::uint64_t tracker_flaps = 0;
   std::uint64_t tracker_clears = 0;
   std::uint64_t tracker_false_clears = 0;
+  std::uint64_t tracker_dropped_epochs = 0;
   // Network front-end (see net/ingest_server.h): zero unless a
   // UdpIngestServer feeds this pipeline and its stats were folded in via
   // UdpIngestServer::fold_into. Wire-level conservation:
@@ -157,6 +161,17 @@ class StreamingPipeline {
   // Cross-epoch component verdicts (flap/confirm/clear state machines fed by
   // every merged epoch). Thread-safe to query while the pipeline runs.
   const TemporalTracker& tracker() const { return *tracker_; }
+
+  // Tracker snapshot persistence (see pipeline/temporal_tracker.h): a saved
+  // snapshot plus a captured datagram log replays a full incident including
+  // its cross-epoch memory. save_tracker is safe any time (it snapshots
+  // under the tracker's lock); load_tracker must run before any datagram is
+  // offered — it throws std::runtime_error on a corrupt or
+  // config-incompatible snapshot and std::logic_error once epochs have been
+  // observed. Subsequent epochs continue the snapshot's absolute timeline.
+  void save_tracker(std::ostream& os) const;
+  void load_tracker(std::istream& is);
+
   PipelineStats stats() const;
 
  private:

@@ -17,6 +17,14 @@ ResultSink::ResultSink(std::int32_t num_shards, EcmpRouter* router, EpochFn on_e
   }
 }
 
+ResultSink::ResultSink(std::int32_t num_shards,
+                       const std::vector<std::vector<ComponentId>>& classes, EpochFn on_epoch)
+    : num_shards_(num_shards), on_epoch_(std::move(on_epoch)) {
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    for (ComponentId c : classes[i]) class_of_[c] = static_cast<std::int32_t>(i);
+  }
+}
+
 void ResultSink::add(const EpochSnapshot& snapshot, const LocalizationResult& result) {
   std::unique_lock<std::mutex> lock(mutex_);
   auto [it, inserted] = pending_.try_emplace(snapshot.epoch);

@@ -55,6 +55,12 @@ class ResultSink {
   // used to dedup the merged hypothesis.
   ResultSink(std::int32_t num_shards, EcmpRouter* router, EpochFn on_epoch = {});
 
+  // As above with a precomputed class partition (empty = dedup off). Lets
+  // the pipeline compute ecmp_equivalence_classes once and share it with the
+  // TemporalTracker's class-keyed accounting.
+  ResultSink(std::int32_t num_shards, const std::vector<std::vector<ComponentId>>& classes,
+             EpochFn on_epoch = {});
+
   // Called from localizer-pool (or shard) threads.
   void add(const EpochSnapshot& snapshot, const LocalizationResult& result);
 

@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
 
 namespace flock {
 
@@ -9,6 +16,37 @@ namespace {
 
 std::uint64_t low_bits(std::uint32_t n) {
   return n >= 64 ? ~0ull : (1ull << n) - 1;
+}
+
+// --- snapshot wire helpers (little-endian, like net/dgram_log) ---------------
+
+constexpr char kSnapshotMagic[4] = {'F', 'L', 'K', 'T'};
+constexpr std::uint32_t kSnapshotVersion = 1;
+// Sanity bounds: a flipped bit in a count field must be a loud error, not an
+// allocation request.
+constexpr std::uint32_t kMaxSnapshotRows = 1u << 24;
+
+template <typename T>
+void put(std::ostream& os, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("tracker snapshot: truncated input");
+  return v;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 }  // namespace
@@ -29,19 +67,67 @@ TemporalTracker::TemporalTracker(TemporalTrackerConfig config) : config_(config)
   config_.confirm_epochs = std::max(config_.confirm_epochs, 1);
   config_.clear_epochs = std::max(config_.clear_epochs, 1);
   config_.flap_transitions = std::max(config_.flap_transitions, 2);
+  config_.max_pending_epochs = std::max<std::size_t>(config_.max_pending_epochs, 1);
+}
+
+void TemporalTracker::set_equivalence_classes(
+    const std::vector<std::vector<ComponentId>>& classes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.epochs_observed > 0 || !tracked_.empty()) {
+    throw std::logic_error(
+        "TemporalTracker: equivalence classes must be set before any epoch is "
+        "observed or restored");
+  }
+  class_of_.clear();
+  class_members_.clear();
+  class_hash_ = 0;
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const auto& cls : classes) {
+    if (cls.size() < 2) continue;  // identity mapping; keying by own id is exact
+    std::vector<ComponentId> members = cls;
+    std::sort(members.begin(), members.end());
+    const ComponentId canon = members.front();
+    for (const ComponentId c : members) {
+      class_of_[c] = canon;
+      h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(c)));
+    }
+    h = fnv1a(h, static_cast<std::uint64_t>(members.size()));
+    class_members_.emplace(canon, std::move(members));
+  }
+  if (!class_members_.empty()) class_hash_ = h;
+}
+
+ComponentId TemporalTracker::canonical(ComponentId c) const {
+  const auto it = class_of_.find(c);
+  return it == class_of_.end() ? c : it->second;
 }
 
 void TemporalTracker::observe(const EpochResult& epoch) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (epoch.epoch < next_epoch_) return;  // duplicate or stale: already applied
-  if (epoch.epoch != next_epoch_) {
+  // Rebase onto a restored snapshot's timeline: a restarted scheduler counts
+  // epochs from 0 again, but the incident's history did not reset.
+  const std::uint64_t id = epoch.epoch + epoch_base_;
+  if (id < next_epoch_) return;  // duplicate or stale: already applied
+  if (id != next_epoch_) {
     // A newer epoch merged before its predecessors (age-priority dispatch
     // makes this rare but not impossible): hold it until the gap fills.
     ++stats_.out_of_order_epochs;
-    pending_.emplace(epoch.epoch, epoch.predicted);
+    pending_.emplace(id, epoch.predicted);
+    if (pending_.size() > config_.max_pending_epochs) {
+      // The buffer is the bound, not the gap: declare the missing epochs
+      // lost, skip to the earliest buffered one, and keep the books honest.
+      const std::uint64_t resume = pending_.begin()->first;
+      stats_.dropped_epochs += resume - next_epoch_;
+      next_epoch_ = resume;
+      drain_pending();
+    }
     return;
   }
   apply(next_epoch_++, epoch.predicted);
+  drain_pending();
+}
+
+void TemporalTracker::drain_pending() {
   while (!pending_.empty() && pending_.begin()->first == next_epoch_) {
     apply(next_epoch_++, pending_.begin()->second);
     pending_.erase(pending_.begin());
@@ -49,8 +135,14 @@ void TemporalTracker::observe(const EpochResult& epoch) {
 }
 
 void TemporalTracker::apply(std::uint64_t epoch, const std::vector<ComponentId>& blamed) {
-  std::vector<ComponentId> sorted = blamed;  // sink output is sorted; don't rely on it
+  // Canonicalize through the class map (identity when unset), then sort and
+  // dedup: two members of one ambiguity class blamed in the same epoch are
+  // one blame for the class, not two.
+  std::vector<ComponentId> sorted;
+  sorted.reserve(blamed.size());
+  for (const ComponentId c : blamed) sorted.push_back(canonical(c));
   std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
   for (ComponentId c : sorted) tracked_.try_emplace(c);
   for (auto it = tracked_.begin(); it != tracked_.end();) {
     Tracked& t = it->second;
@@ -160,10 +252,20 @@ double TemporalTracker::duty_cycle(const Tracked& t) const {
          static_cast<double>(config_.window);
 }
 
+double TemporalTracker::age_factor(const Tracked& t) const {
+  if (config_.age_half_life_epochs <= 0.0 || next_epoch_ == 0) return 1.0;
+  const std::uint64_t now = next_epoch_ - 1;  // most recently applied epoch
+  if (t.last_blamed_epoch >= now) return 1.0;
+  const double age = static_cast<double>(now - t.last_blamed_epoch);
+  return std::exp2(-age / config_.age_half_life_epochs);
+}
+
 ComponentVerdict TemporalTracker::make_verdict(ComponentId c, const Tracked& t) const {
   ComponentVerdict v;
   v.component = c;
   v.state = t.state;
+  const auto cls = class_members_.find(c);
+  v.class_size = cls == class_members_.end() ? 1 : static_cast<std::int32_t>(cls->second.size());
   v.blame_streak = t.blame_streak;
   v.quiet_streak = t.quiet_streak;
   v.transitions_in_window = transitions(t);
@@ -191,21 +293,28 @@ std::vector<ComponentVerdict> TemporalTracker::verdicts() const {
 
 ComponentVerdict TemporalTracker::verdict(ComponentId component) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = tracked_.find(component);
+  const ComponentId canon = canonical(component);
+  const auto it = tracked_.find(canon);
   if (it == tracked_.end()) {
     ComponentVerdict v;
-    v.component = component;
+    v.component = canon;
+    const auto cls = class_members_.find(canon);
+    if (cls != class_members_.end()) v.class_size = static_cast<std::int32_t>(cls->second.size());
     return v;
   }
-  return make_verdict(component, it->second);
+  return make_verdict(canon, it->second);
 }
 
 std::vector<double> TemporalTracker::prior_logodds(std::size_t num_components) const {
   std::vector<double> out(num_components, 0.0);
   std::lock_guard<std::mutex> lock(mutex_);
   if (config_.prior_weight <= 0.0) return out;
+  const auto assign = [&](ComponentId c, double value) {
+    if (static_cast<std::size_t>(c) < num_components) {
+      out[static_cast<std::size_t>(c)] = value;
+    }
+  };
   for (const auto& [c, t] : tracked_) {
-    if (static_cast<std::size_t>(c) >= num_components) continue;
     double raw = 0.0;
     switch (t.state) {
       case ComponentHealth::kConfirmed:
@@ -220,9 +329,197 @@ std::vector<double> TemporalTracker::prior_logodds(std::size_t num_components) c
       case ComponentHealth::kHealthy:
         break;
     }
-    out[static_cast<std::size_t>(c)] = config_.prior_weight * raw;
+    // Age decay: a component last blamed `age` epochs ago — confirmed,
+    // flapping, or otherwise — must not carry as much prior as one blamed in
+    // the most recent epoch. 2^(-age/half_life); half-life 0 = off.
+    raw *= age_factor(t);
+    const double value = config_.prior_weight * raw;
+    // The state is per class; the export is per component, so every member
+    // of a tracked class carries it — the sink's representative choice can
+    // then never strand the carryover on the wrong member.
+    const auto cls = class_members_.find(c);
+    if (cls == class_members_.end()) {
+      assign(c, value);
+    } else {
+      for (const ComponentId member : cls->second) assign(member, value);
+    }
   }
   return out;
+}
+
+// --- snapshot persistence ----------------------------------------------------
+//
+// Layout (all little-endian):
+//   magic "FLKT", u32 version
+//   config echo: u64 window, i32 confirm, i32 clear, i32 flap_transitions,
+//     f64 prior_weight, f64 prior_saturation, f64 age_half_life_epochs
+//   class partition: u32 num_classes, u64 class_hash
+//   u64 next_epoch
+//   stats: u64 x {epochs_observed, out_of_order, dropped, confirmations,
+//                 flaps, clears, false_clears}
+//   u32 num_tracked rows, each:
+//     i32 component, u64 history, u32 epochs_seen, u8 state, i32 blame_streak,
+//     i32 quiet_streak, u8 latency_recorded, u64 first_blamed, u64 last_blamed,
+//     u64 confirmed_epoch, u64 epochs_to_confirm, u64 confirmations,
+//     u64 clears, u64 false_clears
+//   u32 num_pending, each: u64 epoch, u32 count, i32 ids...
+//   (no trailer: the counts delimit the snapshot; EOF mid-record is an error)
+
+void TemporalTracker::save(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os.write(kSnapshotMagic, sizeof kSnapshotMagic);
+  put<std::uint32_t>(os, kSnapshotVersion);
+  put<std::uint64_t>(os, config_.window);
+  put<std::int32_t>(os, config_.confirm_epochs);
+  put<std::int32_t>(os, config_.clear_epochs);
+  put<std::int32_t>(os, config_.flap_transitions);
+  put<double>(os, config_.prior_weight);
+  put<double>(os, config_.prior_saturation);
+  put<double>(os, config_.age_half_life_epochs);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(class_members_.size()));
+  put<std::uint64_t>(os, class_hash_);
+  put<std::uint64_t>(os, next_epoch_);
+  put<std::uint64_t>(os, stats_.epochs_observed);
+  put<std::uint64_t>(os, stats_.out_of_order_epochs);
+  put<std::uint64_t>(os, stats_.dropped_epochs);
+  put<std::uint64_t>(os, stats_.confirmations);
+  put<std::uint64_t>(os, stats_.flaps_detected);
+  put<std::uint64_t>(os, stats_.clears);
+  put<std::uint64_t>(os, stats_.false_clears);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(tracked_.size()));
+  for (const auto& [c, t] : tracked_) {
+    put<std::int32_t>(os, c);
+    put<std::uint64_t>(os, t.history);
+    put<std::uint32_t>(os, t.epochs_seen);
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(t.state));
+    put<std::int32_t>(os, t.blame_streak);
+    put<std::int32_t>(os, t.quiet_streak);
+    put<std::uint8_t>(os, t.latency_recorded ? 1 : 0);
+    put<std::uint64_t>(os, t.first_blamed_epoch);
+    put<std::uint64_t>(os, t.last_blamed_epoch);
+    put<std::uint64_t>(os, t.confirmed_epoch);
+    put<std::uint64_t>(os, t.epochs_to_confirm);
+    put<std::uint64_t>(os, t.confirmations);
+    put<std::uint64_t>(os, t.clears);
+    put<std::uint64_t>(os, t.false_clears);
+  }
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& [epoch, blamed] : pending_) {
+    put<std::uint64_t>(os, epoch);
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(blamed.size()));
+    for (const ComponentId c : blamed) put<std::int32_t>(os, c);
+  }
+}
+
+void TemporalTracker::load(std::istream& is) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.epochs_observed > 0 || !tracked_.empty() || next_epoch_ != 0) {
+    throw std::logic_error("TemporalTracker::load: tracker has already observed epochs");
+  }
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kSnapshotMagic, sizeof kSnapshotMagic) != 0) {
+    throw std::runtime_error("tracker snapshot: bad magic (not a tracker snapshot)");
+  }
+  const auto version = get<std::uint32_t>(is);
+  if (version != kSnapshotVersion) {
+    throw std::runtime_error("tracker snapshot: unsupported version " +
+                             std::to_string(version));
+  }
+  // Config compatibility: a snapshot taken under different state-machine or
+  // carryover parameters would silently diverge from the uninterrupted run —
+  // exactly the bug this restore path exists to rule out.
+  const auto mismatch = [](const std::string& what) {
+    throw std::runtime_error("tracker snapshot: config mismatch (" + what +
+                             " differs from the running tracker)");
+  };
+  if (get<std::uint64_t>(is) != config_.window) mismatch("window");
+  if (get<std::int32_t>(is) != config_.confirm_epochs) mismatch("confirm_epochs");
+  if (get<std::int32_t>(is) != config_.clear_epochs) mismatch("clear_epochs");
+  if (get<std::int32_t>(is) != config_.flap_transitions) mismatch("flap_transitions");
+  if (get<double>(is) != config_.prior_weight) mismatch("prior_weight");
+  if (get<double>(is) != config_.prior_saturation) mismatch("prior_saturation");
+  if (get<double>(is) != config_.age_half_life_epochs) mismatch("age_half_life_epochs");
+  if (get<std::uint32_t>(is) != static_cast<std::uint32_t>(class_members_.size())) {
+    mismatch("equivalence class count");
+  }
+  if (get<std::uint64_t>(is) != class_hash_) mismatch("equivalence class partition");
+
+  const auto next_epoch = get<std::uint64_t>(is);
+  TemporalStats stats;
+  stats.epochs_observed = get<std::uint64_t>(is);
+  stats.out_of_order_epochs = get<std::uint64_t>(is);
+  stats.dropped_epochs = get<std::uint64_t>(is);
+  stats.confirmations = get<std::uint64_t>(is);
+  stats.flaps_detected = get<std::uint64_t>(is);
+  stats.clears = get<std::uint64_t>(is);
+  stats.false_clears = get<std::uint64_t>(is);
+
+  const auto num_tracked = get<std::uint32_t>(is);
+  if (num_tracked > kMaxSnapshotRows) {
+    throw std::runtime_error("tracker snapshot: corrupt tracked-row count");
+  }
+  std::map<ComponentId, Tracked> tracked;
+  for (std::uint32_t i = 0; i < num_tracked; ++i) {
+    const ComponentId c = get<std::int32_t>(is);
+    Tracked t;
+    t.history = get<std::uint64_t>(is);
+    t.epochs_seen = get<std::uint32_t>(is);
+    const auto state = get<std::uint8_t>(is);
+    if (t.epochs_seen > 64 || state > static_cast<std::uint8_t>(ComponentHealth::kCleared)) {
+      throw std::runtime_error("tracker snapshot: corrupt tracked row");
+    }
+    t.state = static_cast<ComponentHealth>(state);
+    t.blame_streak = get<std::int32_t>(is);
+    t.quiet_streak = get<std::int32_t>(is);
+    t.latency_recorded = get<std::uint8_t>(is) != 0;
+    t.first_blamed_epoch = get<std::uint64_t>(is);
+    t.last_blamed_epoch = get<std::uint64_t>(is);
+    t.confirmed_epoch = get<std::uint64_t>(is);
+    t.epochs_to_confirm = get<std::uint64_t>(is);
+    t.confirmations = get<std::uint64_t>(is);
+    t.clears = get<std::uint64_t>(is);
+    t.false_clears = get<std::uint64_t>(is);
+    if (!tracked.emplace(c, t).second) {
+      throw std::runtime_error("tracker snapshot: duplicate tracked component");
+    }
+  }
+  const auto num_pending = get<std::uint32_t>(is);
+  if (num_pending > kMaxSnapshotRows) {
+    throw std::runtime_error("tracker snapshot: corrupt pending-epoch count");
+  }
+  std::map<std::uint64_t, std::vector<ComponentId>> pending;
+  for (std::uint32_t i = 0; i < num_pending; ++i) {
+    const auto epoch = get<std::uint64_t>(is);
+    const auto count = get<std::uint32_t>(is);
+    if (count > kMaxSnapshotRows) {
+      throw std::runtime_error("tracker snapshot: corrupt pending blame count");
+    }
+    std::vector<ComponentId> blamed(count);
+    for (auto& c : blamed) c = get<std::int32_t>(is);
+    pending.emplace(epoch, std::move(blamed));
+  }
+
+  // All fields validated; install the snapshot and continue its timeline.
+  next_epoch_ = next_epoch;
+  epoch_base_ = next_epoch;
+  stats_ = stats;
+  tracked_ = std::move(tracked);
+  pending_ = std::move(pending);
+  stats_.tracked_components = tracked_.size();
+}
+
+void TemporalTracker::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("tracker snapshot: cannot open " + path);
+  save(static_cast<std::ostream&>(os));
+  if (!os) throw std::runtime_error("tracker snapshot: write failed for " + path);
+}
+
+void TemporalTracker::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("tracker snapshot: cannot open " + path);
+  load(static_cast<std::istream&>(is));
 }
 
 TemporalStats TemporalTracker::stats() const {

@@ -21,24 +21,53 @@
 // streaks and duty cycles, and detection-latency accounting (first blamed
 // epoch of the incident → confirmed).
 //
+// Equivalence-class accounting: the ResultSink collapses ECMP-ambiguous
+// components to one representative per class, but WHICH member represents the
+// class can change from epoch to epoch (it is the smallest *predicted*
+// member). Keying the state machines by component would fragment one
+// incident's history across representatives, so when the pipeline runs with
+// merge_equivalence_classes the tracker is handed the same class partition
+// (set_equivalence_classes) and keys every Tracked row by the class's
+// canonical member — the smallest component id in the class, a pure function
+// of the topology, stable across runs and restarts. Verdicts, flap statistics
+// and the carryover prior are then per class: verdict() canonicalizes its
+// argument, and prior export covers every member. Components outside any
+// class (and every component when classes are not set) key by their own id —
+// single-member classes are the identity mapping, so class-less pipelines are
+// bit-for-bit unchanged.
+//
 // Evidence carryover: the tracker exports a per-component prior log-odds
 // vector. With prior_weight > 0 the pipeline hands it to the FlockLocalizer,
 // where it shrinks the (negative) per-component prior cost — a component
 // blamed in recent epochs needs less fresh evidence to re-confirm, which is
-// what separates "flapping" from "a new fault every other epoch". The
-// default prior_weight of 0 disables the feedback entirely and the per-epoch
-// output is byte-identical to a tracker-less pipeline (pinned by
+// what separates "flapping" from "a new fault every other epoch". The raw
+// carryover additionally decays with the *age* of the last blame when
+// age_half_life_epochs > 0 (see prior_logodds), so a long-quiet flapper or a
+// stale confirmation stops exporting full saturation. The defaults
+// (prior_weight 0, half-life 0) disable the feedback entirely and the
+// per-epoch output is byte-identical to a tracker-less pipeline (pinned by
 // tests/pipeline_test.cpp).
+//
+// Snapshot persistence: save()/load() serialize the complete cross-epoch
+// state (versioned little-endian, corruption/truncation-safe like the
+// datagram log in net/dgram_log.h). A saved snapshot plus the captured wire
+// stream replays a full incident *including its history*: load() rebases
+// subsequent epoch ids onto the snapshot's epoch counter, so a restarted
+// service whose scheduler numbers epochs from 0 again continues the
+// incident's absolute timeline. load() refuses snapshots whose config echo
+// or class partition differ from the running tracker's.
 //
 // Thread model: observe() is called from whichever localizer-pool (or shard)
 // thread completes an epoch's merge; epochs that complete out of order are
-// buffered and applied in epoch-id order, so the state machines always see
-// the diagnosis stream as a sequence. Readers (verdicts, prior export,
-// stats) take the same mutex; the tracker is never on the decode/join hot
-// path.
+// buffered (bounded by max_pending_epochs; overflow skips the gap and counts
+// dropped epochs) and applied in epoch-id order, so the state machines always
+// see the diagnosis stream as a sequence. Readers (verdicts, prior export,
+// stats, save) take the same mutex; the tracker is never on the decode/join
+// hot path.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -76,12 +105,24 @@ struct TemporalTrackerConfig {
   // Cap on the raw carryover log-odds of one component (scaled by state and
   // duty cycle before prior_weight is applied).
   double prior_saturation = 6.0;
+  // Age decay of the carryover: the raw log-odds of a component last blamed
+  // `age` epochs ago is multiplied by 2^(-age / half_life). 0 (the default)
+  // disables decay — every state then exports exactly what it always did, so
+  // default output stays byte-identical.
+  double age_half_life_epochs = 0.0;
+  // Bound on the out-of-order epoch buffer. When a gap in the epoch sequence
+  // leaves more than this many epochs buffered, the gap is declared lost:
+  // the tracker skips forward to the earliest buffered epoch and counts the
+  // skipped ids in TemporalStats::dropped_epochs (clamped to >= 1).
+  std::size_t max_pending_epochs = 64;
 };
 
-// Snapshot of one component's temporal state.
+// Snapshot of one component's (or, with equivalence classes set, one class's)
+// temporal state. `component` is the canonical class member.
 struct ComponentVerdict {
   ComponentId component = kInvalidComponent;
   ComponentHealth state = ComponentHealth::kHealthy;
+  std::int32_t class_size = 1;             // members sharing this verdict
   std::int32_t blame_streak = 0;           // consecutive blamed epochs ending now
   std::int32_t quiet_streak = 0;           // consecutive quiet epochs ending now
   std::int32_t transitions_in_window = 0;  // blame on/off edges inside the window
@@ -100,6 +141,7 @@ struct ComponentVerdict {
 struct TemporalStats {
   std::uint64_t epochs_observed = 0;
   std::uint64_t out_of_order_epochs = 0;  // buffered until their predecessors merged
+  std::uint64_t dropped_epochs = 0;       // skipped when the pending buffer overflowed
   std::uint64_t confirmations = 0;
   std::uint64_t flaps_detected = 0;  // transitions into kFlapping
   std::uint64_t clears = 0;
@@ -111,23 +153,46 @@ class TemporalTracker {
  public:
   explicit TemporalTracker(TemporalTrackerConfig config);
 
+  // Key all state by ECMP equivalence class (canonical member = smallest id
+  // in the class; see header comment). Must be called before any epoch is
+  // observed or restored; throws std::logic_error otherwise.
+  void set_equivalence_classes(const std::vector<std::vector<ComponentId>>& classes);
+
   // Feed one merged epoch. Epoch ids must be dense starting at 0 (what the
   // EpochScheduler emits); results arriving out of order are buffered and
-  // applied in id order. Thread-safe.
+  // applied in id order. After load(), incoming ids are rebased onto the
+  // snapshot's epoch counter. Thread-safe.
   void observe(const EpochResult& epoch);
 
   // All currently tracked (non-healthy) components, ordered by id.
   std::vector<ComponentVerdict> verdicts() const;
 
-  // State of one component (healthy default when untracked).
+  // State of one component (healthy default when untracked). With classes
+  // set, the verdict of the component's whole equivalence class.
   ComponentVerdict verdict(ComponentId component) const;
 
   // Evidence carryover for the next localization: per-component prior
   // log-odds, >= 0, already scaled by prior_weight (all zeros when the
   // weight is 0). Suspect/cleared components carry prior_saturation scaled
   // by their window duty cycle; confirmed/flapping carry the full
-  // saturation value.
+  // saturation value. With age_half_life_epochs > 0, every state's raw
+  // value is additionally scaled by 2^(-age/half_life), age being the
+  // number of applied epochs since the component was last blamed. With
+  // classes set, every member of a tracked class receives the class value.
   std::vector<double> prior_logodds(std::size_t num_components) const;
+
+  // Versioned little-endian snapshot of the complete cross-epoch state
+  // (config echo + class partition hash + per-class rows + pending buffer).
+  // save() never fails short of stream errors; load() throws
+  // std::runtime_error on a foreign, truncated, corrupt, or
+  // config-incompatible snapshot and std::logic_error when epochs were
+  // already observed. On success the tracker continues the snapshot's
+  // timeline: the next observe(epoch 0) applies as the snapshot's
+  // next_epoch.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+  void save(const std::string& path) const;
+  void load(const std::string& path);
 
   TemporalStats stats() const;
   const TemporalTrackerConfig& config() const { return config_; }
@@ -150,17 +215,30 @@ class TemporalTracker {
   };
 
   // All with mutex_ held:
+  ComponentId canonical(ComponentId c) const;
   void apply(std::uint64_t epoch, const std::vector<ComponentId>& blamed);
+  void drain_pending();
   void step(Tracked& t, bool blamed, std::uint64_t epoch);
   std::int32_t transitions(const Tracked& t) const;
   double duty_cycle(const Tracked& t) const;
+  double age_factor(const Tracked& t) const;
   ComponentVerdict make_verdict(ComponentId c, const Tracked& t) const;
 
   TemporalTrackerConfig config_;
   mutable std::mutex mutex_;
   std::uint64_t next_epoch_ = 0;
+  // Rebase for restored state: observe(epoch e) applies as e + epoch_base_.
+  // 0 until load() installs the snapshot's next_epoch.
+  std::uint64_t epoch_base_ = 0;
   std::map<std::uint64_t, std::vector<ComponentId>> pending_;  // out-of-order buffer
-  std::map<ComponentId, Tracked> tracked_;
+  std::map<ComponentId, Tracked> tracked_;  // keyed by canonical member
+  // Equivalence-class keying (empty = identity). class_of_ maps every member
+  // to its canonical id; class_members_ lists each class, sorted, keyed by
+  // canonical id. class_hash_ fingerprints the partition for snapshot
+  // compatibility checks.
+  std::map<ComponentId, ComponentId> class_of_;
+  std::map<ComponentId, std::vector<ComponentId>> class_members_;
+  std::uint64_t class_hash_ = 0;
   TemporalStats stats_;
 };
 

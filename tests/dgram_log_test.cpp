@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -94,9 +95,14 @@ TEST(DgramLog, TruncationAtEveryMidRecordOffsetThrows) {
   DgramLogWriter writer(ss);
   writer.append(make_logged(42, 0x0A000001, 9999, {1, 2, 3, 4, 5}));
   const std::string full = ss.str();
-  // cut == 8 keeps just the file header — a legal empty log — so truncation
-  // starts one byte into the record.
-  const std::size_t header_bytes = 8;
+  // cut == 20 keeps just the v2 file header (magic + version + fingerprint)
+  // — a legal empty log — so truncation starts one byte into the record. A
+  // cut inside the header itself must throw at construction instead.
+  const std::size_t header_bytes = 20;
+  for (std::size_t cut = 4; cut < header_bytes; ++cut) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(DgramLogReader reader(truncated), std::runtime_error) << "cut=" << cut;
+  }
   for (std::size_t cut = header_bytes + 1; cut < full.size(); ++cut) {
     std::stringstream truncated(full.substr(0, cut));
     DgramLogReader reader(truncated);
@@ -127,6 +133,132 @@ TEST(DgramLog, CorruptPayloadLengthIsAnErrorNotAnAllocation) {
   DgramLogReader reader(corrupt);
   LoggedDatagram d;
   EXPECT_THROW(reader.next(d), std::runtime_error);
+}
+
+// --- router fingerprint -------------------------------------------------------
+
+TEST(DgramLog, RouterFingerprintIsDeterministicAndOrderSensitive) {
+  Topology topo = make_fat_tree(4);
+  EcmpRouter a{topo};
+  EcmpRouter b{topo};
+  EXPECT_TRUE(router_fingerprint(a).empty());  // nothing interned yet
+
+  const auto hosts = topo.hosts();
+  ASSERT_GE(hosts.size(), 3u);
+  a.host_pair_path_set(hosts[0], hosts[1]);
+  a.host_pair_path_set(hosts[0], hosts[2]);
+  b.host_pair_path_set(hosts[0], hosts[1]);
+  b.host_pair_path_set(hosts[0], hosts[2]);
+  const RouterFingerprint fa = router_fingerprint(a);
+  const RouterFingerprint fb = router_fingerprint(b);
+  EXPECT_FALSE(fa.empty());
+  EXPECT_EQ(fa, fb);  // same warm-up order => same identity
+
+  // Same pairs interned in the opposite order: the ids shift, so the
+  // fingerprint must differ — records reference ids, not pairs.
+  EcmpRouter c{topo};
+  c.host_pair_path_set(hosts[0], hosts[2]);
+  c.host_pair_path_set(hosts[0], hosts[1]);
+  const RouterFingerprint fc = router_fingerprint(c);
+  EXPECT_EQ(fc.path_sets, fa.path_sets);
+  EXPECT_NE(fc.hash, fa.hash);
+}
+
+TEST(DgramLog, FingerprintRoundTripsThroughHeaderPatch) {
+  // Capture flow: the writer opens with an empty fingerprint (the router is
+  // still cold), records stream in, and the identity is patched into the
+  // header afterwards — the reader must see the patched value and the record.
+  RouterFingerprint fp;
+  fp.path_sets = 7;
+  fp.hash = 0xDEADBEEFCAFEF00Dull;
+
+  std::stringstream ss;
+  DgramLogWriter writer(ss);
+  writer.append(make_logged(1, 2, 3, {4, 5}));
+  writer.set_fingerprint(fp);
+  writer.append(make_logged(6, 7, 8, {9}));
+
+  DgramLogReader reader(ss);
+  EXPECT_EQ(reader.version(), 2u);
+  EXPECT_EQ(reader.fingerprint(), fp);
+  LoggedDatagram d;
+  EXPECT_TRUE(reader.next(d));
+  EXPECT_EQ(d.payload, (std::vector<std::uint8_t>{4, 5}));
+  EXPECT_TRUE(reader.next(d));
+  EXPECT_EQ(d.payload, (std::vector<std::uint8_t>{9}));
+  EXPECT_FALSE(reader.next(d));
+}
+
+TEST(DgramLog, Version1LogsStillReadableAndSkipFingerprintCheck) {
+  // Hand-written v1 bytes: magic, version 1, then one record. Pre-fingerprint
+  // logs must keep replaying — with no recorded identity there is nothing to
+  // check against, even when the replayer expects one.
+  std::stringstream ss;
+  ss.write("FLKD", 4);
+  const std::uint32_t version = 1;
+  ss.write(reinterpret_cast<const char*>(&version), 4);
+  const std::uint64_t ts = 11;
+  const std::uint32_t addr = 22;
+  const std::uint16_t port = 33;
+  const std::uint32_t len = 2;
+  ss.write(reinterpret_cast<const char*>(&ts), 8);
+  ss.write(reinterpret_cast<const char*>(&addr), 4);
+  ss.write(reinterpret_cast<const char*>(&port), 2);
+  ss.write(reinterpret_cast<const char*>(&len), 4);
+  ss.write("\x01\x02", 2);
+
+  ReplayOptions options;
+  options.expect_fingerprint.path_sets = 9;
+  options.expect_fingerprint.hash = 9;
+  std::vector<IngestDatagram> replayed;
+  const ReplayStats stats = replay_dgram_log(
+      ss,
+      [&](IngestDatagram d) {
+        replayed.push_back(std::move(d));
+        return true;
+      },
+      options);
+  EXPECT_EQ(stats.datagrams, 1u);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].source_addr, 22u);
+  EXPECT_EQ(replayed[0].bytes, (std::vector<std::uint8_t>{1, 2}));
+}
+
+TEST(DgramLog, ReplayRejectsRouterFingerprintMismatchLoudly) {
+  RouterFingerprint captured;
+  captured.path_sets = 3;
+  captured.hash = 1111;
+  std::stringstream ss;
+  DgramLogWriter writer(ss, captured);
+  writer.append(make_logged(1, 2, 3, {4}));
+  const std::string log = ss.str();
+
+  // Matching identity replays; a different one is refused before any record
+  // is offered downstream.
+  {
+    std::stringstream is(log);
+    ReplayOptions options;
+    options.expect_fingerprint = captured;
+    const ReplayStats stats =
+        replay_dgram_log(is, [](IngestDatagram) { return true; }, options);
+    EXPECT_EQ(stats.datagrams, 1u);
+  }
+  {
+    std::stringstream is(log);
+    ReplayOptions options;
+    options.expect_fingerprint.path_sets = 3;
+    options.expect_fingerprint.hash = 2222;
+    std::uint64_t offered = 0;
+    EXPECT_THROW(replay_dgram_log(
+                     is,
+                     [&](IngestDatagram) {
+                       ++offered;
+                       return true;
+                     },
+                     options),
+                 std::runtime_error);
+    EXPECT_EQ(offered, 0u);
+  }
 }
 
 TEST(DgramLog, MissingFileThrowsOnReplay) {
@@ -194,6 +326,29 @@ TEST(DgramLog, PacedReplayHonorsCapturedGaps) {
   paced.speed = 2.0;
   EXPECT_GE(run(paced), 25);
   EXPECT_LT(run(ReplayOptions{}), 25);
+}
+
+TEST(DgramLog, PacedReplayRejectsNonPositiveOrNaNSpeed) {
+  std::stringstream ss;
+  DgramLogWriter writer(ss);
+  writer.append(make_logged(0, 1, 0, {1}));
+  const std::string log = ss.str();
+
+  for (const double bad : {0.0, -1.0, std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    std::stringstream is(log);
+    ReplayOptions options;
+    options.paced = true;
+    options.speed = bad;
+    EXPECT_THROW(replay_dgram_log(is, [](IngestDatagram) { return true; }, options),
+                 std::invalid_argument)
+        << "speed=" << bad;
+  }
+  // Unpaced replay never consults speed, so a garbage value is harmless.
+  std::stringstream is(log);
+  ReplayOptions options;
+  options.speed = 0.0;
+  EXPECT_EQ(replay_dgram_log(is, [](IngestDatagram) { return true; }, options).datagrams, 1u);
 }
 
 // --- capture -> replay pipeline equivalence -----------------------------------

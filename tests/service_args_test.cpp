@@ -1,0 +1,113 @@
+// Flag validation for the streaming_service example (examples/service_args.h):
+// the rules that used to be enforced only by reading the demo's stderr —
+// flag exclusivity, dependent flags, and numeric sanity — pinned as a unit
+// test.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../examples/service_args.h"
+
+namespace flock {
+namespace {
+
+// argv[0] is the program name, as in a real invocation.
+bool parse(std::initializer_list<const char*> flags, ServiceOptions& opts,
+           std::string* error_out = nullptr) {
+  std::vector<const char*> argv = {"streaming_service"};
+  argv.insert(argv.end(), flags.begin(), flags.end());
+  std::string error;
+  const bool ok =
+      parse_service_args(static_cast<int>(argv.size()), argv.data(), opts, error);
+  EXPECT_EQ(ok, error.empty());  // failures always say why
+  if (error_out != nullptr) *error_out = error;
+  return ok;
+}
+
+TEST(ServiceArgs, DefaultsAreLiveInProcessFeed) {
+  ServiceOptions opts;
+  ASSERT_TRUE(parse({}, opts));
+  EXPECT_FALSE(opts.listen);
+  EXPECT_EQ(opts.port, 0);
+  EXPECT_TRUE(opts.capture.empty());
+  EXPECT_TRUE(opts.replay.empty());
+  EXPECT_FALSE(opts.paced);
+  EXPECT_EQ(opts.speed, 1.0);
+  EXPECT_TRUE(opts.tracker_save.empty());
+  EXPECT_TRUE(opts.tracker_load.empty());
+}
+
+TEST(ServiceArgs, ParsesEveryFlag) {
+  ServiceOptions opts;
+  ASSERT_TRUE(parse({"--listen=4739", "--capture=/tmp/cap.bin", "--tracker-save=/tmp/t.snap",
+                     "--tracker-load=/tmp/u.snap"},
+                    opts));
+  EXPECT_TRUE(opts.listen);
+  EXPECT_EQ(opts.port, 4739);
+  EXPECT_EQ(opts.capture, "/tmp/cap.bin");
+  EXPECT_EQ(opts.tracker_save, "/tmp/t.snap");
+  EXPECT_EQ(opts.tracker_load, "/tmp/u.snap");
+
+  ServiceOptions replaying;
+  ASSERT_TRUE(parse({"--replay=/tmp/cap.bin", "--paced", "--speed=2.5"}, replaying));
+  EXPECT_EQ(replaying.replay, "/tmp/cap.bin");
+  EXPECT_TRUE(replaying.paced);
+  EXPECT_EQ(replaying.speed, 2.5);
+}
+
+TEST(ServiceArgs, ListenWithoutPortMeansEphemeral) {
+  ServiceOptions opts;
+  ASSERT_TRUE(parse({"--listen"}, opts));
+  EXPECT_TRUE(opts.listen);
+  EXPECT_EQ(opts.port, 0);
+}
+
+TEST(ServiceArgs, RejectsUnknownFlags) {
+  ServiceOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse({"--replya=/tmp/x"}, opts, &error));  // typo must not be ignored
+  EXPECT_NE(error.find("--replya"), std::string::npos);
+  EXPECT_FALSE(parse({"extra"}, opts));
+}
+
+TEST(ServiceArgs, RejectsBadListenPort) {
+  ServiceOptions opts;
+  EXPECT_FALSE(parse({"--listen=notaport"}, opts));
+  EXPECT_FALSE(parse({"--listen=70000"}, opts));
+  EXPECT_FALSE(parse({"--listen=-1"}, opts));
+  EXPECT_FALSE(parse({"--listen=47x"}, opts));  // trailing junk
+}
+
+TEST(ServiceArgs, ListenAndReplayAreExclusive) {
+  ServiceOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse({"--listen", "--replay=/tmp/cap.bin"}, opts, &error));
+  EXPECT_NE(error.find("exclusive"), std::string::npos);
+}
+
+TEST(ServiceArgs, PacedRequiresReplay) {
+  // The regression this suite exists for: `--paced` alone used to be
+  // accepted and silently did nothing.
+  ServiceOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse({"--paced"}, opts, &error));
+  EXPECT_NE(error.find("--replay"), std::string::npos);
+  EXPECT_FALSE(parse({"--paced", "--capture=/tmp/cap.bin"}, opts));
+}
+
+TEST(ServiceArgs, SpeedRequiresPacedAndMustBePositiveFinite) {
+  ServiceOptions opts;
+  EXPECT_FALSE(parse({"--replay=/tmp/c", "--speed=2"}, opts));  // no --paced
+  EXPECT_FALSE(parse({"--replay=/tmp/c", "--paced", "--speed=0"}, opts));
+  EXPECT_FALSE(parse({"--replay=/tmp/c", "--paced", "--speed=-3"}, opts));
+  EXPECT_FALSE(parse({"--replay=/tmp/c", "--paced", "--speed=nan"}, opts));
+  EXPECT_FALSE(parse({"--replay=/tmp/c", "--paced", "--speed=inf"}, opts));
+  EXPECT_FALSE(parse({"--replay=/tmp/c", "--paced", "--speed=fast"}, opts));
+  EXPECT_FALSE(parse({"--replay=/tmp/c", "--paced", "--speed=1.5x"}, opts));
+  EXPECT_TRUE(parse({"--replay=/tmp/c", "--paced", "--speed=0.25"}, opts));
+  EXPECT_EQ(opts.speed, 0.25);
+}
+
+}  // namespace
+}  // namespace flock

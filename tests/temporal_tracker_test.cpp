@@ -185,6 +185,150 @@ TEST(TemporalTracker, PriorExportIsZeroAtWeightZeroAndScaledByState) {
   EXPECT_EQ(prior[0], 0.0);        // never blamed
 }
 
+// --- age decay ----------------------------------------------------------------
+
+// The stale-carryover bug this knob fixes: a sticky `flapping` (or confirmed)
+// verdict used to export full prior_saturation forever, no matter how long
+// ago the component was last blamed. With a half-life set, a component quiet
+// for window/2 epochs must carry strictly less prior than one blamed in the
+// most recent epoch; with the default (0 = off) the export is unchanged.
+TEST(TemporalTracker, AgeDecayShrinksStalePriorsAndDefaultsToOff) {
+  TemporalTrackerConfig cfg = test_config();  // window 8
+  cfg.prior_weight = 1.0;
+  cfg.prior_saturation = 6.0;
+  TemporalTrackerConfig decayed_cfg = cfg;
+  decayed_cfg.age_half_life_epochs = 4.0;  // window/2
+
+  TemporalTracker plain(cfg);
+  TemporalTracker decayed(decayed_cfg);
+  for (TemporalTracker* t : {&plain, &decayed}) {
+    // Component 1 flaps over epochs 0..7 (blamed on odd epochs, so it is
+    // promoted to flapping and last blamed at epoch 7), then goes quiet for
+    // 4 epochs. Component 2 is blamed in the two most recent epochs and
+    // confirms with zero age.
+    for (std::uint64_t e = 0; e < 8; ++e) {
+      t->observe(make_epoch(e, e % 2 == 1 ? std::vector<ComponentId>{1}
+                                          : std::vector<ComponentId>{}));
+    }
+    t->observe(make_epoch(8, {}));
+    t->observe(make_epoch(9, {}));
+    t->observe(make_epoch(10, {2}));
+    t->observe(make_epoch(11, {2}));
+    ASSERT_EQ(t->verdict(1).state, ComponentHealth::kFlapping);
+    ASSERT_EQ(t->verdict(2).state, ComponentHealth::kConfirmed);
+  }
+
+  // Decay off (the default): the stale flap still exports full saturation,
+  // indistinguishable from the freshly blamed fault — byte-identical to the
+  // pre-knob behavior.
+  const auto before = plain.prior_logodds(4);
+  EXPECT_EQ(before[1], 6.0);
+  EXPECT_EQ(before[2], 6.0);
+
+  // Decay on: 4 quiet epochs = one half-life, so exactly half the prior;
+  // the component blamed last epoch is untouched.
+  const auto after = decayed.prior_logodds(4);
+  EXPECT_DOUBLE_EQ(after[1], 3.0);  // 6.0 * 2^(-4/4)
+  EXPECT_EQ(after[2], 6.0);
+  EXPECT_LT(after[1], after[2]);
+}
+
+// --- equivalence-class keying -------------------------------------------------
+
+// The representative the ResultSink picks for an ambiguity class can change
+// from epoch to epoch (it keeps the smallest *predicted* member). Keyed per
+// component, that fragmented one fault's blame history across members and
+// reset the streaks; keyed by class, the streak is continuous no matter which
+// member each epoch named.
+TEST(TemporalTracker, ClassKeyedStateSurvivesRepresentativeChanges) {
+  TemporalTrackerConfig cfg = test_config();
+  cfg.prior_weight = 1.0;
+  cfg.prior_saturation = 6.0;
+  TemporalTracker tracker(cfg);
+  tracker.set_equivalence_classes({{9, 5, 13}, {7}});  // canonical: min member = 5
+
+  tracker.observe(make_epoch(0, {9}));
+  tracker.observe(make_epoch(1, {13}));  // different member, same class
+  const ComponentVerdict v = tracker.verdict(13);
+  EXPECT_EQ(v.component, 5);  // canonicalized
+  EXPECT_EQ(v.state, ComponentHealth::kConfirmed);
+  EXPECT_EQ(v.blame_streak, 2);
+  EXPECT_EQ(v.class_size, 3);
+  EXPECT_EQ(tracker.stats().tracked_components, 1u);  // one class, not two members
+  EXPECT_EQ(tracker.verdict(9).state, ComponentHealth::kConfirmed);
+  EXPECT_EQ(tracker.verdict(5).state, ComponentHealth::kConfirmed);
+
+  // The carryover prior reaches every member, so the localizer boosts the
+  // whole ambiguity class regardless of which member the sink reports next.
+  const auto prior = tracker.prior_logodds(16);
+  EXPECT_EQ(prior[5], 6.0);
+  EXPECT_EQ(prior[9], 6.0);
+  EXPECT_EQ(prior[13], 6.0);
+  EXPECT_EQ(prior[7], 0.0);  // single-member class: identity mapping
+  EXPECT_EQ(prior[0], 0.0);
+}
+
+TEST(TemporalTracker, TwoClassMembersBlamedInOneEpochCountOnce) {
+  TemporalTracker tracker(test_config());
+  tracker.set_equivalence_classes({{9, 5, 13}});
+  tracker.observe(make_epoch(0, {9, 13}));  // one ambiguity, not two faults
+  EXPECT_EQ(tracker.verdict(5).blame_streak, 1);
+  EXPECT_EQ(tracker.verdict(5).state, ComponentHealth::kSuspect);
+}
+
+TEST(TemporalTracker, ClassesMustBeSetBeforeObservation) {
+  TemporalTracker tracker(test_config());
+  tracker.observe(make_epoch(0, {1}));
+  // Re-keying live state would orphan the existing per-component rows.
+  EXPECT_THROW(tracker.set_equivalence_classes({{1, 2}}), std::logic_error);
+}
+
+// --- bounded out-of-order buffer ----------------------------------------------
+
+TEST(TemporalTracker, PendingBufferIsBoundedAndSkipsForwardWhenFull) {
+  TemporalTrackerConfig cfg = test_config();
+  cfg.max_pending_epochs = 2;
+  TemporalTracker tracker(cfg);
+  tracker.observe(make_epoch(0, {1}));
+  // Epochs 1..4 never arrive; 5, 7, 9 pile up out of order. The third
+  // buffered epoch overflows the cap: the tracker declares the gap (1..4)
+  // lost, resumes at 5, and keeps only the still-future epochs buffered.
+  tracker.observe(make_epoch(5, {1}));
+  tracker.observe(make_epoch(7, {1}));
+  EXPECT_EQ(tracker.stats().dropped_epochs, 0u);  // within the cap: still waiting
+  tracker.observe(make_epoch(9, {1}));
+  EXPECT_EQ(tracker.stats().dropped_epochs, 4u);  // epochs 1,2,3,4
+  EXPECT_EQ(tracker.stats().epochs_observed, 2u);  // 0 and 5 applied
+  EXPECT_EQ(tracker.stats().out_of_order_epochs, 3u);
+
+  // Liveness after the skip: the stream continues and the remaining buffered
+  // epochs drain in order once their predecessors arrive.
+  tracker.observe(make_epoch(6, {}));  // applies 6, then buffered 7
+  tracker.observe(make_epoch(8, {}));  // applies 8, then buffered 9
+  EXPECT_EQ(tracker.stats().epochs_observed, 6u);
+  EXPECT_EQ(tracker.stats().dropped_epochs, 4u);  // no further loss
+}
+
+// --- tracked_components accounting --------------------------------------------
+
+TEST(TemporalTracker, TrackedComponentsStatFollowsTrackAndUntrackTransitions) {
+  TemporalTracker tracker(test_config());  // window 8
+  EXPECT_EQ(tracker.stats().tracked_components, 0u);
+  tracker.observe(make_epoch(0, {1}));
+  EXPECT_EQ(tracker.stats().tracked_components, 1u);
+  tracker.observe(make_epoch(1, {1, 2}));
+  EXPECT_EQ(tracker.stats().tracked_components, 2u);
+  // Quiet epochs: both stay tracked while any blame bit is inside the
+  // window, then are forgotten the epoch their history fully drains.
+  for (std::uint64_t e = 2; e < 9; ++e) {
+    tracker.observe(make_epoch(e, {}));
+    EXPECT_EQ(tracker.stats().tracked_components, 2u) << "epoch " << e;
+  }
+  tracker.observe(make_epoch(9, {}));  // component 1's last blame (epoch 1) ages out too
+  EXPECT_EQ(tracker.stats().tracked_components, 0u);
+  EXPECT_TRUE(tracker.verdicts().empty());
+}
+
 // --- evidence carryover at the localizer --------------------------------------
 
 // One weak known-path flow: the evidence s for every on-path component sits

@@ -1,0 +1,387 @@
+// Tracker snapshot persistence (TemporalTracker::save/load): versioned
+// little-endian round-trips, corruption/truncation rejection modeled on the
+// dgram_log suite, config/class-partition compatibility checks, epoch
+// rebasing across a restart — and the property the subsystem exists for: a
+// pipeline restarted from a snapshot at an epoch boundary continues the
+// interrupted run's temporal memory exactly (same verdicts, same streak
+// accounting, same carryover-driven diagnoses) instead of relearning from
+// scratch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/temporal_tracker.h"
+#include "telemetry/agent.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+EpochResult make_epoch(std::uint64_t id, std::vector<ComponentId> blamed) {
+  EpochResult e;
+  e.epoch = id;
+  e.predicted = std::move(blamed);
+  return e;
+}
+
+TemporalTrackerConfig test_config() {
+  TemporalTrackerConfig cfg;
+  cfg.window = 8;
+  cfg.confirm_epochs = 2;
+  cfg.clear_epochs = 2;
+  cfg.flap_transitions = 3;
+  cfg.prior_weight = 1.0;
+  cfg.prior_saturation = 6.0;
+  cfg.age_half_life_epochs = 4.0;
+  return cfg;
+}
+
+// Drives a tracker into every kind of state at once: a confirmed fault, a
+// flapping one, an expired suspicion, class-keyed rows, and a buffered
+// out-of-order epoch left pending. Callers set the {{3, 11}, {6}} class
+// partition first.
+void observe_busy_history(TemporalTracker& tracker) {
+  for (std::uint64_t e = 0; e < 10; ++e) {
+    std::vector<ComponentId> blamed;
+    if (e >= 4) blamed.push_back(1);             // confirmed, still blamed
+    if (e % 2 == 0) blamed.push_back(2);         // flapping
+    if (e == 0) blamed.push_back(5);             // expired suspicion
+    if (e >= 7) blamed.push_back(11);            // class {3,11}: keyed to 3
+    tracker.observe(make_epoch(e, blamed));
+  }
+  tracker.observe(make_epoch(11, {1}));  // out of order: held pending (10 missing)
+}
+
+// --- round trip ---------------------------------------------------------------
+
+TEST(TrackerSnapshot, RoundTripRestoresVerdictsStatsPriorAndPendingExactly) {
+  const TemporalTrackerConfig cfg = test_config();
+  TemporalTracker original(cfg);
+  original.set_equivalence_classes({{3, 11}, {6}});
+  observe_busy_history(original);
+  std::stringstream ss;
+  original.save(ss);
+
+  TemporalTracker restored(cfg);
+  restored.set_equivalence_classes({{3, 11}, {6}});
+  restored.load(ss);
+
+  const auto a = original.stats();
+  const auto b = restored.stats();
+  EXPECT_EQ(a.epochs_observed, b.epochs_observed);
+  EXPECT_EQ(a.out_of_order_epochs, b.out_of_order_epochs);
+  EXPECT_EQ(a.dropped_epochs, b.dropped_epochs);
+  EXPECT_EQ(a.confirmations, b.confirmations);
+  EXPECT_EQ(a.flaps_detected, b.flaps_detected);
+  EXPECT_EQ(a.clears, b.clears);
+  EXPECT_EQ(a.false_clears, b.false_clears);
+  EXPECT_EQ(a.tracked_components, b.tracked_components);
+
+  for (const ComponentId c : {1, 2, 3, 5, 11}) {
+    const ComponentVerdict va = original.verdict(c);
+    const ComponentVerdict vb = restored.verdict(c);
+    EXPECT_EQ(va.state, vb.state) << "component " << c;
+    EXPECT_EQ(va.blame_streak, vb.blame_streak);
+    EXPECT_EQ(va.quiet_streak, vb.quiet_streak);
+    EXPECT_EQ(va.duty_cycle, vb.duty_cycle);
+    EXPECT_EQ(va.first_blamed_epoch, vb.first_blamed_epoch);
+    EXPECT_EQ(va.last_blamed_epoch, vb.last_blamed_epoch);
+    EXPECT_EQ(va.confirmed_epoch, vb.confirmed_epoch);
+    EXPECT_EQ(va.epochs_to_confirm, vb.epochs_to_confirm);
+    EXPECT_EQ(va.confirmations, vb.confirmations);
+    EXPECT_EQ(va.clears, vb.clears);
+    EXPECT_EQ(va.false_clears, vb.false_clears);
+    EXPECT_EQ(va.class_size, vb.class_size);
+  }
+  EXPECT_EQ(original.prior_logodds(16), restored.prior_logodds(16));
+
+  // Re-saving the restored tracker reproduces the snapshot byte for byte —
+  // nothing was lost or reinterpreted in transit.
+  std::stringstream resaved;
+  restored.save(resaved);
+  EXPECT_EQ(resaved.str(), ss.str());
+}
+
+TEST(TrackerSnapshot, RestoredTrackerRebasesARestartedEpochStream) {
+  // The restarted scheduler numbers epochs from 0 again; the restored
+  // tracker must keep counting on the saved timeline. Feed one tracker
+  // epochs 0..9 uninterrupted; save a twin at the 0..5 mark and feed the
+  // rest as a restart's 0..3.
+  const TemporalTrackerConfig cfg = test_config();
+  const auto blame_at = [](std::uint64_t e) {
+    return e % 4 < 2 ? std::vector<ComponentId>{4} : std::vector<ComponentId>{};
+  };
+  TemporalTracker uninterrupted(cfg);
+  for (std::uint64_t e = 0; e < 10; ++e) uninterrupted.observe(make_epoch(e, blame_at(e)));
+
+  TemporalTracker first_half(cfg);
+  for (std::uint64_t e = 0; e < 6; ++e) first_half.observe(make_epoch(e, blame_at(e)));
+  std::stringstream ss;
+  first_half.save(ss);
+
+  TemporalTracker restarted(cfg);
+  restarted.load(ss);
+  for (std::uint64_t e = 0; e < 4; ++e) {
+    restarted.observe(make_epoch(e, blame_at(6 + e)));  // restart counts from 0
+  }
+
+  EXPECT_EQ(restarted.stats().epochs_observed, uninterrupted.stats().epochs_observed);
+  const ComponentVerdict a = uninterrupted.verdict(4);
+  const ComponentVerdict b = restarted.verdict(4);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.blame_streak, b.blame_streak);
+  EXPECT_EQ(a.last_blamed_epoch, b.last_blamed_epoch);  // absolute, not restart-relative
+  EXPECT_EQ(a.false_clears, b.false_clears);
+  EXPECT_EQ(uninterrupted.prior_logodds(8), restarted.prior_logodds(8));
+}
+
+// --- corruption and compatibility rejection -----------------------------------
+
+TEST(TrackerSnapshot, TruncationAtEveryOffsetThrowsAndNeverInstallsState) {
+  const TemporalTrackerConfig cfg = test_config();
+  TemporalTracker original(cfg);
+  original.set_equivalence_classes({{3, 11}, {6}});
+  observe_busy_history(original);
+  std::stringstream ss;
+  original.save(ss);
+  const std::string full = ss.str();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream truncated(full.substr(0, cut));
+    TemporalTracker fresh(cfg);
+    fresh.set_equivalence_classes({{3, 11}, {6}});
+    EXPECT_THROW(fresh.load(truncated), std::runtime_error) << "cut=" << cut;
+    // The failed load must be atomic: the tracker is still usable and empty.
+    EXPECT_EQ(fresh.stats().epochs_observed, 0u) << "cut=" << cut;
+    EXPECT_EQ(fresh.stats().tracked_components, 0u) << "cut=" << cut;
+  }
+}
+
+TEST(TrackerSnapshot, RejectsBadMagicAndUnsupportedVersion) {
+  TemporalTracker tracker(test_config());
+  std::stringstream not_a_snapshot("FLKD\x01\x00\x00\x00");  // a dgram log, say
+  EXPECT_THROW(tracker.load(not_a_snapshot), std::runtime_error);
+
+  std::stringstream future;
+  future.write("FLKT", 4);
+  const std::uint32_t version = 99;
+  future.write(reinterpret_cast<const char*>(&version), 4);
+  EXPECT_THROW(tracker.load(future), std::runtime_error);
+}
+
+TEST(TrackerSnapshot, RejectsConfigMismatch) {
+  // Restoring under different hysteresis/carryover parameters would silently
+  // diverge from the uninterrupted run; every config field is checked.
+  TemporalTrackerConfig cfg = test_config();
+  TemporalTracker original(cfg);
+  original.observe(make_epoch(0, {1}));
+  std::stringstream ss;
+  original.save(ss);
+
+  TemporalTrackerConfig changed = cfg;
+  changed.age_half_life_epochs = 8.0;
+  TemporalTracker other(changed);
+  try {
+    other.load(ss);
+    FAIL() << "config mismatch not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("config mismatch"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("age_half_life_epochs"), std::string::npos);
+  }
+}
+
+TEST(TrackerSnapshot, RejectsClassPartitionMismatch) {
+  const TemporalTrackerConfig cfg = test_config();
+  TemporalTracker original(cfg);
+  original.set_equivalence_classes({{3, 11}});
+  original.observe(make_epoch(0, {3}));
+  std::stringstream ss;
+  original.save(ss);
+  const std::string bytes = ss.str();
+
+  // Same class count, different membership: the hash catches it.
+  TemporalTracker different(cfg);
+  different.set_equivalence_classes({{3, 12}});
+  std::stringstream is1(bytes);
+  EXPECT_THROW(different.load(is1), std::runtime_error);
+
+  // No classes at all: the count catches it.
+  TemporalTracker unclassed(cfg);
+  std::stringstream is2(bytes);
+  EXPECT_THROW(unclassed.load(is2), std::runtime_error);
+}
+
+TEST(TrackerSnapshot, LoadAfterObservationIsALogicError) {
+  const TemporalTrackerConfig cfg = test_config();
+  TemporalTracker original(cfg);
+  original.observe(make_epoch(0, {1}));
+  std::stringstream ss;
+  original.save(ss);
+
+  TemporalTracker busy(cfg);
+  busy.observe(make_epoch(0, {}));
+  EXPECT_THROW(busy.load(ss), std::logic_error);
+}
+
+// --- pipeline restart equivalence ---------------------------------------------
+
+// The fig4b flap scenario (bench/pipeline_flap) shrunk to test size: one link
+// flaps 2-on/2-off while identical pre-generated bursts feed (a) one
+// uninterrupted pipeline and (b) a pipeline stopped at an epoch boundary
+// mid-flap whose tracker snapshot seeds a restarted pipeline for the second
+// half. With evidence carryover ON (prior_weight 1), the second half's
+// diagnoses depend on the tracker state — so the restart only matches the
+// uninterrupted run if the snapshot carried the temporal memory exactly.
+TEST(TrackerSnapshot, PipelineRestartFromSnapshotMatchesUninterruptedRun) {
+  const Topology topo = make_fat_tree(4);
+  constexpr int kEpochs = 12;
+  constexpr int kSplit = 6;  // restart boundary, mid-flap
+  const auto faulty_epoch = [](int epoch) { return epoch >= 2 && (epoch - 2) % 4 < 2; };
+
+  // Pre-generate every epoch's burst once (same recipe as bench/pipeline_flap).
+  std::vector<std::vector<IngestDatagram>> bursts;
+  {
+    EcmpRouter router(topo);
+    Rng rng(607);
+    DropRateConfig rates;
+    rates.bad_min = 3e-3;
+    rates.bad_max = 4.5e-3;
+    const GroundTruth healthy = make_healthy(topo, rates, rng);
+    const GroundTruth failed = make_silent_link_drops(topo, 1, rates, rng);
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      TrafficConfig traffic;
+      traffic.num_app_flows = 400;
+      ProbeConfig probes;
+      probes.enabled = false;
+      Rng epoch_rng(1000 + static_cast<std::uint64_t>(epoch));
+      const Trace trace = simulate(topo, router, faulty_epoch(epoch) ? failed : healthy,
+                                   traffic, probes, epoch_rng);
+      std::unordered_map<NodeId, Agent> agents;
+      for (NodeId h : topo.hosts()) {
+        AgentConfig cfg;
+        cfg.observation_domain = static_cast<std::uint32_t>(h);
+        agents.emplace(h, Agent(topo, cfg));
+      }
+      for (const SimFlow& f : trace.flows) {
+        SimFlow passive = f;
+        passive.taken_path = -1;
+        agents.at(f.src_host).observe(passive);
+      }
+      std::vector<IngestDatagram> burst;
+      const auto export_time = static_cast<std::uint32_t>(1700000000 + epoch * 10);
+      for (NodeId h : topo.hosts()) {
+        for (auto& msg : agents.at(h).flush(export_time)) {
+          burst.push_back({node_to_addr(h), std::move(msg)});
+        }
+      }
+      bursts.push_back(std::move(burst));
+    }
+  }
+
+  const auto make_config = [] {
+    PipelineConfig config;
+    config.num_shards = 2;
+    config.localizer_threads = 1;  // serialized epochs: deterministic feedback
+    config.localizer.params.p_g = 1e-4;
+    config.localizer.params.p_b = 6e-3;
+    config.localizer.params.rho = 1e-3;
+    config.localizer.equivalence_epsilon = 1e-6;
+    config.merge_equivalence_classes = true;
+    config.temporal.window = 16;
+    config.temporal.confirm_epochs = 2;
+    config.temporal.clear_epochs = 2;
+    config.temporal.flap_transitions = 3;
+    config.temporal.prior_weight = 1.0;
+    return config;
+  };
+  const auto feed = [&](StreamingPipeline& pipeline, int first, int last) {
+    for (int epoch = first; epoch < last; ++epoch) {
+      for (const IngestDatagram& d : bursts[static_cast<std::size_t>(epoch)]) {
+        pipeline.offer_wait(d);
+      }
+      pipeline.close_epoch();
+      pipeline.results().wait_for_epochs(static_cast<std::size_t>(epoch - first) + 1);
+    }
+    pipeline.stop();
+  };
+
+  // (a) Uninterrupted run over all epochs.
+  EcmpRouter router_a(topo);
+  router_a.build_all_tor_pairs();
+  StreamingPipeline uninterrupted(topo, router_a, make_config());
+  feed(uninterrupted, 0, kEpochs);
+
+  // (b) First half, snapshot at the boundary...
+  std::stringstream snapshot;
+  {
+    EcmpRouter router_b(topo);
+    router_b.build_all_tor_pairs();
+    StreamingPipeline first_half(topo, router_b, make_config());
+    feed(first_half, 0, kSplit);
+    first_half.save_tracker(snapshot);
+  }
+  // ...then a restarted pipeline (fresh process in real life: new router,
+  // new scheduler counting epochs from 0) restored from the snapshot.
+  EcmpRouter router_c(topo);
+  router_c.build_all_tor_pairs();
+  StreamingPipeline restarted(topo, router_c, make_config());
+  restarted.load_tracker(snapshot);
+  feed(restarted, kSplit, kEpochs);
+
+  // Second-half diagnoses must match epoch for epoch (the restarted
+  // scheduler's epoch e is the uninterrupted run's kSplit + e).
+  const auto full = uninterrupted.results().completed();
+  const auto second = restarted.results().completed();
+  ASSERT_EQ(full.size(), static_cast<std::size_t>(kEpochs));
+  ASSERT_EQ(second.size(), static_cast<std::size_t>(kEpochs - kSplit));
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(second[i].predicted, full[i + kSplit].predicted) << "epoch " << i;
+    EXPECT_EQ(second[i].flows, full[i + kSplit].flows);
+    EXPECT_EQ(second[i].shard_score_sum, full[i + kSplit].shard_score_sum);
+  }
+
+  // And the temporal layer's books agree: same verdict set, same streaks,
+  // same flap/clear/false-clear counters and detection latencies.
+  const auto stats_a = uninterrupted.tracker().stats();
+  const auto stats_b = restarted.tracker().stats();
+  EXPECT_EQ(stats_a.epochs_observed, stats_b.epochs_observed);
+  EXPECT_EQ(stats_a.confirmations, stats_b.confirmations);
+  EXPECT_EQ(stats_a.flaps_detected, stats_b.flaps_detected);
+  EXPECT_EQ(stats_a.clears, stats_b.clears);
+  EXPECT_EQ(stats_a.false_clears, stats_b.false_clears);
+  EXPECT_EQ(stats_a.tracked_components, stats_b.tracked_components);
+
+  auto verdicts_a = uninterrupted.tracker().verdicts();
+  auto verdicts_b = restarted.tracker().verdicts();
+  const auto by_component = [](const ComponentVerdict& x, const ComponentVerdict& y) {
+    return x.component < y.component;
+  };
+  std::sort(verdicts_a.begin(), verdicts_a.end(), by_component);
+  std::sort(verdicts_b.begin(), verdicts_b.end(), by_component);
+  ASSERT_EQ(verdicts_a.size(), verdicts_b.size());
+  ASSERT_FALSE(verdicts_a.empty());  // the flap scenario is not vacuous
+  for (std::size_t i = 0; i < verdicts_a.size(); ++i) {
+    const ComponentVerdict& va = verdicts_a[i];
+    const ComponentVerdict& vb = verdicts_b[i];
+    EXPECT_EQ(va.component, vb.component);
+    EXPECT_EQ(va.state, vb.state);
+    EXPECT_EQ(va.blame_streak, vb.blame_streak);
+    EXPECT_EQ(va.quiet_streak, vb.quiet_streak);
+    EXPECT_EQ(va.duty_cycle, vb.duty_cycle);
+    EXPECT_EQ(va.first_blamed_epoch, vb.first_blamed_epoch);
+    EXPECT_EQ(va.last_blamed_epoch, vb.last_blamed_epoch);
+    EXPECT_EQ(va.confirmed_epoch, vb.confirmed_epoch);
+    EXPECT_EQ(va.epochs_to_confirm, vb.epochs_to_confirm);
+    EXPECT_EQ(va.false_clears, vb.false_clears);
+  }
+}
+
+}  // namespace
+}  // namespace flock
