@@ -18,7 +18,9 @@
 //     is a pure performance lever, never a result change).
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.h"
 #include "common/math_util.h"
@@ -282,6 +284,87 @@ int main() {
   }
   std::cout << "\n";
   simd_table.print(std::cout);
+
+  // --- Intra-epoch parallelism A/B (common/parallel_for.h) -------------------
+  // The no-JLE localizer is the embarrassingly parallel surface: every
+  // candidate is evaluated from scratch each iteration. Thread count is a
+  // pure performance lever — predictions AND log-likelihood checksums must
+  // be byte-identical at 1/2/4 threads always; the >= 1.5x speedup at 4
+  // threads is gated only on machines with >= 4 cores (elsewhere the leg
+  // still runs for the identity checks and records informational rows).
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  Table threads_table({"threads", "seconds", "obs/s", "vs 1 thread", "steal %"});
+  double rate_threads_1 = 0.0, rate_threads_4 = 0.0;
+  std::vector<ComponentId> predicted_threads_1;
+  double ll_threads_1 = 0.0;
+  bool threads_identical = true;
+  for (const std::int32_t t : {1, 2, 4}) {
+    FlockOptions nojle = opt;
+    nojle.use_jle = false;
+    nojle.localize_threads = t;
+    const FlockLocalizer nojle_localizer(nojle);
+    double best_seconds = 0.0;
+    LocalizationResult result;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch watch;
+      result = nojle_localizer.localize(deduped);
+      const double seconds = watch.seconds();
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+    }
+    const double obs_per_sec = observations / best_seconds;
+    if (t == 1) {
+      rate_threads_1 = obs_per_sec;
+      predicted_threads_1 = result.predicted;
+      ll_threads_1 = result.log_likelihood;
+    } else {
+      if (t == 4) rate_threads_4 = obs_per_sec;
+      if (result.predicted != predicted_threads_1 ||
+          std::memcmp(&result.log_likelihood, &ll_threads_1, sizeof(double)) != 0) {
+        threads_identical = false;
+      }
+    }
+    const double steal_pct =
+        result.parallel_chunks > 0
+            ? 100.0 * static_cast<double>(result.parallel_steals) /
+                  static_cast<double>(result.parallel_chunks)
+            : 0.0;
+    threads_table.add_row({Table::num(t, 0), Table::num(best_seconds, 4),
+                           Table::num(obs_per_sec, 0),
+                           t == 1 ? "-" : Table::num(obs_per_sec / rate_threads_1, 2),
+                           Table::num(steal_pct, 1)});
+    json.add_row({{"threads", static_cast<double>(t)},
+                  {"seconds", best_seconds},
+                  {"records_per_sec", obs_per_sec}});
+  }
+  std::cout << "\n";
+  threads_table.print(std::cout);
+  if (!threads_identical) {
+    std::cerr << "FAIL: localize_threads changed the no-JLE result (determinism contract: "
+                 "byte-identical predictions and bit-equal log-likelihoods)\n";
+    return 1;
+  }
+  // JLE mode parallelizes only the engine's memo batch-fill; the identity
+  // contract holds there too (informational — no timing gate).
+  {
+    FlockOptions jle4 = opt;
+    jle4.localize_threads = 4;
+    const LocalizationResult team = FlockLocalizer(jle4).localize(deduped);
+    const LocalizationResult serial = localizer.localize(deduped);
+    if (team.predicted != serial.predicted ||
+        std::memcmp(&team.log_likelihood, &serial.log_likelihood, sizeof(double)) != 0) {
+      std::cerr << "FAIL: localize_threads changed the JLE result\n";
+      return 1;
+    }
+  }
+  const double threads_ratio = rate_threads_4 / rate_threads_1;
+  std::cout << "\n4-thread no-JLE localize speedup: " << Table::num(threads_ratio, 2)
+            << "x (required >= 1.5 on >= 4 cores; this machine has " << hw_threads
+            << "), identical results at every thread count\n";
+  if (hw_threads >= 4 && threads_ratio < 1.5) {
+    std::cerr << "FAIL: 4 localize threads only reach " << threads_ratio
+              << "x serial throughput (required >= 1.5 on a >= 4-core machine)\n";
+    return 1;
+  }
   json.write();
 
   if (predicted_simd != predicted_scalar) {

@@ -9,6 +9,7 @@
 // (offer_wait), split across two producer threads. Epochs close on a
 // record-count boundary, so inference overlaps ingest exactly as in the
 // deployed service.
+#include <algorithm>
 #include <thread>
 
 #include "bench_common.h"
@@ -148,6 +149,86 @@ int main() {
   table.print(std::cout);
   std::cout << "\n(speedup is relative to the 1-shard configuration; on a single core it\n"
                "measures pipeline overhead, on N cores it measures shard parallelism)\n";
+
+  // --- Wide-epoch leg: intra-epoch parallelism ------------------------------
+  // One huge epoch (record_limit never hit before stop), 4 shards, a single
+  // localizer thread — the shape where one epoch's inference dominates and
+  // shard-level parallelism cannot help, i.e. exactly what
+  // PipelineConfig.localize_threads exists for. Results must be identical
+  // across thread counts (determinism contract); timing rows are recorded
+  // for the regression gate.
+  std::cout << "\nwide epoch (single epoch, 4 shards, 1 localizer thread):\n\n";
+  Table wide_table({"localize threads", "seconds", "records/s", "vs 1", "parallel chunks"});
+  const std::int32_t wide_team =
+      std::min<std::int32_t>(4, std::max<std::int32_t>(1, static_cast<std::int32_t>(
+                                    std::thread::hardware_concurrency())));
+  double wide_base = 0.0;
+  std::vector<std::vector<ComponentId>> wide_predictions;
+  for (const std::int32_t t : {1, wide_team}) {
+    double best_seconds = 0.0;
+    std::uint64_t parallel_chunks = 0;
+    std::vector<std::vector<ComponentId>> predictions;
+    for (int rep = 0; rep < kReps; ++rep) {
+      EcmpRouter router(topo);
+      router.build_all_tor_pairs();
+
+      PipelineConfig config;
+      config.num_shards = 4;
+      config.localizer.params.p_g = 1e-4;
+      config.localizer.params.p_b = 6e-3;
+      config.localizer.params.rho = 1e-3;
+      config.epoch.record_limit = static_cast<std::uint64_t>(total_records) + 1;
+      config.shard_queue_capacity = 2048;
+      config.localizer_threads = 1;
+      config.localize_threads = t;
+
+      StreamingPipeline pipeline(topo, router, config);
+      Stopwatch watch;
+      const std::size_t half = datagrams.size() / 2;
+      auto feed = [&pipeline, &datagrams](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) pipeline.offer_wait(datagrams[i]);
+      };
+      std::thread producer_a(feed, 0, half);
+      std::thread producer_b(feed, half, datagrams.size());
+      producer_a.join();
+      producer_b.join();
+      pipeline.stop();
+      const double seconds = watch.seconds();
+
+      const auto stats = pipeline.stats();
+      if (stats.records_decoded != total_records || stats.dropped != 0) {
+        std::cerr << "wide epoch: workload not fully processed\n";
+        return 1;
+      }
+      if (rep == 0 || seconds < best_seconds) {
+        best_seconds = seconds;
+        parallel_chunks = stats.parallel_chunks + stats.merge_parallel_chunks;
+        predictions.clear();
+        for (const auto& e : pipeline.results().completed()) {
+          predictions.push_back(e.predicted);
+        }
+      }
+    }
+    if (t == 1) {
+      wide_base = best_seconds;
+      wide_predictions = predictions;
+    } else if (predictions != wide_predictions) {
+      std::cerr << "FAIL: localize_threads=" << t
+                << " changed the wide-epoch diagnoses (determinism contract)\n";
+      return 1;
+    }
+    const double records_per_sec = static_cast<double>(total_records) / best_seconds;
+    wide_table.add_row({Table::integer(t), Table::num(best_seconds, 3),
+                        Table::num(records_per_sec, 0),
+                        t == 1 ? "-" : Table::num(wide_base / best_seconds, 2),
+                        Table::integer(static_cast<long long>(parallel_chunks))});
+    json.add_row({{"wide", 1.0},
+                  {"localize_threads", static_cast<double>(t)},
+                  {"seconds", best_seconds},
+                  {"records_per_sec", records_per_sec}});
+    if (wide_team == 1) break;  // the A/B degenerates to one leg on one core
+  }
+  wide_table.print(std::cout);
   json.write();
   return 0;
 }

@@ -11,12 +11,16 @@
 //     would throw the same complaint later, but a flag typo should die at the
 //     usage line, not mid-replay;
 //   --listen=PORT must parse as a UDP port (0..65535);
+//   --localize-threads=N must be an integer >= 1 and fit the machine's
+//     thread budget both alone and multiplied by the service's localizer
+//     pool (oversubscription is a config error, not a slow run);
 //   anything unrecognized is an error, never silently skipped.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <thread>
 
 namespace flock {
 
@@ -29,17 +33,27 @@ struct ServiceOptions {
   double speed = 1.0;        // --paced only; time-compression factor
   std::string tracker_save;  // snapshot the temporal tracker here after stop()
   std::string tracker_load;  // restore the tracker from here before ingest
+  // Intra-epoch worker-team size per localizer thread (0 = default: the
+  // FLOCK_LOCALIZE_THREADS env var, else serial). Pure performance lever —
+  // diagnoses are byte-identical at any value (see common/parallel_for.h).
+  std::int32_t localize_threads = 0;
 };
+
+// The service's localizer pool size; --localize-threads shares the machine
+// budget with it (PipelineConfig.localizer_threads default).
+inline constexpr std::int32_t kServiceLocalizerPool = 2;
 
 inline const char* service_usage() {
   return "[--listen[=PORT]] [--capture=FILE] [--replay=FILE] [--paced] [--speed=X]"
-         " [--tracker-save=FILE] [--tracker-load=FILE]";
+         " [--tracker-save=FILE] [--tracker-load=FILE] [--localize-threads=N]";
 }
 
 // Parses argv[1..argc) into `opts`. Returns true on success; on failure
-// `error` names the offending flag and why.
+// `error` names the offending flag and why. `hardware_budget` bounds
+// --localize-threads (0 = ask std::thread::hardware_concurrency; injectable
+// so the budget rules are testable on any machine).
 inline bool parse_service_args(int argc, const char* const* argv, ServiceOptions& opts,
-                               std::string& error) {
+                               std::string& error, unsigned hardware_budget = 0) {
   bool speed_given = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +92,17 @@ inline bool parse_service_args(int argc, const char* const* argv, ServiceOptions
       opts.tracker_save = arg.substr(15);
     } else if (arg.rfind("--tracker-load=", 0) == 0) {
       opts.tracker_load = arg.substr(15);
+    } else if (arg.rfind("--localize-threads=", 0) == 0) {
+      const std::string value = arg.substr(19);
+      try {
+        std::size_t used = 0;
+        const int threads = std::stoi(value, &used);
+        if (used != value.size() || threads < 1) throw std::invalid_argument("");
+        opts.localize_threads = threads;
+      } catch (const std::exception&) {
+        error = "--localize-threads: '" + value + "' is not an integer >= 1";
+        return false;
+      }
     } else {
       error = "unknown flag: " + arg;
       return false;
@@ -98,6 +123,27 @@ inline bool parse_service_args(int argc, const char* const* argv, ServiceOptions
   if (speed_given && (!std::isfinite(opts.speed) || opts.speed <= 0)) {
     error = "--speed must be finite and > 0";
     return false;
+  }
+  if (opts.localize_threads > 0) {
+    const unsigned budget =
+        hardware_budget > 0 ? hardware_budget : std::thread::hardware_concurrency();
+    if (budget > 0) {
+      if (static_cast<unsigned>(opts.localize_threads) > budget) {
+        error = "--localize-threads: " + std::to_string(opts.localize_threads) +
+                " exceeds this machine's " + std::to_string(budget) + " hardware threads";
+        return false;
+      }
+      // N = 1 is always fine (serial inside each pool worker); beyond that
+      // every pool worker owns a team, so pool x N must fit the machine.
+      if (opts.localize_threads > 1 &&
+          static_cast<unsigned>(opts.localize_threads) * kServiceLocalizerPool > budget) {
+        error = "--localize-threads: " + std::to_string(opts.localize_threads) + " x " +
+                std::to_string(kServiceLocalizerPool) +
+                " localizer pool threads exceeds the shared thread budget of " +
+                std::to_string(budget);
+        return false;
+      }
+    }
   }
   return true;
 }

@@ -25,6 +25,9 @@
 //   --tracker-load=FILE  restore a tracker snapshot before ingest, so the
 //                    restarted service resumes blame streaks instead of
 //                    relearning them (pairs with --replay of a split capture)
+//   --localize-threads=N  intra-epoch worker team per localizer thread
+//                    (common/parallel_for.h); diagnoses are byte-identical
+//                    at any N — only the per-epoch latency changes
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -105,6 +108,7 @@ int main(int argc, char** argv) {
   config.temporal.confirm_epochs = 2;
   config.temporal.clear_epochs = 2;
   config.temporal.prior_weight = 1.0;
+  config.localize_threads = opts.localize_threads;
   StreamingPipeline pipeline(topo, router, config);
 
   if (!opts.tracker_load.empty()) {
@@ -294,6 +298,14 @@ int main(int argc, char** argv) {
             << " dispatch, " << stats.memo_hits << " memo hits; arenas recycled "
             << stats.arena_reuses << " tables / " << stats.arena_bytes_recycled
             << " bytes\n";
+  // Intra-epoch parallelism (common/parallel_for.h): all zeros in the
+  // default serial configuration.
+  std::cout << "intra-epoch parallelism: " << stats.parallel_chunks << " localize chunks ("
+            << stats.parallel_steals << " run by helpers, "
+            << stats.localize_parallel_ns / 1000000 << " ms busy), "
+            << stats.merge_parallel_chunks << " merge chunks ("
+            << stats.merge_parallel_ns / 1000000 << " ms busy), "
+            << stats.memo_table_reuses << " memo-table reuses\n";
   if (server) {
     // The wire edge's own books (see net/ingest_server.h): everything the
     // socket delivered is either quarantined, shed, or offered downstream.

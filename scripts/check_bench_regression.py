@@ -99,14 +99,21 @@ def main():
                 continue
             floor = base * (1.0 - args.tolerance)
             ok = cur >= floor
+            # Relative delta vs baseline on every row, and an explicit
+            # near-miss flag when a passing row sits within 5% of its floor —
+            # the rows to watch before they become regressions.
+            delta = (cur - base) / base
+            near_miss = ok and floor > 0 and cur < floor * 1.05
             print(
                 f"{'ok  ' if ok else 'FAIL'} {fmt_key(key)}: "
-                f"{cur:,.0f} rec/s vs baseline {base:,.0f} (floor {floor:,.0f})"
+                f"{cur:,.0f} rec/s vs baseline {base:,.0f} "
+                f"({delta:+.1%}; floor {floor:,.0f})"
+                + (" [near miss: within 5% of the floor]" if near_miss else "")
             )
             if not ok:
                 failures.append(
                     f"{fmt_key(key)}: {cur:,.0f} rec/s is more than "
-                    f"{args.tolerance:.0%} below baseline {base:,.0f}"
+                    f"{args.tolerance:.0%} below baseline {base:,.0f} ({delta:+.1%})"
                 )
 
     if failures:

@@ -1,0 +1,200 @@
+#include "common/parallel_for.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace flock::parallel {
+
+namespace {
+// Set for the lifetime of every helper thread: thread_runner() refuses to
+// build a nested team on a thread that is already somebody's helper.
+thread_local bool t_is_helper = false;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ParallelRunner::ParallelRunner(std::int32_t num_threads)
+    : num_threads_(std::max<std::int32_t>(1, num_threads)) {
+  helpers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (std::int32_t i = 1; i < num_threads_; ++i) {
+    helpers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : helpers_) t.join();
+}
+
+std::int64_t ParallelRunner::num_chunks(std::int64_t n, std::int64_t grain) {
+  if (n <= 0) return 0;
+  if (grain <= 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+void ParallelRunner::worker_loop() {
+  t_is_helper = true;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    job_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    if (body_ == nullptr) continue;  // the job finished before this wakeup
+    const ChunkFn* body = body_;
+    const std::int64_t chunks = job_chunks_;
+    const std::int64_t n = job_n_;
+    const std::int64_t grain = job_grain_;
+    ++active_helpers_;
+    lock.unlock();
+    run_chunks(*body, chunks, n, grain, /*helper=*/true);
+    lock.lock();
+    if (--active_helpers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ParallelRunner::run_chunks(const ChunkFn& fn, std::int64_t chunks, std::int64_t n,
+                                std::int64_t grain, bool helper) {
+  for (;;) {
+    const std::int64_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= chunks) return;
+    const std::int64_t begin = chunk * grain;
+    const std::int64_t end = std::min(n, begin + grain);
+    const std::uint64_t t0 = now_ns();
+    try {
+      fn(chunk, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    chunks_run_.fetch_add(1, std::memory_order_relaxed);
+    if (helper) helper_chunks_.fetch_add(1, std::memory_order_relaxed);
+    if (done_chunks_.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_done_ = true;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelRunner::for_chunks(std::int64_t n, std::int64_t grain, const ChunkFn& fn) {
+  if (grain <= 0) grain = 1;
+  const std::int64_t chunks = num_chunks(n, grain);
+  if (chunks == 0) return;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (in_use_) {
+      throw std::logic_error("ParallelRunner: reentrant parallel region on one runner");
+    }
+    in_use_ = true;
+    // A straggler from the previous job may still be inside run_chunks doing
+    // one final (futile) claim; the claim counters must not be reset under
+    // it. Jobs are far coarser than this wait, so it is effectively free.
+    done_cv_.wait(lock, [&] { return active_helpers_ == 0; });
+    error_ = nullptr;
+    const bool fan_out = !helpers_.empty() && chunks > 1;
+    if (fan_out) {
+      body_ = &fn;
+      job_n_ = n;
+      job_grain_ = grain;
+      job_chunks_ = chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      done_chunks_.store(0, std::memory_order_relaxed);
+      job_done_ = false;
+      ++generation_;
+      lock.unlock();
+      job_cv_.notify_all();
+      run_chunks(fn, chunks, n, grain, /*helper=*/false);
+      lock.lock();
+      done_cv_.wait(lock, [&] { return job_done_; });
+      body_ = nullptr;
+    } else {
+      // Serial path (1-thread runner, or a single chunk): same chunk grid,
+      // same counters, no handoff.
+      lock.unlock();
+      for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
+        const std::int64_t begin = chunk * grain;
+        const std::int64_t end = std::min(n, begin + grain);
+        const std::uint64_t t0 = now_ns();
+        try {
+          fn(chunk, begin, end);
+        } catch (...) {
+          std::lock_guard<std::mutex> inner(mutex_);
+          if (!error_) error_ = std::current_exception();
+        }
+        busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+        chunks_run_.fetch_add(1, std::memory_order_relaxed);
+      }
+      lock.lock();
+    }
+    in_use_ = false;
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+double ParallelRunner::reduce(std::int64_t n, std::int64_t grain, const ReduceFn& fn) {
+  const std::int64_t chunks = num_chunks(n, grain);
+  if (chunks == 0) return 0.0;
+  std::vector<double> partials(static_cast<std::size_t>(chunks), 0.0);
+  for_chunks(n, grain, [&](std::int64_t chunk, std::int64_t begin, std::int64_t end) {
+    partials[static_cast<std::size_t>(chunk)] = fn(chunk, begin, end);
+  });
+  // Ordered pairwise tree: adjacent pairs, level by level, in chunk order.
+  // The rounding sequence is a function of the chunk count alone.
+  std::size_t width = partials.size();
+  while (width > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i + 1 < width; i += 2) partials[out++] = partials[i] + partials[i + 1];
+    if (width % 2 == 1) partials[out++] = partials[width - 1];
+    width = out;
+  }
+  return partials[0];
+}
+
+std::int32_t env_threads() {
+  static const std::int32_t cached = [] {
+    const char* value = std::getenv("FLOCK_LOCALIZE_THREADS");
+    if (value == nullptr || *value == '\0') return 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed <= 0) return 0;
+    return static_cast<std::int32_t>(std::min<long>(parsed, 256));
+  }();
+  return cached;
+}
+
+std::int32_t resolve_threads(std::int32_t requested) {
+  if (requested > 0) return std::min<std::int32_t>(requested, 256);
+  const std::int32_t env = env_threads();
+  return env > 0 ? env : 1;
+}
+
+ParallelRunner* thread_runner(std::int32_t threads) {
+  if (threads <= 1 || t_is_helper) return nullptr;
+  thread_local std::unique_ptr<ParallelRunner> cached;
+  thread_local std::int32_t cached_threads = 0;
+  if (!cached || cached_threads != threads) {
+    cached = std::make_unique<ParallelRunner>(threads);
+    cached_threads = threads;
+  }
+  return cached.get();
+}
+
+}  // namespace flock::parallel

@@ -1,0 +1,129 @@
+// Deterministic data-parallel runtime for the inference hot path: a small
+// persistent worker team with *fixed chunking independent of thread count*
+// and an ordered pairwise tree reduction.
+//
+// The determinism discipline is the same one src/common/simd.h established
+// for AVX2-vs-scalar: thread count is a pure performance lever, never a
+// result change. Two rules make that hold:
+//
+//   * Chunk boundaries are a function of (n, grain) ONLY. A job over n
+//     elements always splits into ceil(n / grain) chunks of `grain` elements
+//     (last one ragged), whether 1 or 16 threads execute them. Threads claim
+//     chunks dynamically, so *which thread* runs a chunk varies run to run —
+//     but every chunk covers the same index range, so disjoint-output work
+//     (each chunk writes its own slots) is bit-identical at any thread count.
+//   * reduce() combines the per-chunk partials in a fixed pairwise tree
+//     (adjacent pairs, level by level, in chunk order). The floating-point
+//     rounding sequence depends only on the chunk count, never on execution
+//     order or thread count — bit-identical doubles at 1, 2, or N threads.
+//
+// The engine-facing callers add a third rule on top: every *result-affecting*
+// sum keeps the exact serial accumulation order (chunks are whole outputs —
+// one memo slot, one candidate range — whose internal loops are unchanged),
+// so `localize_threads=1` output is byte-identical to the historical serial
+// path AND to every multi-threaded run. See docs/ARCHITECTURE.md.
+//
+// Thread budget: a runner with `num_threads = T` spawns T−1 persistent
+// helpers; the calling thread is the T-th worker and always participates.
+// thread_runner() caches one runner per calling thread and refuses to hand a
+// runner to a thread that is itself a helper (no recursive team explosion);
+// reentrant use of one runner throws instead of deadlocking.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flock::parallel {
+
+class ParallelRunner {
+ public:
+  // Chunk body: fn(chunk_index, begin, end) over [begin, end) ⊂ [0, n).
+  using ChunkFn = std::function<void(std::int64_t, std::int64_t, std::int64_t)>;
+  using ReduceFn = std::function<double(std::int64_t, std::int64_t, std::int64_t)>;
+
+  // Spawns num_threads − 1 persistent helper threads (0 helpers when
+  // num_threads <= 1: every job then runs serially on the caller).
+  explicit ParallelRunner(std::int32_t num_threads);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  std::int32_t num_threads() const { return num_threads_; }
+
+  // The fixed chunk grid: ceil(n / grain) chunks, independent of threads.
+  static std::int64_t num_chunks(std::int64_t n, std::int64_t grain);
+
+  // Run fn over every chunk of [0, n); the caller participates and returns
+  // only when all chunks completed. The first exception thrown by any chunk
+  // is rethrown here (remaining chunks still run — outputs are disjoint, so
+  // a poisoned job never leaves a torn slot). Reentrant use of this runner
+  // from inside a chunk body throws std::logic_error.
+  void for_chunks(std::int64_t n, std::int64_t grain, const ChunkFn& fn);
+
+  // Σ over chunks of fn(chunk, begin, end), combined in a fixed pairwise
+  // tree in chunk order: bit-identical at any thread count.
+  double reduce(std::int64_t n, std::int64_t grain, const ReduceFn& fn);
+
+  // Monotonic counters (safe to read concurrently with jobs).
+  std::uint64_t chunks_run() const { return chunks_run_.load(std::memory_order_relaxed); }
+  // Chunks executed by helper threads rather than the submitting caller —
+  // the intra-epoch analogue of the shard executor's "stolen batches".
+  std::uint64_t helper_chunks() const {
+    return helper_chunks_.load(std::memory_order_relaxed);
+  }
+  // Total ns spent inside chunk bodies, summed across all executing threads.
+  std::uint64_t busy_ns() const { return busy_ns_.load(std::memory_order_relaxed); }
+
+ private:
+  void worker_loop();
+  void run_chunks(const ChunkFn& fn, std::int64_t chunks, std::int64_t n, std::int64_t grain,
+                  bool helper);
+
+  const std::int32_t num_threads_;
+  std::vector<std::thread> helpers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   // helpers wait for a new job generation
+  std::condition_variable done_cv_;  // caller waits for completion / stragglers
+  const ChunkFn* body_ = nullptr;    // non-null only while a job is live
+  std::int64_t job_n_ = 0;
+  std::int64_t job_grain_ = 0;
+  std::int64_t job_chunks_ = 0;
+  std::uint64_t generation_ = 0;
+  std::int32_t active_helpers_ = 0;
+  bool job_done_ = false;
+  bool in_use_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;
+
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::atomic<std::int64_t> done_chunks_{0};
+  std::atomic<std::uint64_t> chunks_run_{0};
+  std::atomic<std::uint64_t> helper_chunks_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+};
+
+// FLOCK_LOCALIZE_THREADS, read once per process: 0 when unset, empty, "0",
+// or unparsable; otherwise the value clamped to [1, 256]. The same
+// convention as FLOCK_FORCE_SCALAR: an environment lever for CI legs and
+// A/B runs that must never change results (the determinism contract above).
+std::int32_t env_threads();
+
+// The effective intra-epoch thread count for a configured value: an explicit
+// request (> 0) wins; 0 defers to FLOCK_LOCALIZE_THREADS, defaulting to 1.
+std::int32_t resolve_threads(std::int32_t requested);
+
+// Per-thread cached runner. Returns nullptr — meaning "run serial" — when
+// threads <= 1 or when the calling thread is itself a ParallelRunner helper
+// (nested teams would oversubscribe the budget). The runner persists for the
+// thread's lifetime and is rebuilt only when `threads` changes.
+ParallelRunner* thread_runner(std::int32_t threads);
+
+}  // namespace flock::parallel

@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel_for.h"
 #include "common/stopwatch.h"
 #include "core/likelihood_engine.h"
 
 namespace flock {
+
+namespace {
+// Below this many candidates the no-JLE scan's handoff overhead beats the
+// win; the serial loop is kept verbatim for small inputs.
+constexpr std::int32_t kParallelScanMin = 32;
+constexpr std::int64_t kParallelScanGrain = 16;
+}  // namespace
 
 LocalizationResult FlockLocalizer::localize(const InferenceInput& input) const {
   return localize_impl(input, nullptr);
@@ -20,8 +28,26 @@ LocalizationResult FlockLocalizer::localize(const InferenceInput& input,
 LocalizationResult FlockLocalizer::localize_impl(
     const InferenceInput& input, const std::vector<double>* prior_logodds) const {
   Stopwatch watch;
-  LikelihoodEngine engine(input, options_.params, options_.use_jle, prior_logodds);
+  const std::int32_t threads = parallel::resolve_threads(options_.localize_threads);
+  parallel::ParallelRunner* runner = parallel::thread_runner(threads);
+  const std::uint64_t chunks0 = runner != nullptr ? runner->chunks_run() : 0;
+  const std::uint64_t steals0 = runner != nullptr ? runner->helper_chunks() : 0;
+  const std::uint64_t busy0 = runner != nullptr ? runner->busy_ns() : 0;
+  LikelihoodEngine engine(input, options_.params, options_.use_jle, prior_logodds, runner);
   const std::int32_t n = engine.num_components();
+
+  // Scratch for the parallel no-JLE scan: per-chunk argmax slots, combined
+  // in fixed chunk order below so the winner — including earliest-index
+  // tie-breaks — is exactly what the serial loop picks.
+  std::vector<double> chunk_best_score;
+  std::vector<ComponentId> chunk_best;
+  const bool parallel_scan = runner != nullptr && !options_.use_jle && n >= kParallelScanMin;
+  if (parallel_scan) {
+    const auto chunks =
+        static_cast<std::size_t>(parallel::ParallelRunner::num_chunks(n, kParallelScanGrain));
+    chunk_best_score.resize(chunks);
+    chunk_best.resize(chunks);
+  }
 
   while (engine.hypothesis_size() < options_.max_hypothesis_size) {
     ComponentId best = kInvalidComponent;
@@ -33,6 +59,32 @@ LocalizationResult FlockLocalizer::localize_impl(
         best = cand;
         best_score = score;
       }
+    } else if (parallel_scan) {
+      // Candidates are independent reads of a const engine; each chunk runs
+      // its slice in ascending order with the serial loop's strict-> rule.
+      runner->for_chunks(n, kParallelScanGrain,
+                         [&](std::int64_t chunk, std::int64_t begin, std::int64_t end) {
+                           double local_score = 0.0;
+                           ComponentId local_best = kInvalidComponent;
+                           for (std::int64_t c = begin; c < end; ++c) {
+                             const auto cand = static_cast<ComponentId>(c);
+                             if (engine.failed(cand)) continue;
+                             const double score = engine.flip_score(cand);
+                             if (score > local_score) {
+                               local_score = score;
+                               local_best = cand;
+                             }
+                           }
+                           chunk_best_score[static_cast<std::size_t>(chunk)] = local_score;
+                           chunk_best[static_cast<std::size_t>(chunk)] = local_best;
+                         });
+      for (std::size_t i = 0; i < chunk_best.size(); ++i) {
+        if (chunk_best[i] != kInvalidComponent && chunk_best_score[i] > best_score) {
+          best_score = chunk_best_score[i];
+          best = chunk_best[i];
+        }
+      }
+      engine.note_scan(n - engine.hypothesis_size());
     } else {
       for (ComponentId c = 0; c < n; ++c) {
         if (engine.failed(c)) continue;
@@ -79,6 +131,14 @@ LocalizationResult FlockLocalizer::localize_impl(
   result.log_likelihood = engine.log_posterior();
   result.hypotheses_scanned = engine.hypotheses_scanned();
   result.memo_hits = engine.memo_hits();
+  result.memo_table_reuses = engine.memo_table_reuses();
+  if (runner != nullptr) {
+    // The runner is thread-cached across localize calls; deltas attribute
+    // exactly this call's chunks to this result.
+    result.parallel_chunks = runner->chunks_run() - chunks0;
+    result.parallel_steals = runner->helper_chunks() - steals0;
+    result.parallel_ns = runner->busy_ns() - busy0;
+  }
   result.seconds = watch.seconds();
   return result;
 }

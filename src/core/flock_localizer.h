@@ -28,6 +28,12 @@ struct FlockOptions {
   // the members of a link equivalence class — reporting the whole class is
   // what lets Fig 5c say "narrowed down to 2-3 possibilities".
   double equivalence_epsilon = 0.0;
+  // Intra-epoch worker-team size for one localize call (common/parallel_for.h).
+  // 0 defers to FLOCK_LOCALIZE_THREADS (default 1 = serial). Thread count is
+  // a pure performance lever: predictions and log-likelihoods are
+  // byte-identical at 1, 2, or N threads — every parallelized sum keeps its
+  // serial accumulation order.
+  std::int32_t localize_threads = 0;
 };
 
 class FlockLocalizer final : public Localizer {

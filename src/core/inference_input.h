@@ -125,6 +125,16 @@ struct LocalizationResult {
   // Lookups the likelihood engine's dense S(x) memo served without a column
   // scan (see core/likelihood_engine.h); rides into PipelineStats::memo_hits.
   std::uint64_t memo_hits = 0;
+  // Applies that reused the memo's one-time allocation instead of paying two
+  // O(w) clears (stamp invalidation; see core/likelihood_engine.h).
+  std::uint64_t memo_table_reuses = 0;
+  // Intra-epoch parallelism counters for this localize call (zero when it
+  // ran serial; see common/parallel_for.h): chunks executed, chunks taken by
+  // helper threads rather than the calling thread, and total ns inside chunk
+  // bodies summed across threads.
+  std::uint64_t parallel_chunks = 0;
+  std::uint64_t parallel_steals = 0;
+  std::uint64_t parallel_ns = 0;
   double seconds = 0.0;
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/math_util.h"
+#include "common/parallel_for.h"
 #include "common/simd.h"
 
 namespace flock {
@@ -15,6 +16,10 @@ namespace {
 // while the stable per-row flow_log_likelihood_delta handles any s. e^690 ≈
 // 5e299 leaves four orders of magnitude of headroom for the b multiplier.
 constexpr double kMaxVectorEvidence = 690.0;
+// The S(x) batch-fill fans out to the runner only when needed_slots ×
+// rows_scanned_per_slot clears this: below it, the job handoff (one mutex +
+// cv wakeup round) costs more than the column scans it distributes.
+constexpr std::int64_t kParallelFillRows = 32768;
 }  // namespace
 
 double LikelihoodEngine::ugroup_sum(const UnknownGroup& g, std::int64_t bad_paths,
@@ -42,8 +47,9 @@ double LikelihoodEngine::ugroup_sum(const UnknownGroup& g, std::int64_t bad_path
 
 LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParams& params,
                                    bool maintain_delta,
-                                   const std::vector<double>* prior_logodds)
-    : input_(&input), params_(params), maintain_delta_(maintain_delta) {
+                                   const std::vector<double>* prior_logodds,
+                                   parallel::ParallelRunner* runner)
+    : input_(&input), params_(params), maintain_delta_(maintain_delta), runner_(runner) {
   const Topology& topo = input.topology();
   const EcmpRouter& router = input.router();
   n_comps_ = topo.num_components();
@@ -192,6 +198,21 @@ LikelihoodEngine::LikelihoodEngine(const InferenceInput& input, const FlockParam
     for (ComponentId c : st.universe) ps_of_comp_[static_cast<std::size_t>(c)].push_back(ps);
   }
 
+  // Per-path-set row totals (the parallel batch-fill gate) and the one-time
+  // S(x) memo sizing: one slot per flip target of the widest used set.
+  std::size_t max_slots = 0;
+  for (PathSetId ps : used_path_sets_) {
+    PathSetState& st = ps_state_mut(ps);
+    for (std::int32_t gi : st.ugroups) {
+      const UnknownGroup& g = ugroups_[static_cast<std::size_t>(gi)];
+      st.rows_total += g.row_end - g.row_begin;
+    }
+    max_slots = std::max(max_slots, router.path_set(ps).paths.size() + 1);
+  }
+  sum_table_.assign(max_slots, 0.0);
+  sum_mark_.assign(max_slots, 0);
+  sum_stamp_.assign(max_slots, 0);
+
   if (maintain_delta_) {
     delta_.assign(static_cast<std::size_t>(n_comps_), 0.0);
     for (PathSetId ps : used_path_sets_) apply_pathset_contribs(ps, +1.0);
@@ -271,6 +292,45 @@ std::int32_t LikelihoodEngine::counter_crit(ComponentId c) const {
   return scratch_epoch_[i] == epoch_ ? scratch_crit_[i] : 0;
 }
 
+void LikelihoodEngine::begin_sum_epoch(std::int64_t w) {
+  // The memo tables are sized once (constructor, widest path set); growing
+  // here only happens if a path set was empty at construction. A bumped
+  // stamp invalidates every slot without touching the storage.
+  const std::size_t need = static_cast<std::size_t>(w) + 1;
+  if (sum_table_.size() < need) {
+    sum_table_.resize(need, 0.0);
+    sum_mark_.resize(need, 0);
+    sum_stamp_.resize(need, 0);
+  } else {
+    ++memo_table_reuses_;
+  }
+  ++sum_epoch_;
+  sum_needed_.clear();
+}
+
+void LikelihoodEngine::fill_marked_sums(const std::int32_t* gis, std::size_t n_gis,
+                                        std::int64_t w, std::int64_t rows_total) {
+  const auto n_needed = static_cast<std::int64_t>(sum_needed_.size());
+  // Each slot x accumulates its groups in the same order the serial loop
+  // visits them, so splitting slots across threads is bit-identical to the
+  // single-threaded fill (the parallel_for.h determinism discipline).
+  auto fill_slot = [&](std::int64_t i) {
+    const std::int64_t x = sum_needed_[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k < n_gis; ++k) {
+      const UnknownGroup& g = ugroups_[static_cast<std::size_t>(gis[k])];
+      if (g.endpoint_fail_count != 0) continue;
+      sum_table_[static_cast<std::size_t>(x)] += ugroup_sum(g, x, w);
+    }
+  };
+  if (runner_ != nullptr && n_needed >= 2 && n_needed * rows_total >= kParallelFillRows) {
+    runner_->for_chunks(n_needed, 1, [&](std::int64_t, std::int64_t begin, std::int64_t end) {
+      for (std::int64_t i = begin; i < end; ++i) fill_slot(i);
+    });
+  } else {
+    for (std::int64_t i = 0; i < n_needed; ++i) fill_slot(i);
+  }
+}
+
 void LikelihoodEngine::apply_pathset_contribs(PathSetId ps, double sign) {
   const EcmpRouter& router = input_->router();
   const PathSetState& st = ps_state(ps);
@@ -304,37 +364,30 @@ void LikelihoodEngine::apply_pathset_contribs(PathSetId ps, double sign) {
 
   // Dense S(x) memo for this update: mark the flip targets the universe
   // needs, batch-fill the marked slots group-major (each group's columns
-  // stream through the kernel once per needed x while hot), then apply.
-  sum_table_.assign(static_cast<std::size_t>(w) + 1, 0.0);
-  sum_mark_.assign(static_cast<std::size_t>(w) + 1, 0);
+  // stream through the kernel once per needed x while hot), then apply. The
+  // table is stamp-invalidated, never cleared (see the header).
+  begin_sum_epoch(w);
   sum_table_[static_cast<std::size_t>(b)] = sum_at_b;
   sum_mark_[static_cast<std::size_t>(b)] = 1;
-  bool any_needed = false;
+  sum_stamp_[static_cast<std::size_t>(b)] = sum_epoch_;
   for (ComponentId c : st.universe) {
     const std::int64_t x = failed_[static_cast<std::size_t>(c)] ? b - counter_crit(c)
                                                                 : b + counter_good(c);
     if (x == b) continue;
     ++memo_lookups_;
-    if (sum_mark_[static_cast<std::size_t>(x)] == 0) {
-      sum_mark_[static_cast<std::size_t>(x)] = 2;
-      any_needed = true;
+    const auto xi = static_cast<std::size_t>(x);
+    if (sum_stamp_[xi] != sum_epoch_) {
+      sum_stamp_[xi] = sum_epoch_;
+      sum_mark_[xi] = 2;
+      sum_table_[xi] = 0.0;
+      sum_needed_.push_back(x);
     }
   }
-  if (any_needed) {
-    for (std::int32_t gi : st.ugroups) {
-      const UnknownGroup& g = ugroups_[static_cast<std::size_t>(gi)];
-      if (g.endpoint_fail_count != 0) continue;
-      for (std::int64_t x = 0; x <= w; ++x) {
-        if (sum_mark_[static_cast<std::size_t>(x)] == 2) {
-          sum_table_[static_cast<std::size_t>(x)] += ugroup_sum(g, x, w);
-        }
-      }
-    }
-    for (std::int64_t x = 0; x <= w; ++x) {
-      if (sum_mark_[static_cast<std::size_t>(x)] == 2) {
-        sum_mark_[static_cast<std::size_t>(x)] = 1;
-        ++memo_entries_;
-      }
+  if (!sum_needed_.empty()) {
+    fill_marked_sums(st.ugroups.data(), st.ugroups.size(), w, st.rows_total);
+    for (std::int64_t x : sum_needed_) {
+      sum_mark_[static_cast<std::size_t>(x)] = 1;
+      ++memo_entries_;
     }
   }
 
@@ -357,28 +410,28 @@ void LikelihoodEngine::apply_ugroup_contribs(std::int32_t gi, double sign) {
     const double fb = ugroup_sum(g, b, w);
     compute_counters(g.path_set);
     // Single-group form of the dense S(x) memo: mark, batch-fill, apply.
-    sum_table_.assign(static_cast<std::size_t>(w) + 1, 0.0);
-    sum_mark_.assign(static_cast<std::size_t>(w) + 1, 0);
+    begin_sum_epoch(w);
     sum_table_[static_cast<std::size_t>(b)] = fb;
     sum_mark_[static_cast<std::size_t>(b)] = 1;
-    bool any_needed = false;
+    sum_stamp_[static_cast<std::size_t>(b)] = sum_epoch_;
     for (ComponentId c : st.universe) {
       const std::int64_t x = failed_[static_cast<std::size_t>(c)] ? b - counter_crit(c)
                                                                   : b + counter_good(c);
       if (x == b) continue;
       ++memo_lookups_;
-      if (sum_mark_[static_cast<std::size_t>(x)] == 0) {
-        sum_mark_[static_cast<std::size_t>(x)] = 2;
-        any_needed = true;
+      const auto xi = static_cast<std::size_t>(x);
+      if (sum_stamp_[xi] != sum_epoch_) {
+        sum_stamp_[xi] = sum_epoch_;
+        sum_mark_[xi] = 2;
+        sum_table_[xi] = 0.0;
+        sum_needed_.push_back(x);
       }
     }
-    if (any_needed) {
-      for (std::int64_t x = 0; x <= w; ++x) {
-        if (sum_mark_[static_cast<std::size_t>(x)] == 2) {
-          sum_table_[static_cast<std::size_t>(x)] = ugroup_sum(g, x, w);
-          sum_mark_[static_cast<std::size_t>(x)] = 1;
-          ++memo_entries_;
-        }
+    if (!sum_needed_.empty()) {
+      fill_marked_sums(&gi, 1, w, g.row_end - g.row_begin);
+      for (std::int64_t x : sum_needed_) {
+        sum_mark_[static_cast<std::size_t>(x)] = 1;
+        ++memo_entries_;
       }
     }
     for (ComponentId c : st.universe) {

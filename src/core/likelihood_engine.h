@@ -50,6 +50,10 @@
 #include "core/inference_input.h"
 #include "core/params.h"
 
+namespace flock::parallel {
+class ParallelRunner;
+}  // namespace flock::parallel
+
 namespace flock {
 
 class LikelihoodEngine {
@@ -62,9 +66,17 @@ class LikelihoodEngine {
   // clamped below the full prior), and a null/empty vector leaves every
   // prior computation byte-identical to the prior-less engine. The pointee
   // must outlive the engine.
+  //
+  // `runner`, when non-null, parallelizes the S(x) memo batch-fill (the
+  // group-major universe scan of every Delta initialization and update)
+  // across the runner's team. Each memo slot x keeps its serial group-order
+  // accumulation sequence — slots are merely computed concurrently — so
+  // results are byte-identical with or without a runner, at any thread
+  // count (common/parallel_for.h). The pointee must outlive the engine.
   LikelihoodEngine(const InferenceInput& input, const FlockParams& params,
                    bool maintain_delta = true,
-                   const std::vector<double>* prior_logodds = nullptr);
+                   const std::vector<double>* prior_logodds = nullptr,
+                   parallel::ParallelRunner* runner = nullptr);
 
   std::int32_t num_components() const { return n_comps_; }
   bool failed(ComponentId c) const { return failed_[static_cast<std::size_t>(c)] != 0; }
@@ -110,6 +122,11 @@ class LikelihoodEngine {
   // PipelineStats::memo_hits.
   std::uint64_t memo_lookups() const { return memo_lookups_; }
   std::uint64_t memo_hits() const { return memo_lookups_ - memo_entries_; }
+  // apply_* calls that reused the memo's allocation (sized once at
+  // construction to the widest path set, invalidated by epoch stamp instead
+  // of a per-apply clear): each is a saved allocation/O(w) clear vs the old
+  // per-apply assign. Rides into PipelineStats alongside memo_hits.
+  std::uint64_t memo_table_reuses() const { return memo_table_reuses_; }
 
  private:
   // Unknown-path flows of one table group: rows share (path_set, src_link,
@@ -146,6 +163,7 @@ class LikelihoodEngine {
     std::vector<std::int32_t> ugroups;  // UnknownGroup indices using this set
     std::vector<ComponentId> universe;  // distinct components across paths
     std::int32_t bad_paths = 0;         // paths with >= 1 failed component
+    std::int64_t rows_total = 0;        // Σ rows across ugroups (parallel gate)
   };
 
   const PathSetState& ps_state(PathSetId ps) const {
@@ -179,10 +197,19 @@ class LikelihoodEngine {
   // Contribution of a single known-path entry.
   void apply_kentry_contribs(std::int32_t ei, double sign);
 
+  // Batch-fill of the S(x) memo's needed slots (sum_needed_) over the given
+  // groups: each slot x accumulates ugroup_sum(g, x, w) in group order —
+  // exactly the serial sequence — with slots farmed to the runner when the
+  // job is large enough. Start a new memo epoch with begin_sum_epoch first.
+  void begin_sum_epoch(std::int64_t w);
+  void fill_marked_sums(const std::int32_t* gis, std::size_t n_gis, std::int64_t w,
+                        std::int64_t rows_total);
+
   const InferenceInput* input_;
   FlockParams params_;
   bool maintain_delta_;
   const std::vector<double>* extra_prior_ = nullptr;  // null = no carryover
+  parallel::ParallelRunner* runner_ = nullptr;        // null = serial
 
   std::int32_t n_comps_ = 0;
   std::vector<char> failed_;
@@ -225,16 +252,25 @@ class LikelihoodEngine {
   mutable std::int64_t epoch_ = 0;
 
   // Dense per-update memo of S(x) = weighted sum over the active groups'
-  // rows of f(x, w, s), indexed by the flip target x ∈ [0, w]. Rebuilt per
-  // apply call: the universe scan first marks the x values it needs
-  // (sum_mark_: 0 = absent, 2 = needed, 1 = filled), then the marked slots
-  // are batch-filled group-major so each group's columns stream through the
-  // kernel once per needed x while hot. Replaces the old per-x
-  // unordered_map (no hashing on the hot path, no rehash churn).
+  // rows of f(x, w, s), indexed by the flip target x ∈ [0, w]. The storage
+  // is sized ONCE at construction to the widest used path set and reused by
+  // every apply call: a slot is valid only when its stamp matches the
+  // current sum_epoch_, so starting a new apply is one counter bump instead
+  // of two O(w) clears (memo_table_reuses_ counts the saved reallocations).
+  // Per apply, the universe scan marks the x values it needs (sum_mark_:
+  // 2 = needed, 1 = filled; meaningful only under a current stamp) and
+  // collects them in sum_needed_; the needed slots are then batch-filled
+  // group-major — optionally in parallel, one slot per task, each keeping
+  // the serial group-order accumulation — so each group's columns stream
+  // through the kernel once per needed x while hot.
   mutable std::vector<double> sum_table_;
   mutable std::vector<std::uint8_t> sum_mark_;
+  mutable std::vector<std::uint64_t> sum_stamp_;
+  mutable std::uint64_t sum_epoch_ = 0;
+  mutable std::vector<std::int64_t> sum_needed_;
   mutable std::uint64_t memo_lookups_ = 0;
   mutable std::uint64_t memo_entries_ = 0;
+  mutable std::uint64_t memo_table_reuses_ = 0;
 };
 
 }  // namespace flock

@@ -1,15 +1,41 @@
 #include "pipeline/pipeline.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <thread>
+
+#include "common/parallel_for.h"
 
 namespace flock {
+
+namespace {
+// Shared thread budget: each of the pool's K localizer threads (and each
+// shard worker, at its barrier) owns an intra-epoch team of this size, so
+// the effective value is clamped to hardware_concurrency / K — pool x inner
+// never oversubscribes the machine. The result is stored back non-zero so
+// the env lever is consulted exactly once, here.
+FlockOptions with_localize_threads(FlockOptions options, std::int32_t requested,
+                                   std::size_t pool_threads) {
+  if (requested <= 0) requested = options.localize_threads;
+  std::int32_t effective = parallel::resolve_threads(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    const auto budget = static_cast<std::int32_t>(std::max<std::size_t>(
+        1, static_cast<std::size_t>(hw) / std::max<std::size_t>(1, pool_threads)));
+    effective = std::min(effective, budget);
+  }
+  options.localize_threads = std::max(1, effective);
+  return options;
+}
+}  // namespace
 
 StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
                                      PipelineConfig config)
     : config_(config),
       router_(&router),
-      localizer_(config.localizer),
+      localizer_(with_localize_threads(config.localizer, config.localize_threads,
+                                       config.localizer_threads)),
       queue_(config.ingest_capacity) {
   // The ECMP class partition is computed once and shared: the sink collapses
   // each merged hypothesis to one representative per class, and the tracker
@@ -40,6 +66,10 @@ StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
       config.localizer_threads,
       [this](EpochSnapshot snap, LocalizationResult result) {
         memo_hits_.fetch_add(result.memo_hits, std::memory_order_relaxed);
+        memo_table_reuses_.fetch_add(result.memo_table_reuses, std::memory_order_relaxed);
+        parallel_chunks_.fetch_add(result.parallel_chunks, std::memory_order_relaxed);
+        parallel_steals_.fetch_add(result.parallel_steals, std::memory_order_relaxed);
+        parallel_ns_.fetch_add(result.parallel_ns, std::memory_order_relaxed);
         sink_->add(snap, result);
         // The sink copies what it keeps; the snapshot's table goes back
         // to its origin shard's epoch arena.
@@ -47,8 +77,8 @@ StreamingPipeline::StreamingPipeline(const Topology& topo, EcmpRouter& router,
       });
   shards_ = std::make_unique<ShardExecutor>(
       topo, router,
-      ShardExecutorOptions{config.num_shards, config.shard_queue_capacity,
-                           config.steal_batch},
+      ShardExecutorOptions{config.num_shards, config.shard_queue_capacity, config.steal_batch,
+                           localizer_.options().localize_threads},
       config.collector,
       [this](EpochSnapshot snap) {
         // Empty shards skip inference; the sink still needs their vote
@@ -153,6 +183,12 @@ PipelineStats StreamingPipeline::stats() const {
   s.arena_reuses = shards_->arena_reuses();
   s.arena_bytes_recycled = shards_->arena_bytes_recycled();
   s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+  s.memo_table_reuses = memo_table_reuses_.load(std::memory_order_relaxed);
+  s.parallel_chunks = parallel_chunks_.load(std::memory_order_relaxed);
+  s.parallel_steals = parallel_steals_.load(std::memory_order_relaxed);
+  s.localize_parallel_ns = parallel_ns_.load(std::memory_order_relaxed);
+  s.merge_parallel_chunks = shards_->merge_parallel_chunks();
+  s.merge_parallel_ns = shards_->merge_parallel_ns();
   const auto t = tracker_->stats();
   s.tracker_confirmations = t.confirmations;
   s.tracker_flaps = t.flaps_detected;

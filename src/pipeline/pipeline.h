@@ -46,6 +46,16 @@ struct PipelineConfig {
   // stealing — each shard then processes exactly its rack-affine partition.
   std::size_t steal_batch = 128;
   std::size_t localizer_threads = 2;
+  // Intra-epoch parallelism (common/parallel_for.h): the worker-team size
+  // each localizer thread uses inside one inference run, and each shard
+  // worker uses for the barrier's table reassembly. 0 defers to
+  // FLOCK_LOCALIZE_THREADS (default 1 = serial — byte-identical to a
+  // pipeline without this knob). The pool and the teams share one machine
+  // budget: the effective value is clamped to
+  // hardware_concurrency / localizer_threads, so pool x inner never
+  // oversubscribes. Thread count is a pure performance lever — results are
+  // byte-identical at any setting.
+  std::int32_t localize_threads = 0;
   EpochPolicy epoch;                        // automatic boundaries (manual always works)
   CollectorOptions collector;
   FlockOptions localizer;
@@ -100,8 +110,22 @@ struct PipelineStats {
   std::uint64_t arena_reuses = 0;
   std::uint64_t arena_bytes_recycled = 0;
   // Likelihood-engine dense S(x) memo: lookups served without a column scan,
-  // across every inference run (see core/likelihood_engine.h).
+  // across every inference run (see core/likelihood_engine.h), and applies
+  // that reused the memo's one-time allocation (stamp invalidation) instead
+  // of paying two O(w) clears.
   std::uint64_t memo_hits = 0;
+  std::uint64_t memo_table_reuses = 0;
+  // Intra-epoch parallelism (common/parallel_for.h), across every inference
+  // run: chunks executed, chunks taken by helper threads rather than the
+  // submitting localizer thread ("steals"), and ns inside chunk bodies
+  // summed over threads. All zero at localize_threads = 1.
+  std::uint64_t parallel_chunks = 0;
+  std::uint64_t parallel_steals = 0;
+  std::uint64_t localize_parallel_ns = 0;
+  // Same, for the epoch barrier's tree reassembly of per-batch FlowTables
+  // (see pipeline/sharded_collector.h).
+  std::uint64_t merge_parallel_chunks = 0;
+  std::uint64_t merge_parallel_ns = 0;
   // Temporal layer (see pipeline/temporal_tracker.h): component state
   // machine transitions across all merged epochs so far, plus epochs the
   // tracker had to skip because its bounded out-of-order buffer overflowed
@@ -193,6 +217,10 @@ class StreamingPipeline {
   std::atomic<std::uint64_t> boundary_pushes_{0};
   std::atomic<std::uint64_t> boundary_rejections_{0};
   std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> memo_table_reuses_{0};
+  std::atomic<std::uint64_t> parallel_chunks_{0};
+  std::atomic<std::uint64_t> parallel_steals_{0};
+  std::atomic<std::uint64_t> parallel_ns_{0};
   bool stopped_ = false;
 };
 

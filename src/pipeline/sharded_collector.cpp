@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/parallel_for.h"
 #include "telemetry/flow_record.h"
 
 namespace flock {
@@ -16,6 +17,12 @@ namespace {
 // worker's own deque wakes it immediately regardless (condition variable).
 constexpr std::chrono::microseconds kStealPollMin{500};
 constexpr std::chrono::microseconds kStealPollMax{50000};
+
+// Tree-merge engagement floor: below 4 parts the tree degenerates to the
+// sequential fold, and small epochs lose more to the handoff than the
+// pairwise merges win.
+constexpr std::size_t kParallelMergeMinParts = 4;
+constexpr std::uint64_t kParallelMergeMinRows = 4096;
 }  // namespace
 
 ShardExecutor::ShardExecutor(const Topology& topo, EcmpRouter& router,
@@ -26,6 +33,7 @@ ShardExecutor::ShardExecutor(const Topology& topo, EcmpRouter& router,
       ctx_(std::make_shared<const InferenceContext>(InferenceContext{&topo, &router})),
       collector_options_(collector_options),
       steal_batch_(options.steal_batch),
+      merge_threads_(std::max<std::int32_t>(1, options.merge_threads)),
       on_snapshot_(std::move(on_snapshot)) {
   if (options.num_shards < 1) options.num_shards = 1;
   shards_.reserve(static_cast<std::size_t>(options.num_shards));
@@ -215,9 +223,43 @@ void ShardExecutor::run_barrier(const Task& task) {
   });
   InferenceInput input(ctx_);
   std::uint64_t unresolved = 0;
-  for (Contribution& p : parts) {
-    input.merge_from(std::move(p.input));
-    unresolved += p.unresolved;
+  parallel::ParallelRunner* runner = parallel::thread_runner(merge_threads_);
+  std::uint64_t total_rows = 0;
+  for (const Contribution& p : parts) total_rows += p.input.num_rows();
+  if (runner != nullptr && parts.size() >= kParallelMergeMinParts &&
+      total_rows >= kParallelMergeMinRows) {
+    // Fixed-shape pairwise tree: at each level, parts[i] absorbs
+    // parts[i + stride]. Pairs touch disjoint parts, so a level's merges run
+    // on the worker team; the tree's shape depends only on the part count,
+    // and the result is content-identical to the sequential fold below
+    // (first-seen order composes, saturating weight adds are associative).
+    // Only the saturation *event count* can differ under saturation — the
+    // clamped weights themselves cannot.
+    const std::uint64_t chunks0 = runner->chunks_run();
+    const std::uint64_t busy0 = runner->busy_ns();
+    for (std::size_t stride = 1; stride < parts.size(); stride *= 2) {
+      std::vector<std::size_t> dests;
+      for (std::size_t i = 0; i + stride < parts.size(); i += 2 * stride) dests.push_back(i);
+      runner->for_chunks(static_cast<std::int64_t>(dests.size()), 1,
+                         [&](std::int64_t, std::int64_t begin, std::int64_t end) {
+                           for (std::int64_t k = begin; k < end; ++k) {
+                             const std::size_t i = dests[static_cast<std::size_t>(k)];
+                             Contribution& dst = parts[i];
+                             Contribution& src = parts[i + stride];
+                             dst.input.merge_from(std::move(src.input));
+                             dst.unresolved += src.unresolved;
+                           }
+                         });
+    }
+    input.merge_from(std::move(parts[0].input));
+    unresolved = parts[0].unresolved;
+    merge_parallel_chunks_.fetch_add(runner->chunks_run() - chunks0, std::memory_order_relaxed);
+    merge_parallel_ns_.fetch_add(runner->busy_ns() - busy0, std::memory_order_relaxed);
+  } else {
+    for (Contribution& p : parts) {
+      input.merge_from(std::move(p.input));
+      unresolved += p.unresolved;
+    }
   }
   // The merge consumed the batch tables (the first non-empty one wholesale —
   // that shell retains nothing and is dropped — the rest row-wise, leaving

@@ -60,6 +60,13 @@ struct ShardExecutorOptions {
   // Max datagrams taken per steal (whole batches, at least one). 0 disables
   // stealing: every shard processes exactly its own rack-affine partition.
   std::size_t steal_batch = 128;
+  // Worker-team size for the barrier's by-batch FlowTable reassembly
+  // (common/parallel_for.h). At > 1, epochs with many large batch tables
+  // merge as a fixed-shape pairwise tree whose pairs run on the team; the
+  // merged table is content-identical to the sequential fold (first-seen
+  // group/row order is preserved and saturating weight adds compose
+  // associatively), so downstream inference is byte-identical either way.
+  std::int32_t merge_threads = 1;
 };
 
 class ShardExecutor {
@@ -125,6 +132,15 @@ class ShardExecutor {
   // (see core/flow_table.h).
   std::uint64_t weight_saturations() const {
     return weight_saturations_.load(std::memory_order_relaxed);
+  }
+  // Barrier tree-merge work (zero while merges run sequential): chunks —
+  // pairwise table merges — executed on worker teams, and the total ns those
+  // merges spent across threads.
+  std::uint64_t merge_parallel_chunks() const {
+    return merge_parallel_chunks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t merge_parallel_ns() const {
+    return merge_parallel_ns_.load(std::memory_order_relaxed);
   }
   // Epoch-arena effectiveness, summed across shards (see common/arena.h):
   // tables whose storage a later epoch reused, and the bytes that reuse
@@ -193,6 +209,7 @@ class ShardExecutor {
   std::shared_ptr<const InferenceContext> ctx_;
   CollectorOptions collector_options_;
   std::size_t steal_batch_;
+  std::int32_t merge_threads_ = 1;
   SnapshotFn on_snapshot_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t dispatch_epoch_ = 0;  // dispatcher-thread only
@@ -204,6 +221,8 @@ class ShardExecutor {
   std::atomic<std::uint64_t> inference_observations_{0};
   std::atomic<std::uint64_t> inference_rows_{0};
   std::atomic<std::uint64_t> weight_saturations_{0};
+  std::atomic<std::uint64_t> merge_parallel_chunks_{0};
+  std::atomic<std::uint64_t> merge_parallel_ns_{0};
   bool stopped_ = false;
 };
 

@@ -1,0 +1,131 @@
+// The intra-epoch determinism contract (common/parallel_for.h): thread
+// count is a pure performance lever. FlockLocalizer predictions AND
+// log-likelihoods must be byte-identical at localize_threads in
+// {1, 2, hardware} on randomized flowsim sweeps, with and without JLE —
+// which also pins that localize_threads = 1 output equals the historical
+// serial path (the t = 1 run IS that path: no runner is ever built).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/flock_localizer.h"
+#include "flowsim/scenario.h"
+#include "flowsim/simulate.h"
+#include "flowsim/views.h"
+#include "topology/topology.h"
+
+namespace flock {
+namespace {
+
+struct SweepEnv {
+  Topology topo;
+  EcmpRouter router;
+  Trace trace;
+
+  SweepEnv(std::uint64_t seed, int failures) : topo(make_fat_tree(4)), router(topo) {
+    Rng rng(seed);
+    GroundTruth truth = make_silent_link_drops_fixed(topo, failures, 8e-3, DropRateConfig{}, rng);
+    TrafficConfig traffic;
+    traffic.num_app_flows = 12000;
+    ProbeConfig probes;
+    probes.enabled = false;
+    trace = simulate(topo, router, std::move(truth), traffic, probes, rng);
+  }
+
+  InferenceInput passive_view() {
+    ViewOptions v;
+    v.telemetry = kTelemetryP;
+    return make_view(topo, router, trace, v);
+  }
+};
+
+FlockOptions base_options(bool use_jle) {
+  FlockOptions opt;
+  opt.params.p_g = 1e-4;
+  opt.params.p_b = 6e-3;
+  opt.params.rho = 1e-4;
+  opt.use_jle = use_jle;
+  return opt;
+}
+
+std::vector<std::int32_t> thread_counts() {
+  std::vector<std::int32_t> counts = {1, 2};
+  const auto hw = static_cast<std::int32_t>(std::thread::hardware_concurrency());
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+void expect_invariant_across_threads(bool use_jle) {
+  for (std::uint64_t seed : {51, 52, 53}) {
+    for (int failures : {1, 2}) {
+      SweepEnv env(seed, failures);
+      const auto input = env.passive_view();
+      LocalizationResult reference;
+      bool have_reference = false;
+      for (std::int32_t t : thread_counts()) {
+        auto opt = base_options(use_jle);
+        opt.localize_threads = t;
+        const auto result = FlockLocalizer(opt).localize(input);
+        if (!have_reference) {
+          reference = result;
+          have_reference = true;
+          continue;
+        }
+        // Byte identity, not tolerance: the component list is equal and the
+        // log-likelihood matches to the last bit.
+        EXPECT_EQ(result.predicted, reference.predicted)
+            << "seed " << seed << " failures " << failures << " threads " << t;
+        EXPECT_EQ(std::memcmp(&result.log_likelihood, &reference.log_likelihood, sizeof(double)),
+                  0)
+            << "seed " << seed << " failures " << failures << " threads " << t << ": "
+            << result.log_likelihood << " vs " << reference.log_likelihood;
+        // The search trajectory itself is identical, so the scan accounting
+        // and memo accounting agree too.
+        EXPECT_EQ(result.hypotheses_scanned, reference.hypotheses_scanned);
+        EXPECT_EQ(result.memo_hits, reference.memo_hits);
+      }
+    }
+  }
+}
+
+TEST(LocalizeThreads, NoJleResultsAreByteIdenticalAcrossThreadCounts) {
+  expect_invariant_across_threads(/*use_jle=*/false);
+}
+
+TEST(LocalizeThreads, JleResultsAreByteIdenticalAcrossThreadCounts) {
+  expect_invariant_across_threads(/*use_jle=*/true);
+}
+
+TEST(LocalizeThreads, ParallelCountersAttributePerCall) {
+  // At t = 1 no runner exists, so the counters must be zero; at t > 1 they
+  // may be positive (engagement depends on input size), but steals can never
+  // exceed chunks and chunks only count this call's work.
+  SweepEnv env(54, 1);
+  const auto input = env.passive_view();
+  auto serial_opt = base_options(/*use_jle=*/false);
+  serial_opt.localize_threads = 1;
+  const auto serial = FlockLocalizer(serial_opt).localize(input);
+  EXPECT_EQ(serial.parallel_chunks, 0u);
+  EXPECT_EQ(serial.parallel_steals, 0u);
+  EXPECT_EQ(serial.parallel_ns, 0u);
+
+  auto team_opt = base_options(/*use_jle=*/false);
+  team_opt.localize_threads = 2;
+  FlockLocalizer team(team_opt);
+  const auto first = team.localize(input);
+  EXPECT_LE(first.parallel_steals, first.parallel_chunks);
+  // The runner is cached per thread; a second call must report only its own
+  // delta, not the cumulative runner totals.
+  const auto second = team.localize(input);
+  EXPECT_EQ(second.parallel_chunks, first.parallel_chunks);
+
+  // The memo keeps one allocation across applies: a non-trivial search
+  // reuses it (identically at any thread count).
+  EXPECT_EQ(first.memo_table_reuses, serial.memo_table_reuses);
+}
+
+}  // namespace
+}  // namespace flock

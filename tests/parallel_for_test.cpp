@@ -1,0 +1,168 @@
+// The deterministic intra-epoch runtime (common/parallel_for.h): fixed
+// chunking independent of thread count, bit-identical ordered reduction at
+// 1/2/8 threads, exception propagation out of chunk bodies, and rejection
+// of reentrant use. These are the invariants the likelihood engine, the
+// no-JLE scan, and the barrier tree merge lean on for byte-identical output
+// across thread counts.
+#include "common/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace flock::parallel {
+namespace {
+
+TEST(ParallelFor, ChunkGridIsAFunctionOfNAndGrainOnly) {
+  EXPECT_EQ(ParallelRunner::num_chunks(0, 16), 0);
+  EXPECT_EQ(ParallelRunner::num_chunks(1, 16), 1);
+  EXPECT_EQ(ParallelRunner::num_chunks(16, 16), 1);
+  EXPECT_EQ(ParallelRunner::num_chunks(17, 16), 2);
+  EXPECT_EQ(ParallelRunner::num_chunks(100, 16), 7);
+  EXPECT_EQ(ParallelRunner::num_chunks(100, 0), 100);  // grain <= 0 clamps to 1
+
+  // The same (n, grain) yields the same chunk boundaries whatever the team
+  // size: record every (chunk, begin, end) triple and compare across runners.
+  auto boundaries = [](std::int32_t threads) {
+    ParallelRunner runner(threads);
+    std::vector<std::vector<std::int64_t>> out(
+        static_cast<std::size_t>(ParallelRunner::num_chunks(103, 10)));
+    runner.for_chunks(103, 10, [&](std::int64_t chunk, std::int64_t begin, std::int64_t end) {
+      out[static_cast<std::size_t>(chunk)] = {begin, end};
+    });
+    return out;
+  };
+  const auto serial = boundaries(1);
+  EXPECT_EQ(serial, boundaries(2));
+  EXPECT_EQ(serial, boundaries(8));
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i][0], static_cast<std::int64_t>(i) * 10);
+    EXPECT_EQ(serial[i][1], std::min<std::int64_t>(103, serial[i][0] + 10));
+  }
+}
+
+TEST(ParallelFor, EveryChunkRunsExactlyOnce) {
+  ParallelRunner runner(4);
+  std::vector<std::atomic<std::int32_t>> hits(1000);
+  runner.for_chunks(1000, 7, [&](std::int64_t, std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(runner.chunks_run(), static_cast<std::uint64_t>(ParallelRunner::num_chunks(1000, 7)));
+}
+
+TEST(ParallelFor, OrderedReductionIsBitIdenticalAcrossThreadCounts) {
+  // Ill-conditioned terms: alternating signs across ten orders of magnitude,
+  // so any reassociation of the combine sequence shows up in the bits.
+  const std::int64_t n = 4099;  // odd, and not a multiple of the grain
+  std::vector<double> terms(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double mag = std::pow(10.0, static_cast<double>(i % 10) - 5.0);
+    terms[static_cast<std::size_t>(i)] = (i % 2 == 0 ? mag : -mag) + 1e-13 * static_cast<double>(i);
+  }
+  auto sum_at = [&](std::int32_t threads) {
+    ParallelRunner runner(threads);
+    return runner.reduce(n, 64, [&](std::int64_t, std::int64_t begin, std::int64_t end) {
+      double partial = 0.0;
+      for (std::int64_t i = begin; i < end; ++i) partial += terms[static_cast<std::size_t>(i)];
+      return partial;
+    });
+  };
+  const double at1 = sum_at(1);
+  const double at2 = sum_at(2);
+  const double at8 = sum_at(8);
+  // Bit equality, not tolerance: the ordered pairwise tree's rounding
+  // sequence depends only on the chunk count.
+  EXPECT_EQ(std::memcmp(&at1, &at2, sizeof(double)), 0) << at1 << " vs " << at2;
+  EXPECT_EQ(std::memcmp(&at1, &at8, sizeof(double)), 0) << at1 << " vs " << at8;
+}
+
+TEST(ParallelFor, ReductionOfNothingIsZeroAndSingleChunkIsPlainSum) {
+  ParallelRunner runner(4);
+  EXPECT_EQ(runner.reduce(0, 16, [](std::int64_t, std::int64_t, std::int64_t) { return 1.0; }),
+            0.0);
+  const double one = runner.reduce(
+      10, 16, [](std::int64_t, std::int64_t begin, std::int64_t end) {
+        return static_cast<double>(end - begin);
+      });
+  EXPECT_EQ(one, 10.0);
+}
+
+TEST(ParallelFor, ExceptionsPropagateToTheCaller) {
+  ParallelRunner runner(4);
+  // Every chunk still runs (disjoint outputs stay whole); the first error is
+  // rethrown on the calling thread.
+  std::vector<std::atomic<std::int32_t>> hits(64);
+  EXPECT_THROW(
+      runner.for_chunks(64, 1,
+                        [&](std::int64_t chunk, std::int64_t begin, std::int64_t) {
+                          hits[static_cast<std::size_t>(begin)].fetch_add(
+                              1, std::memory_order_relaxed);
+                          if (chunk % 2 == 0) throw std::runtime_error("poisoned chunk");
+                        }),
+      std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // The runner is reusable after a poisoned job.
+  std::atomic<std::int64_t> total{0};
+  runner.for_chunks(100, 8, [&](std::int64_t, std::int64_t begin, std::int64_t end) {
+    total.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelFor, ReentrantUseThrowsInsteadOfDeadlocking) {
+  ParallelRunner runner(2);
+  EXPECT_THROW(runner.for_chunks(8, 1,
+                                 [&](std::int64_t, std::int64_t, std::int64_t) {
+                                   runner.for_chunks(
+                                       4, 1, [](std::int64_t, std::int64_t, std::int64_t) {});
+                                 }),
+               std::logic_error);
+}
+
+TEST(ParallelFor, HelperChunksCountTheWorkTheCallerDidNotDo) {
+  // With a 1-thread runner nothing can be stolen; with helpers the split is
+  // dynamic, but caller + helpers must always add up to the grid.
+  ParallelRunner serial(1);
+  serial.for_chunks(64, 1, [](std::int64_t, std::int64_t, std::int64_t) {});
+  EXPECT_EQ(serial.helper_chunks(), 0u);
+  EXPECT_EQ(serial.chunks_run(), 64u);
+
+  ParallelRunner team(4);
+  team.for_chunks(64, 1, [](std::int64_t, std::int64_t, std::int64_t) {});
+  EXPECT_EQ(team.chunks_run(), 64u);
+  EXPECT_LE(team.helper_chunks(), team.chunks_run());
+}
+
+TEST(ParallelFor, ResolveThreadsPrefersExplicitRequestOverEnv) {
+  // env_threads() is cached per process, so this test only pins the
+  // request-path arithmetic (the env path is exercised by the CI leg that
+  // exports FLOCK_LOCALIZE_THREADS=2 for the whole suite).
+  EXPECT_EQ(resolve_threads(4), 4);
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(300), 256);  // clamped
+  EXPECT_GE(resolve_threads(0), 1);     // env or the serial default
+}
+
+TEST(ParallelFor, ThreadRunnerCachesPerThreadAndRefusesSerial) {
+  EXPECT_EQ(thread_runner(1), nullptr);
+  EXPECT_EQ(thread_runner(0), nullptr);
+  ParallelRunner* a = thread_runner(2);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->num_threads(), 2);
+  EXPECT_EQ(thread_runner(2), a);  // cached
+  ParallelRunner* b = thread_runner(3);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->num_threads(), 3);  // rebuilt on a different request
+}
+
+}  // namespace
+}  // namespace flock::parallel

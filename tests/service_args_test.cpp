@@ -12,14 +12,16 @@
 namespace flock {
 namespace {
 
-// argv[0] is the program name, as in a real invocation.
+// argv[0] is the program name, as in a real invocation. `budget` pins the
+// machine's thread budget so --localize-threads rules test the same way on
+// any hardware (0 = the real hardware_concurrency, as in production).
 bool parse(std::initializer_list<const char*> flags, ServiceOptions& opts,
-           std::string* error_out = nullptr) {
+           std::string* error_out = nullptr, unsigned budget = 0) {
   std::vector<const char*> argv = {"streaming_service"};
   argv.insert(argv.end(), flags.begin(), flags.end());
   std::string error;
   const bool ok =
-      parse_service_args(static_cast<int>(argv.size()), argv.data(), opts, error);
+      parse_service_args(static_cast<int>(argv.size()), argv.data(), opts, error, budget);
   EXPECT_EQ(ok, error.empty());  // failures always say why
   if (error_out != nullptr) *error_out = error;
   return ok;
@@ -107,6 +109,44 @@ TEST(ServiceArgs, SpeedRequiresPacedAndMustBePositiveFinite) {
   EXPECT_FALSE(parse({"--replay=/tmp/c", "--paced", "--speed=1.5x"}, opts));
   EXPECT_TRUE(parse({"--replay=/tmp/c", "--paced", "--speed=0.25"}, opts));
   EXPECT_EQ(opts.speed, 0.25);
+}
+
+TEST(ServiceArgs, LocalizeThreadsParsesAndDefaultsToZero) {
+  ServiceOptions opts;
+  ASSERT_TRUE(parse({}, opts));
+  EXPECT_EQ(opts.localize_threads, 0);  // 0 = env var / serial, decided downstream
+  ASSERT_TRUE(parse({"--localize-threads=4"}, opts, nullptr, /*budget=*/16));
+  EXPECT_EQ(opts.localize_threads, 4);
+}
+
+TEST(ServiceArgs, LocalizeThreadsRejectsNonPositiveAndJunk) {
+  ServiceOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse({"--localize-threads=0"}, opts, &error));
+  EXPECT_NE(error.find(">= 1"), std::string::npos);
+  EXPECT_FALSE(parse({"--localize-threads=-2"}, opts));
+  EXPECT_FALSE(parse({"--localize-threads=two"}, opts));
+  EXPECT_FALSE(parse({"--localize-threads=4x"}, opts));  // trailing junk
+  EXPECT_FALSE(parse({"--localize-threads="}, opts));
+}
+
+TEST(ServiceArgs, LocalizeThreadsRejectsMoreThanTheMachine) {
+  ServiceOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse({"--localize-threads=9"}, opts, &error, /*budget=*/8));
+  EXPECT_NE(error.find("hardware threads"), std::string::npos);
+}
+
+TEST(ServiceArgs, LocalizeThreadsSharesTheBudgetWithTheLocalizerPool) {
+  // The service runs kServiceLocalizerPool localizer threads, each owning a
+  // team of N: N x pool must fit the machine. N = 1 (serial inside each
+  // worker) is always accepted — it adds no threads at all.
+  ServiceOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse({"--localize-threads=3"}, opts, &error, /*budget=*/4));
+  EXPECT_NE(error.find("shared thread budget"), std::string::npos);
+  EXPECT_TRUE(parse({"--localize-threads=2"}, opts, nullptr, /*budget=*/4));
+  EXPECT_TRUE(parse({"--localize-threads=1"}, opts, nullptr, /*budget=*/1));
 }
 
 }  // namespace
