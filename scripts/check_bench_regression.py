@@ -81,7 +81,23 @@ def main():
         for row in bench.get("rows", []):
             current[row_key(bench["bench"], row)] = row.get(METRIC)
 
-    baseline = load(args.baseline)
+    # A gate whose baseline cannot be read must fail loudly, not crash with a
+    # traceback (same non-zero exit, but a CI log line someone can act on)
+    # and must never "pass" because it compared against nothing.
+    try:
+        baseline = load(args.baseline)
+    except OSError as err:
+        print(f"error: cannot read baseline {args.baseline}: {err.strerror or err}")
+        return 2
+    except json.JSONDecodeError as err:
+        print(f"error: baseline {args.baseline} is not valid JSON: {err}")
+        return 2
+    if not isinstance(baseline, dict) or not any(
+        bench.get("rows") for bench in baseline.get("benches", [])
+    ):
+        print(f"error: baseline {args.baseline} has no enforceable rows — the gate would be vacuous")
+        return 2
+
     failures = []
     for bench in baseline.get("benches", []):
         if bench.get("optional") and bench["bench"] not in ran_benches:

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Determinism linter: mechanical bans on the constructs that historically
+break flock's central invariant — byte-identical results under any
+concurrency configuration, SIMD width, or replay of a capture.
+
+The sanitizer legs catch races; the equivalence tests catch divergence after
+it happens. This linter bans the *sources* of divergence at review time:
+
+  unordered-iteration   Iterating a std::unordered_map/unordered_set in
+                        result-affecting code (src/core, src/pipeline).
+                        Hash-table iteration order is libstdc++-version- and
+                        seed-dependent; anything folded in that order is
+                        nondeterministic. Keyed lookup/erase is fine.
+  wall-clock            Direct std::chrono::*_clock::now() anywhere in src/
+                        outside the injectable-clock implementation
+                        (EpochScheduler's seam) and common/stopwatch.h.
+                        Results must be a pure function of the datagram
+                        sequence, never of when it arrived.
+  rng                   rand()/srand()/std::random_device outside
+                        src/common/rng.* — all randomness flows through the
+                        seeded SplitMix64/Philox streams so runs replay.
+  raw-new-delete        new/delete expressions. Ownership goes through
+                        containers and smart pointers; the one sanctioned
+                        exception (SnapshotStore's atomically-published
+                        blocks) carries an allowance.
+  parallel-reduction    std::reduce / std::transform_reduce /
+                        std::execution::par / #pragma omp outside the two
+                        files that implement fixed-order reductions
+                        (common/simd.cpp, common/parallel_for.cpp).
+                        Unordered float accumulation re-rounds differently
+                        run to run.
+
+Escape hatch: a line (or an immediately preceding comment line, up to
+a few lines back) containing
+
+    // flock-lint: allow(<rule>)
+
+suppresses that rule for that line. Every allowance is expected to sit next
+to a comment justifying it; the allowance list is printed with --list-allows
+so reviews can audit them.
+
+Run with no arguments to lint src/; pass explicit files/directories to
+narrow. Exits non-zero on any finding.
+"""
+
+import os
+import re
+import sys
+
+ROOTS = ["src"]
+EXTENSIONS = (".h", ".cpp")
+ALLOW_LOOKBACK = 3  # lines of preceding comment an allowance may sit in
+
+ALLOW_RE = re.compile(r"flock-lint:\s*allow\(([a-z-]+)\)")
+COMMENT_LINE_RE = re.compile(r"^\s*(//|\*|/\*)")
+
+# Result-affecting directories for the unordered-iteration rule: everything
+# whose output feeds snapshots, verdicts, or priors.
+ORDER_SENSITIVE_DIRS = ("src/core", "src/pipeline")
+
+WALL_CLOCK_WHITELIST = (
+    "src/common/stopwatch.h",  # telemetry-only timing utility by contract
+)
+RNG_WHITELIST_PREFIX = "src/common/rng"
+REDUCTION_WHITELIST = (
+    "src/common/simd.cpp",  # fixed-order lane reduction, FMA off
+    "src/common/parallel_for.cpp",  # ordered pairwise tree reduce()
+)
+
+UNORDERED_DECL_RE = re.compile(r"std::unordered_(?:map|set)<[^;{]*?>\s+(\w+)")
+WALL_CLOCK_RE = re.compile(r"std::chrono::\w+_clock::now\s*\(")
+RNG_RE = re.compile(r"(?:std::random_device|(?<![\w:])s?rand\s*\()")
+NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_:(]")
+DELETE_RE = re.compile(r"(?<![\w.])delete(?:\[\])?\s+[A-Za-z_*(]")
+REDUCTION_RE = re.compile(
+    r"std::(?:transform_)?reduce|std::execution::par|#\s*pragma\s+omp"
+)
+
+
+def collect(paths):
+    out = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for base, _, names in sorted(os.walk(path)):
+            for name in sorted(names):
+                if name.endswith(EXTENSIONS):
+                    out.append(os.path.join(base, name))
+    return out
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line structure,
+    so rule regexes never fire on prose or quoted text."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")  # unterminated (raw string etc.): bail
+                    break
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowances(raw_lines):
+    """Map line number -> set of allowed rules, honoring same-line allowances
+    and allowances in up to ALLOW_LOOKBACK immediately preceding comment
+    lines."""
+    allowed = {}
+    for lineno, line in enumerate(raw_lines, start=1):
+        for match in ALLOW_RE.finditer(line):
+            rule = match.group(1)
+            allowed.setdefault(lineno, set()).add(rule)
+            # Extend to following lines across a run of comment lines: the
+            # allowance annotates the first code line after its comment.
+            cursor = lineno
+            while (
+                cursor < len(raw_lines)
+                and cursor - lineno < ALLOW_LOOKBACK
+                and COMMENT_LINE_RE.match(raw_lines[cursor - 1])
+            ):
+                cursor += 1
+                allowed.setdefault(cursor, set()).add(rule)
+    return allowed
+
+
+def is_allowed(allowed, lineno, rule):
+    return rule in allowed.get(lineno, set())
+
+
+def lint(path):
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    raw_lines = raw.split("\n")
+    allowed = allowances(raw_lines)
+    code = strip_comments_and_strings(raw)
+    code_lines = code.split("\n")
+    rel = path.replace(os.sep, "/")
+    findings = []
+    allows_used = []
+
+    def report(lineno, rule, message):
+        if is_allowed(allowed, lineno, rule):
+            allows_used.append((lineno, rule))
+            return
+        findings.append((lineno, rule, message))
+
+    # unordered-iteration: declared unordered container names, then any
+    # range-for or explicit iterator walk over them. Only begin() marks a
+    # walk — end() alone is the find()-miss comparison, which never observes
+    # hash order.
+    if rel.startswith(ORDER_SENSITIVE_DIRS):
+        names = set(UNORDERED_DECL_RE.findall(code))
+        if names:
+            name_alt = "|".join(re.escape(n) for n in sorted(names))
+            iter_re = re.compile(
+                r"for\s*\([^();]*:\s*(?:this->)?(%s)\b|\b(%s)\s*\.\s*c?begin\s*\("
+                % (name_alt, name_alt)
+            )
+            for lineno, line in enumerate(code_lines, start=1):
+                m = iter_re.search(line)
+                if m:
+                    name = m.group(1) or m.group(2)
+                    report(
+                        lineno,
+                        "unordered-iteration",
+                        f"iteration over unordered container '{name}' "
+                        "(hash order is not deterministic)",
+                    )
+
+    for lineno, line in enumerate(code_lines, start=1):
+        if rel not in WALL_CLOCK_WHITELIST and WALL_CLOCK_RE.search(line):
+            report(
+                lineno,
+                "wall-clock",
+                "direct *_clock::now() (inject a clock, or justify an allowance)",
+            )
+        if not rel.startswith(RNG_WHITELIST_PREFIX) and RNG_RE.search(line):
+            report(
+                lineno,
+                "rng",
+                "unseeded randomness (use the src/common/rng streams)",
+            )
+        if rel not in REDUCTION_WHITELIST and REDUCTION_RE.search(line):
+            report(
+                lineno,
+                "parallel-reduction",
+                "unordered reduction primitive (float rounding order varies)",
+            )
+        if NEW_RE.search(line):
+            report(lineno, "raw-new-delete", "raw new expression")
+        if DELETE_RE.search(line):
+            report(lineno, "raw-new-delete", "raw delete expression")
+
+    return findings, allows_used
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--list-allows"]
+    list_allows = "--list-allows" in sys.argv[1:]
+    files = collect(args or ROOTS)
+    if not files:
+        print("no files to check")
+        return 1
+    failures = 0
+    total_allows = 0
+    for path in files:
+        findings, allows_used = lint(path)
+        total_allows += len(allows_used)
+        if list_allows:
+            for lineno, rule in allows_used:
+                print(f"{path}:{lineno}: allowance used: {rule}")
+        for lineno, rule, message in findings:
+            print(f"{path}:{lineno}: [{rule}] {message}")
+            failures += 1
+    print(
+        f"checked {len(files)} files: "
+        + (f"{failures} finding(s)" if failures else "clean")
+        + f" ({total_allows} allowance(s) in effect)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

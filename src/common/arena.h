@@ -14,9 +14,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace flock {
 
@@ -30,9 +31,9 @@ class EpochArena {
 
   // A recycled object (reset, capacity warm), or a default-constructed one
   // when the pool is empty.
-  T acquire() {
+  T acquire() EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!pool_.empty()) {
         T out = std::move(pool_.back());
         pool_.pop_back();
@@ -46,39 +47,39 @@ class EpochArena {
   // Reset `obj` in place and park it for the next acquire(). Objects that
   // retain no storage are dropped — pooling them would hand out cold
   // allocations and inflate the reuse counters.
-  void release(T&& obj) {
+  void release(T&& obj) EXCLUDES(mutex_) {
     obj.reset();
     const std::size_t kept = obj.retained_bytes();
     if (kept == 0) return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (pool_.size() >= kMaxPooled) return;
     bytes_recycled_ += kept;
     pool_.push_back(std::move(obj));
   }
 
   // Times acquire() was served from the pool.
-  std::uint64_t reuses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t reuses() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return reuses_;
   }
 
   // Total retained bytes across every release() that was pooled: the
   // allocation volume the arena saved the next epochs from re-doing.
-  std::uint64_t bytes_recycled() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t bytes_recycled() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return bytes_recycled_;
   }
 
-  std::size_t pooled() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t pooled() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return pool_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<T> pool_;
-  std::uint64_t reuses_ = 0;
-  std::uint64_t bytes_recycled_ = 0;
+  mutable Mutex mutex_;
+  std::vector<T> pool_ GUARDED_BY(mutex_);
+  std::uint64_t reuses_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t bytes_recycled_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace flock

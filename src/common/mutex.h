@@ -1,0 +1,98 @@
+// Annotated locking primitives: thin, zero-overhead wrappers over
+// std::mutex / std::unique_lock / std::condition_variable that carry the
+// clang thread-safety annotations (common/thread_annotations.h).
+//
+// libstdc++'s std::mutex is not annotated, so locking it directly is
+// invisible to -Wthread-safety: a GUARDED_BY field would flag *every*
+// access, including correct ones. Routing all lock-protected state through
+// these wrappers gives the analysis the acquire/release events it needs;
+// everything inlines to exactly the std:: calls it replaces.
+//
+// Condition-variable discipline: CondVar::wait takes the MutexLock (whose
+// capability the analysis knows is held across the call — the internal
+// release/re-acquire is invisible to it, and irrelevant: the capability is
+// held at every point the caller can observe). Predicate waits are written
+// as explicit loops in the caller —
+//
+//     MutexLock lock(mutex_);
+//     while (!closed_ && items_.empty()) cv_.wait(lock);
+//
+// — NOT as wait(lock, lambda): clang analyzes a lambda body as a separate
+// function that holds nothing, so guarded fields read inside a predicate
+// lambda would (correctly, by its rules) fail the build.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace flock {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// RAII scope over a Mutex (std::unique_lock underneath). Supports manual
+// unlock()/lock() inside the scope — the "notify outside the lock" and
+// "run the callback unlocked" patterns — and the destructor releases only
+// if currently held, exactly like std::unique_lock.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() RELEASE() { lock_.unlock(); }
+  void lock() ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// std::condition_variable bound to MutexLock scopes. No annotations on the
+// wait calls: the caller's capability is held before and after, which is
+// all the static analysis can (or needs to) see.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock, const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(MutexLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace flock

@@ -15,9 +15,11 @@ namespace {
 thread_local bool t_is_helper = false;
 
 std::uint64_t now_ns() {
+  // Telemetry only (busy_ns counters); never feeds a result.
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          std::chrono::steady_clock::now()  // flock-lint: allow(wall-clock)
+              .time_since_epoch())
           .count());
 }
 }  // namespace
@@ -32,7 +34,7 @@ ParallelRunner::ParallelRunner(std::int32_t num_threads)
 
 ParallelRunner::~ParallelRunner() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   job_cv_.notify_all();
@@ -48,9 +50,9 @@ std::int64_t ParallelRunner::num_chunks(std::int64_t n, std::int64_t grain) {
 void ParallelRunner::worker_loop() {
   t_is_helper = true;
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    job_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    while (!stop_ && generation_ == seen) job_cv_.wait(lock);
     if (stop_) return;
     seen = generation_;
     if (body_ == nullptr) continue;  // the job finished before this wakeup
@@ -77,14 +79,14 @@ void ParallelRunner::run_chunks(const ChunkFn& fn, std::int64_t chunks, std::int
     try {
       fn(chunk, begin, end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!error_) error_ = std::current_exception();
     }
     busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
     chunks_run_.fetch_add(1, std::memory_order_relaxed);
     if (helper) helper_chunks_.fetch_add(1, std::memory_order_relaxed);
     if (done_chunks_.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       job_done_ = true;
       done_cv_.notify_all();
     }
@@ -96,7 +98,7 @@ void ParallelRunner::for_chunks(std::int64_t n, std::int64_t grain, const ChunkF
   const std::int64_t chunks = num_chunks(n, grain);
   if (chunks == 0) return;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (in_use_) {
       throw std::logic_error("ParallelRunner: reentrant parallel region on one runner");
     }
@@ -104,7 +106,7 @@ void ParallelRunner::for_chunks(std::int64_t n, std::int64_t grain, const ChunkF
     // A straggler from the previous job may still be inside run_chunks doing
     // one final (futile) claim; the claim counters must not be reset under
     // it. Jobs are far coarser than this wait, so it is effectively free.
-    done_cv_.wait(lock, [&] { return active_helpers_ == 0; });
+    while (active_helpers_ != 0) done_cv_.wait(lock);
     error_ = nullptr;
     const bool fan_out = !helpers_.empty() && chunks > 1;
     if (fan_out) {
@@ -120,7 +122,7 @@ void ParallelRunner::for_chunks(std::int64_t n, std::int64_t grain, const ChunkF
       job_cv_.notify_all();
       run_chunks(fn, chunks, n, grain, /*helper=*/false);
       lock.lock();
-      done_cv_.wait(lock, [&] { return job_done_; });
+      while (!job_done_) done_cv_.wait(lock);
       body_ = nullptr;
     } else {
       // Serial path (1-thread runner, or a single chunk): same chunk grid,
@@ -133,7 +135,7 @@ void ParallelRunner::for_chunks(std::int64_t n, std::int64_t grain, const ChunkF
         try {
           fn(chunk, begin, end);
         } catch (...) {
-          std::lock_guard<std::mutex> inner(mutex_);
+          MutexLock inner(mutex_);
           if (!error_) error_ = std::current_exception();
         }
         busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);

@@ -31,13 +31,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace flock::parallel {
 
@@ -65,11 +65,11 @@ class ParallelRunner {
   // is rethrown here (remaining chunks still run — outputs are disjoint, so
   // a poisoned job never leaves a torn slot). Reentrant use of this runner
   // from inside a chunk body throws std::logic_error.
-  void for_chunks(std::int64_t n, std::int64_t grain, const ChunkFn& fn);
+  void for_chunks(std::int64_t n, std::int64_t grain, const ChunkFn& fn) EXCLUDES(mutex_);
 
   // Σ over chunks of fn(chunk, begin, end), combined in a fixed pairwise
   // tree in chunk order: bit-identical at any thread count.
-  double reduce(std::int64_t n, std::int64_t grain, const ReduceFn& fn);
+  double reduce(std::int64_t n, std::int64_t grain, const ReduceFn& fn) EXCLUDES(mutex_);
 
   // Monotonic counters (safe to read concurrently with jobs).
   std::uint64_t chunks_run() const { return chunks_run_.load(std::memory_order_relaxed); }
@@ -82,26 +82,27 @@ class ParallelRunner {
   std::uint64_t busy_ns() const { return busy_ns_.load(std::memory_order_relaxed); }
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
   void run_chunks(const ChunkFn& fn, std::int64_t chunks, std::int64_t n, std::int64_t grain,
-                  bool helper);
+                  bool helper) EXCLUDES(mutex_);
 
   const std::int32_t num_threads_;
   std::vector<std::thread> helpers_;
 
-  std::mutex mutex_;
-  std::condition_variable job_cv_;   // helpers wait for a new job generation
-  std::condition_variable done_cv_;  // caller waits for completion / stragglers
-  const ChunkFn* body_ = nullptr;    // non-null only while a job is live
-  std::int64_t job_n_ = 0;
-  std::int64_t job_grain_ = 0;
-  std::int64_t job_chunks_ = 0;
-  std::uint64_t generation_ = 0;
-  std::int32_t active_helpers_ = 0;
-  bool job_done_ = false;
-  bool in_use_ = false;
-  bool stop_ = false;
-  std::exception_ptr error_;
+  Mutex mutex_;
+  CondVar job_cv_;   // helpers wait for a new job generation
+  CondVar done_cv_;  // caller waits for completion / stragglers
+  // Non-null only while a job is live.
+  const ChunkFn* body_ GUARDED_BY(mutex_) = nullptr;
+  std::int64_t job_n_ GUARDED_BY(mutex_) = 0;
+  std::int64_t job_grain_ GUARDED_BY(mutex_) = 0;
+  std::int64_t job_chunks_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  std::int32_t active_helpers_ GUARDED_BY(mutex_) = 0;
+  bool job_done_ GUARDED_BY(mutex_) = false;
+  bool in_use_ GUARDED_BY(mutex_) = false;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  std::exception_ptr error_ GUARDED_BY(mutex_);
 
   std::atomic<std::int64_t> next_chunk_{0};
   std::atomic<std::int64_t> done_chunks_{0};

@@ -1,0 +1,71 @@
+// Clang thread-safety analysis annotations (-Wthread-safety), compiled to
+// nothing on every other compiler.
+//
+// The streaming pipeline's central invariant — byte-identical results under
+// any concurrency configuration — was, until this header, defended only by
+// runtime tools (the TSan CI legs, the equivalence tests). These macros make
+// the locking discipline itself machine-checked at COMPILE time: every
+// lock-protected field is declared GUARDED_BY its mutex, every
+// must-hold-the-lock helper is declared REQUIRES, and the clang CI legs
+// build with -Werror=thread-safety, so an unguarded access or a double
+// acquire is a build break, not a sanitizer flake three PRs later.
+//
+// Usage conventions in this tree:
+//   * Lock with the annotated wrappers in common/mutex.h (flock::Mutex,
+//     flock::MutexLock, flock::CondVar) — std::mutex itself carries no
+//     annotations under libstdc++, so locking it directly is invisible to
+//     the analysis.
+//   * GUARDED_BY(mutex_) on every field the mutex protects.
+//   * REQUIRES(mutex_) on private helpers documented "call with lock held".
+//   * EXCLUDES(mutex_) on public methods that take the lock themselves, so
+//     calling them re-entrantly from a REQUIRES context is a compile error.
+//   * Deliberately lock-free designs (SnapshotStore/PairIndex publication,
+//     relaxed counters) stay un-annotated: their safety argument is
+//     release/acquire ordering, which this analysis cannot express. The lock
+//     map in docs/ARCHITECTURE.md states the argument for each.
+//   * NO_THREAD_SAFETY_ANALYSIS is the escape hatch of last resort; every
+//     use must carry a comment saying why the analysis cannot follow.
+//
+// The negative-compile harness (tests/static_analysis_test.cmake) asserts
+// that misuse of these annotations actually fails the clang build, so the
+// whole scheme cannot silently rot into decoration.
+#pragma once
+
+#if defined(__clang__)
+#define FLOCK_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FLOCK_THREAD_ANNOTATION_(x)  // no-op: gcc/MSVC have no such analysis
+#endif
+
+// A type that models a lock ("capability" in clang's terminology).
+#define CAPABILITY(x) FLOCK_THREAD_ANNOTATION_(capability(x))
+
+// RAII type that acquires in its constructor and releases in its destructor.
+#define SCOPED_CAPABILITY FLOCK_THREAD_ANNOTATION_(scoped_lockable)
+
+// Field is only read/written while holding the given mutex.
+#define GUARDED_BY(x) FLOCK_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer field: the *pointee* is protected by the given mutex.
+#define PT_GUARDED_BY(x) FLOCK_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function acquires / releases the capability (exclusive or shared).
+#define ACQUIRE(...) FLOCK_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) FLOCK_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) FLOCK_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) FLOCK_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// Function may only be called while already holding the capability.
+#define REQUIRES(...) FLOCK_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) FLOCK_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Function must NOT be called while holding the capability (it takes the
+// lock itself; re-entry would self-deadlock).
+#define EXCLUDES(...) FLOCK_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) FLOCK_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+// Escape hatch: the function's locking is correct but inexpressible (e.g.
+// lock handoff between functions). Always pair with a comment saying why.
+#define NO_THREAD_SAFETY_ANALYSIS FLOCK_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -157,14 +157,15 @@ bool DgramLogReader::next(LoggedDatagram& out) {
 CaptureTap::CaptureTap(std::ostream& os, DgramOfferFn downstream)
     : writer_(os),
       downstream_(std::move(downstream)),
-      start_(std::chrono::steady_clock::now()) {}
+      // Capture timestamps are replay pacing metadata, never result input.
+      start_(std::chrono::steady_clock::now()) {}  // flock-lint: allow(wall-clock)
 
 bool CaptureTap::offer(IngestDatagram datagram, std::uint16_t source_port) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   LoggedDatagram logged;
   logged.timestamp_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
-                                                           start_)
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)  // flock-lint: allow(wall-clock)
           .count());
   logged.source_addr = datagram.source_addr;
   logged.source_port = source_port;
@@ -180,12 +181,12 @@ DgramOfferFn CaptureTap::as_offer_fn() {
 }
 
 void CaptureTap::set_router_fingerprint(const RouterFingerprint& fingerprint) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   writer_.set_fingerprint(fingerprint);
 }
 
 std::uint64_t CaptureTap::captured() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return writer_.written();
 }
 
@@ -207,7 +208,8 @@ ReplayStats replay_dgram_log(std::istream& is, const DgramOfferFn& offer,
         "routing state");
   }
   ReplayStats stats;
-  const auto start = std::chrono::steady_clock::now();
+  // Pacing reference only: when to *offer* a datagram, never what it holds.
+  const auto start = std::chrono::steady_clock::now();  // flock-lint: allow(wall-clock)
   const double speed = options.speed;
   LoggedDatagram logged;
   while (reader.next(logged)) {

@@ -32,10 +32,10 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "pipeline/ingest_queue.h"
 
 namespace flock {
@@ -124,7 +124,7 @@ class CaptureTap {
 
   // Thread-safe. Returns the downstream verdict (false = dropped there;
   // the datagram is still captured, mirroring what the pipeline saw offered).
-  bool offer(IngestDatagram datagram, std::uint16_t source_port = 0);
+  bool offer(IngestDatagram datagram, std::uint16_t source_port = 0) EXCLUDES(mutex_);
 
   // Adapter for call sites that take a DgramOfferFn.
   DgramOfferFn as_offer_fn();
@@ -132,14 +132,14 @@ class CaptureTap {
   // Stamp the routing state this capture ran against into the log header
   // (call once the router is warm — typically right before teardown).
   // Requires the underlying stream to be seekable.
-  void set_router_fingerprint(const RouterFingerprint& fingerprint);
+  void set_router_fingerprint(const RouterFingerprint& fingerprint) EXCLUDES(mutex_);
 
-  std::uint64_t captured() const;
+  std::uint64_t captured() const EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  DgramLogWriter writer_;
-  DgramOfferFn downstream_;
+  mutable Mutex mutex_;
+  DgramLogWriter writer_ GUARDED_BY(mutex_);
+  DgramOfferFn downstream_;  // immutable after construction
   std::chrono::steady_clock::time_point start_;
 };
 

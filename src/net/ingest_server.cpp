@@ -79,7 +79,7 @@ UdpIngestServer::AgentEntry& UdpIngestServer::intern_agent(const UdpEndpoint& fr
   if (found >= 0) return *agent_store_[static_cast<std::size_t>(found)];
   // Cold path: first datagram from this endpoint. Serialize interners, then
   // re-check — another receiver may have published the entry meanwhile.
-  std::lock_guard<std::mutex> lock(intern_mutex_);
+  MutexLock lock(intern_mutex_);
   const std::int32_t raced = agent_index_.find(key);
   if (raced >= 0) return *agent_store_[static_cast<std::size_t>(raced)];
   auto entry = std::make_unique<AgentEntry>();

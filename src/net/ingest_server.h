@@ -25,11 +25,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/snapshot_store.h"
 #include "net/dgram_log.h"
 #include "net/udp_socket.h"
@@ -166,9 +166,13 @@ class UdpIngestServer {
 
   // Agent table: wait-free reads through the published index/store, new
   // agents interned under a small mutex (cold path — once per source).
+  // agent_store_/agent_index_ are deliberately un-annotated: the warm path
+  // reads them with NO lock (acquire-loads on the published index/store),
+  // which GUARDED_BY cannot express. intern_mutex_ serializes only the cold
+  // append+publish sequence below.
   SnapshotStore<std::unique_ptr<AgentEntry>> agent_store_;
   PairIndex agent_index_;
-  std::mutex intern_mutex_;
+  Mutex intern_mutex_;
 
   // Aggregate counters (relaxed; every datagram lands in exactly one of
   // quarantined / admission_drops / offered).

@@ -29,6 +29,9 @@ void EpochScheduler::stop() {
 }
 
 std::chrono::steady_clock::time_point EpochScheduler::now() const {
+  // The injectable-clock seam itself: tests and replay install policy_.clock;
+  // the live default is the one sanctioned wall-clock read for epoch cuts.
+  // flock-lint: allow(wall-clock)
   return policy_.clock ? policy_.clock() : std::chrono::steady_clock::now();
 }
 

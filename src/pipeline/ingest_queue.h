@@ -12,11 +12,11 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace flock {
 
@@ -50,9 +50,9 @@ class BoundedQueue {
 
   // Non-blocking push. Returns false when the queue is full (counted as a
   // drop) or closed (counted as a rejection).
-  bool try_push(T item) {
+  bool try_push(T item) EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) {
         ++stats_.rejected_closed;
         return false;
@@ -72,10 +72,10 @@ class BoundedQueue {
   // if the queue was closed while waiting; the item is discarded and counted
   // in rejected_closed, so pushed + dropped + rejected_closed always
   // accounts for every attempt.
-  bool push_wait(T item) {
+  bool push_wait(T item) EXCLUDES(mutex_) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      producer_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.size() >= capacity_) producer_cv_.wait(lock);
       if (closed_) {
         ++stats_.rejected_closed;
         return false;
@@ -91,12 +91,12 @@ class BoundedQueue {
   // consumer wakeup per capacity window instead of per item. Returns false
   // if the queue was closed before everything was pushed; undelivered items
   // are counted in rejected_closed.
-  bool push_many(std::vector<T> items) {
+  bool push_many(std::vector<T> items) EXCLUDES(mutex_) {
     std::size_t i = 0;
     while (i < items.size()) {
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        producer_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+        MutexLock lock(mutex_);
+        while (!closed_ && items_.size() >= capacity_) producer_cv_.wait(lock);
         if (closed_) {
           stats_.rejected_closed += items.size() - i;
           return false;
@@ -113,11 +113,11 @@ class BoundedQueue {
 
   // Blocking pop of up to `max` items (at least one unless the queue is
   // closed and drained). Returns the number popped; 0 means end-of-stream.
-  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) EXCLUDES(mutex_) {
     std::size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      consumer_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) consumer_cv_.wait(lock);
       while (n < max && !items_.empty()) {
         out.push_back(std::move(items_.front()));
         items_.pop_front();
@@ -134,11 +134,17 @@ class BoundedQueue {
   // either end-of-stream (closed and drained — check is_closed()) or a
   // timeout with an empty queue.
   std::size_t pop_batch_for(std::vector<T>& out, std::size_t max,
-                            std::chrono::microseconds timeout) {
+                            std::chrono::microseconds timeout) EXCLUDES(mutex_) {
+    // Wait bound only — how long a consumer may sleep, never what it pops,
+    // so epoch content stays a pure function of the datagram sequence.
+    const auto deadline =
+        std::chrono::steady_clock::now() + timeout;  // flock-lint: allow(wall-clock)
     std::size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      consumer_cv_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) {
+        if (consumer_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
       while (n < max && !items_.empty()) {
         out.push_back(std::move(items_.front()));
         items_.pop_front();
@@ -150,39 +156,39 @@ class BoundedQueue {
     return n;
   }
 
-  bool is_closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool is_closed() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   // After close, pushes fail and pops drain the remaining items then return 0.
-  void close() {
+  void close() EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     consumer_cv_.notify_all();
     producer_cv_.notify_all();
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return stats_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable consumer_cv_;
-  std::condition_variable producer_cv_;
-  std::deque<T> items_;
-  Stats stats_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar consumer_cv_;
+  CondVar producer_cv_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 // What actually travels through the ingest queue: a datagram, or an

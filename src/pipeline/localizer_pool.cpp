@@ -27,8 +27,8 @@ LocalizerPool::~LocalizerPool() { shutdown(); }
 
 void LocalizerPool::submit(EpochSnapshot snapshot) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    producer_cv_.wait(lock, [&] { return closed_ || tasks_.size() < kTaskCapacity; });
+    MutexLock lock(mutex_);
+    while (!closed_ && tasks_.size() >= kTaskCapacity) producer_cv_.wait(lock);
     if (closed_) return;  // racing a shutdown: the pipeline is going down anyway
     // A task older than the newest queued epoch will be dispatched before
     // work that was submitted earlier — that is the point of the priority
@@ -44,7 +44,7 @@ void LocalizerPool::submit(EpochSnapshot snapshot) {
 void LocalizerPool::shutdown() {
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return;  // idempotent
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;  // workers drain the backlog, then exit
   }
   consumer_cv_.notify_all();
@@ -58,8 +58,8 @@ void LocalizerPool::worker_loop() {
   for (;;) {
     std::optional<EpochSnapshot> snap;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      consumer_cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!closed_ && tasks_.empty()) consumer_cv_.wait(lock);
       if (tasks_.empty()) return;  // closed and drained
       auto oldest = tasks_.begin();
       snap.emplace(std::move(oldest->second));

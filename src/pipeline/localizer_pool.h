@@ -16,15 +16,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/flock_localizer.h"
 #include "pipeline/sharded_collector.h"
 
@@ -46,12 +45,12 @@ class LocalizerPool {
 
   // Enqueue one per-shard inference task; never drops. Blocks only if the
   // (effectively unbounded) backlog bound is ever reached.
-  void submit(EpochSnapshot snapshot);
+  void submit(EpochSnapshot snapshot) EXCLUDES(mutex_);
 
   // Finish all queued tasks and join. Call only after producers are done.
   // Idempotent and safe to race from multiple threads; the destructor calls
   // it too.
-  void shutdown();
+  void shutdown() EXCLUDES(mutex_);
 
   // Tasks dispatched ahead of an already-queued newer epoch.
   std::uint64_t priority_reorders() const {
@@ -59,19 +58,19 @@ class LocalizerPool {
   }
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
   LocalizeFn localize_;
   ResultFn on_result_;
 
   // Age-ordered task queue: keyed by (epoch id, submission seq) so begin()
   // is always the oldest epoch's earliest-submitted task.
-  mutable std::mutex mutex_;
-  std::condition_variable consumer_cv_;
-  std::condition_variable producer_cv_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, EpochSnapshot> tasks_;
-  std::uint64_t next_seq_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar consumer_cv_;
+  CondVar producer_cv_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, EpochSnapshot> tasks_ GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
 
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> priority_reorders_{0};

@@ -26,7 +26,7 @@ ResultSink::ResultSink(std::int32_t num_shards,
 }
 
 void ResultSink::add(const EpochSnapshot& snapshot, const LocalizationResult& result) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = pending_.try_emplace(snapshot.epoch);
   Pending& p = it->second;
   if (inserted) {
@@ -98,24 +98,32 @@ void ResultSink::add(const EpochSnapshot& snapshot, const LocalizationResult& re
 }
 
 void ResultSink::wait_for_epochs(std::size_t count) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return completed_.size() >= count; });
+  MutexLock lock(mutex_);
+  while (completed_.size() < count) cv_.wait(lock);
 }
 
 bool ResultSink::wait_for_epochs_for(std::size_t count, std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return cv_.wait_for(lock, timeout, [&] { return completed_.size() >= count; });
+  // Wait bound only: a health-check timeout, never part of any result.
+  const auto deadline =
+      std::chrono::steady_clock::now() + timeout;  // flock-lint: allow(wall-clock)
+  MutexLock lock(mutex_);
+  while (completed_.size() < count) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return completed_.size() >= count;
+    }
+  }
+  return true;
 }
 
 std::size_t ResultSink::completed_epochs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return completed_.size();
 }
 
 std::vector<EpochResult> ResultSink::completed() const {
   std::vector<EpochResult> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     out = completed_;
   }
   std::sort(out.begin(), out.end(),

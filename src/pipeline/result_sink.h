@@ -10,13 +10,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/inference_input.h"
 #include "pipeline/sharded_collector.h"
 #include "topology/ecmp.h"
@@ -62,19 +61,20 @@ class ResultSink {
              EpochFn on_epoch = {});
 
   // Called from localizer-pool (or shard) threads.
-  void add(const EpochSnapshot& snapshot, const LocalizationResult& result);
+  void add(const EpochSnapshot& snapshot, const LocalizationResult& result) EXCLUDES(mutex_);
 
   // Block until at least `count` epochs have fully merged.
-  void wait_for_epochs(std::size_t count);
+  void wait_for_epochs(std::size_t count) EXCLUDES(mutex_);
 
   // As above with a wait bound; returns false on timeout. For callers (tests,
   // health checks) that must report a stalled pipeline instead of hanging.
-  bool wait_for_epochs_for(std::size_t count, std::chrono::milliseconds timeout);
+  bool wait_for_epochs_for(std::size_t count, std::chrono::milliseconds timeout)
+      EXCLUDES(mutex_);
 
-  std::size_t completed_epochs() const;
+  std::size_t completed_epochs() const EXCLUDES(mutex_);
 
   // All merged epochs so far, ordered by epoch id.
-  std::vector<EpochResult> completed() const;
+  std::vector<EpochResult> completed() const EXCLUDES(mutex_);
 
  private:
   struct Pending {
@@ -87,10 +87,10 @@ class ResultSink {
   EpochFn on_epoch_;
   std::unordered_map<ComponentId, std::int32_t> class_of_;  // empty when dedup off
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  std::vector<EpochResult> completed_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::unordered_map<std::uint64_t, Pending> pending_ GUARDED_BY(mutex_);
+  std::vector<EpochResult> completed_ GUARDED_BY(mutex_);
 };
 
 }  // namespace flock

@@ -190,7 +190,7 @@ void ShardExecutor::run_task(Task& task, Collector& scratch, bool stolen) {
   Shard& origin = *shards_[static_cast<std::size_t>(task.origin)];
   origin.datagrams.fetch_add(task.datagrams.size(), std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(origin.acct_mutex);
+    MutexLock lock(origin.acct_mutex);
     EpochAccount& acct = origin.accounts[task.epoch_tag];
     acct.parts.push_back(Contribution{task.batch_seq, std::move(joined), unresolved});
     ++acct.done;
@@ -204,11 +204,11 @@ void ShardExecutor::run_barrier(const Task& task) {
   std::vector<Contribution> parts;
   std::uint64_t stolen = 0;
   {
-    std::unique_lock<std::mutex> lock(shard.acct_mutex);
+    MutexLock lock(shard.acct_mutex);
     EpochAccount& acct = shard.accounts[task.epoch_tag];
     // Own batches were popped FIFO before this barrier; stolen ones may
     // still be in flight on a thief. Wait for the epoch's full roll call.
-    shard.acct_cv.wait(lock, [&] { return acct.done == task.expected_batches; });
+    while (acct.done != task.expected_batches) shard.acct_cv.wait(lock);
     parts = std::move(acct.parts);
     stolen = acct.stolen;
     shard.accounts.erase(task.epoch_tag);

@@ -21,16 +21,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/arena.h"
+#include "common/mutex.h"
 #include "common/stopwatch.h"
 #include "core/inference_input.h"
 #include "pipeline/ingest_queue.h"
@@ -188,10 +187,12 @@ class ShardExecutor {
     StealDeque<Task> deque;
     std::thread worker;
     std::atomic<std::uint64_t> datagrams{0};
-    // Per-epoch contributions, keyed by epoch tag.
-    std::mutex acct_mutex;
-    std::condition_variable acct_cv;
-    std::unordered_map<std::uint64_t, EpochAccount> accounts;
+    // Per-epoch contributions, keyed by epoch tag. Key order never leaks
+    // into results: each epoch's account is looked up (and erased) by tag,
+    // never iterated. flock-lint: allow(unordered-iteration)
+    Mutex acct_mutex;
+    CondVar acct_cv;
+    std::unordered_map<std::uint64_t, EpochAccount> accounts GUARDED_BY(acct_mutex);
     std::uint64_t batches_this_epoch = 0;  // dispatcher-thread only
     // Recycled FlowTable storage: filled by the barrier (merged-out batch
     // tables) and by recycle() (sink-consumed epoch tables), drained by this

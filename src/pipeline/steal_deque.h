@@ -16,12 +16,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace flock {
 
@@ -41,11 +41,11 @@ class StealDeque {
   // capacity; zero-weight tasks (barriers) are admitted immediately so an
   // epoch cut can never deadlock against a full queue. Returns false if the
   // deque was closed (the task is discarded).
-  bool push(Task task) {
+  bool push(Task task) EXCLUDES(mutex_) {
     const std::size_t w = task.weight();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      producer_cv_.wait(lock, [&] { return closed_ || w == 0 || weight_ < capacity_; });
+      MutexLock lock(mutex_);
+      while (!closed_ && w != 0 && weight_ >= capacity_) producer_cv_.wait(lock);
       if (closed_) return false;
       tasks_.push_back(std::move(task));
       set_weight(weight_ + w);
@@ -56,13 +56,18 @@ class StealDeque {
 
   // Owner-side pop from the front. timeout == nullopt blocks until a task
   // arrives or the deque closes; timeout == 0 is a non-blocking poll.
-  Pop pop_front(Task& out, std::optional<std::chrono::microseconds> timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const auto ready = [&] { return closed_ || !tasks_.empty(); };
+  Pop pop_front(Task& out, std::optional<std::chrono::microseconds> timeout) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (!timeout.has_value()) {
-      consumer_cv_.wait(lock, ready);
+      while (!closed_ && tasks_.empty()) consumer_cv_.wait(lock);
     } else if (timeout->count() > 0) {
-      consumer_cv_.wait_for(lock, *timeout, ready);
+      // Wait bound only: how long the owner may sleep before re-polling,
+      // never which task it pops — task order is untouched by the clock.
+      const auto deadline =
+          std::chrono::steady_clock::now() + *timeout;  // flock-lint: allow(wall-clock)
+      while (!closed_ && tasks_.empty()) {
+        if (consumer_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
     }
     if (tasks_.empty()) return closed_ ? Pop::kClosed : Pop::kEmpty;
     out = std::move(tasks_.front());
@@ -76,11 +81,11 @@ class StealDeque {
   // Thief-side steal: remove the oldest stealable tasks until `max_weight`
   // is reached (always at least one if any task is stealable). Returns the
   // number of tasks appended to `out`.
-  std::size_t steal(std::vector<Task>& out, std::size_t max_weight) {
+  std::size_t steal(std::vector<Task>& out, std::size_t max_weight) EXCLUDES(mutex_) {
     std::size_t taken = 0;
     std::size_t taken_weight = 0;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       std::size_t i = 0;
       while (i < tasks_.size() && taken_weight < max_weight) {
         if (!tasks_[i].stealable()) {
@@ -100,9 +105,9 @@ class StealDeque {
 
   // After close, pushes fail and owner pops drain the backlog then return
   // kClosed. Steals keep working on the backlog.
-  void close() {
+  void close() EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     consumer_cv_.notify_all();
@@ -113,19 +118,19 @@ class StealDeque {
   std::size_t weight_estimate() const { return weight_estimate_.load(std::memory_order_relaxed); }
 
  private:
-  void set_weight(std::size_t w) {
+  void set_weight(std::size_t w) REQUIRES(mutex_) {
     weight_ = w;
     weight_estimate_.store(w, std::memory_order_relaxed);
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable consumer_cv_;
-  std::condition_variable producer_cv_;
-  std::deque<Task> tasks_;
-  std::size_t weight_ = 0;  // guarded by mutex_; mirrored in weight_estimate_
+  mutable Mutex mutex_;
+  CondVar consumer_cv_;
+  CondVar producer_cv_;
+  std::deque<Task> tasks_ GUARDED_BY(mutex_);
+  std::size_t weight_ GUARDED_BY(mutex_) = 0;  // mirrored in weight_estimate_
   std::atomic<std::size_t> weight_estimate_{0};
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace flock

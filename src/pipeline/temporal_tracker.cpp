@@ -72,7 +72,7 @@ TemporalTracker::TemporalTracker(TemporalTrackerConfig config) : config_(config)
 
 void TemporalTracker::set_equivalence_classes(
     const std::vector<std::vector<ComponentId>>& classes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (stats_.epochs_observed > 0 || !tracked_.empty()) {
     throw std::logic_error(
         "TemporalTracker: equivalence classes must be set before any epoch is "
@@ -103,7 +103,7 @@ ComponentId TemporalTracker::canonical(ComponentId c) const {
 }
 
 void TemporalTracker::observe(const EpochResult& epoch) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Rebase onto a restored snapshot's timeline: a restarted scheduler counts
   // epochs from 0 again, but the incident's history did not reset.
   const std::uint64_t id = epoch.epoch + epoch_base_;
@@ -281,7 +281,7 @@ ComponentVerdict TemporalTracker::make_verdict(ComponentId c, const Tracked& t) 
 }
 
 std::vector<ComponentVerdict> TemporalTracker::verdicts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<ComponentVerdict> out;
   out.reserve(tracked_.size());
   for (const auto& [c, t] : tracked_) {
@@ -292,7 +292,7 @@ std::vector<ComponentVerdict> TemporalTracker::verdicts() const {
 }
 
 ComponentVerdict TemporalTracker::verdict(ComponentId component) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const ComponentId canon = canonical(component);
   const auto it = tracked_.find(canon);
   if (it == tracked_.end()) {
@@ -307,7 +307,7 @@ ComponentVerdict TemporalTracker::verdict(ComponentId component) const {
 
 std::vector<double> TemporalTracker::prior_logodds(std::size_t num_components) const {
   std::vector<double> out(num_components, 0.0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (config_.prior_weight <= 0.0) return out;
   const auto assign = [&](ComponentId c, double value) {
     if (static_cast<std::size_t>(c) < num_components) {
@@ -366,7 +366,7 @@ std::vector<double> TemporalTracker::prior_logodds(std::size_t num_components) c
 //   (no trailer: the counts delimit the snapshot; EOF mid-record is an error)
 
 void TemporalTracker::save(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   os.write(kSnapshotMagic, sizeof kSnapshotMagic);
   put<std::uint32_t>(os, kSnapshotVersion);
   put<std::uint64_t>(os, config_.window);
@@ -412,7 +412,7 @@ void TemporalTracker::save(std::ostream& os) const {
 }
 
 void TemporalTracker::load(std::istream& is) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (stats_.epochs_observed > 0 || !tracked_.empty() || next_epoch_ != 0) {
     throw std::logic_error("TemporalTracker::load: tracker has already observed epochs");
   }
@@ -523,7 +523,7 @@ void TemporalTracker::load(const std::string& path) {
 }
 
 TemporalStats TemporalTracker::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -69,10 +69,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/mutex.h"
 #include "pipeline/result_sink.h"
 
 namespace flock {
@@ -156,20 +156,21 @@ class TemporalTracker {
   // Key all state by ECMP equivalence class (canonical member = smallest id
   // in the class; see header comment). Must be called before any epoch is
   // observed or restored; throws std::logic_error otherwise.
-  void set_equivalence_classes(const std::vector<std::vector<ComponentId>>& classes);
+  void set_equivalence_classes(const std::vector<std::vector<ComponentId>>& classes)
+      EXCLUDES(mutex_);
 
   // Feed one merged epoch. Epoch ids must be dense starting at 0 (what the
   // EpochScheduler emits); results arriving out of order are buffered and
   // applied in id order. After load(), incoming ids are rebased onto the
   // snapshot's epoch counter. Thread-safe.
-  void observe(const EpochResult& epoch);
+  void observe(const EpochResult& epoch) EXCLUDES(mutex_);
 
   // All currently tracked (non-healthy) components, ordered by id.
-  std::vector<ComponentVerdict> verdicts() const;
+  std::vector<ComponentVerdict> verdicts() const EXCLUDES(mutex_);
 
   // State of one component (healthy default when untracked). With classes
   // set, the verdict of the component's whole equivalence class.
-  ComponentVerdict verdict(ComponentId component) const;
+  ComponentVerdict verdict(ComponentId component) const EXCLUDES(mutex_);
 
   // Evidence carryover for the next localization: per-component prior
   // log-odds, >= 0, already scaled by prior_weight (all zeros when the
@@ -179,7 +180,7 @@ class TemporalTracker {
   // value is additionally scaled by 2^(-age/half_life), age being the
   // number of applied epochs since the component was last blamed. With
   // classes set, every member of a tracked class receives the class value.
-  std::vector<double> prior_logodds(std::size_t num_components) const;
+  std::vector<double> prior_logodds(std::size_t num_components) const EXCLUDES(mutex_);
 
   // Versioned little-endian snapshot of the complete cross-epoch state
   // (config echo + class partition hash + per-class rows + pending buffer).
@@ -189,12 +190,12 @@ class TemporalTracker {
   // already observed. On success the tracker continues the snapshot's
   // timeline: the next observe(epoch 0) applies as the snapshot's
   // next_epoch.
-  void save(std::ostream& os) const;
-  void load(std::istream& is);
+  void save(std::ostream& os) const EXCLUDES(mutex_);
+  void load(std::istream& is) EXCLUDES(mutex_);
   void save(const std::string& path) const;
   void load(const std::string& path);
 
-  TemporalStats stats() const;
+  TemporalStats stats() const EXCLUDES(mutex_);
   const TemporalTrackerConfig& config() const { return config_; }
 
  private:
@@ -214,32 +215,34 @@ class TemporalTracker {
     std::uint64_t false_clears = 0;
   };
 
-  // All with mutex_ held:
-  ComponentId canonical(ComponentId c) const;
-  void apply(std::uint64_t epoch, const std::vector<ComponentId>& blamed);
-  void drain_pending();
-  void step(Tracked& t, bool blamed, std::uint64_t epoch);
-  std::int32_t transitions(const Tracked& t) const;
-  double duty_cycle(const Tracked& t) const;
-  double age_factor(const Tracked& t) const;
-  ComponentVerdict make_verdict(ComponentId c, const Tracked& t) const;
+  // All with mutex_ held (machine-checked):
+  ComponentId canonical(ComponentId c) const REQUIRES(mutex_);
+  void apply(std::uint64_t epoch, const std::vector<ComponentId>& blamed) REQUIRES(mutex_);
+  void drain_pending() REQUIRES(mutex_);
+  void step(Tracked& t, bool blamed, std::uint64_t epoch) REQUIRES(mutex_);
+  std::int32_t transitions(const Tracked& t) const REQUIRES(mutex_);
+  double duty_cycle(const Tracked& t) const REQUIRES(mutex_);
+  double age_factor(const Tracked& t) const REQUIRES(mutex_);
+  ComponentVerdict make_verdict(ComponentId c, const Tracked& t) const REQUIRES(mutex_);
 
-  TemporalTrackerConfig config_;
-  mutable std::mutex mutex_;
-  std::uint64_t next_epoch_ = 0;
+  TemporalTrackerConfig config_;  // immutable after construction
+  mutable Mutex mutex_;
+  std::uint64_t next_epoch_ GUARDED_BY(mutex_) = 0;
   // Rebase for restored state: observe(epoch e) applies as e + epoch_base_.
   // 0 until load() installs the snapshot's next_epoch.
-  std::uint64_t epoch_base_ = 0;
-  std::map<std::uint64_t, std::vector<ComponentId>> pending_;  // out-of-order buffer
-  std::map<ComponentId, Tracked> tracked_;  // keyed by canonical member
+  std::uint64_t epoch_base_ GUARDED_BY(mutex_) = 0;
+  // Out-of-order buffer.
+  std::map<std::uint64_t, std::vector<ComponentId>> pending_ GUARDED_BY(mutex_);
+  // Keyed by canonical member.
+  std::map<ComponentId, Tracked> tracked_ GUARDED_BY(mutex_);
   // Equivalence-class keying (empty = identity). class_of_ maps every member
   // to its canonical id; class_members_ lists each class, sorted, keyed by
   // canonical id. class_hash_ fingerprints the partition for snapshot
   // compatibility checks.
-  std::map<ComponentId, ComponentId> class_of_;
-  std::map<ComponentId, std::vector<ComponentId>> class_members_;
-  std::uint64_t class_hash_ = 0;
-  TemporalStats stats_;
+  std::map<ComponentId, ComponentId> class_of_ GUARDED_BY(mutex_);
+  std::map<ComponentId, std::vector<ComponentId>> class_members_ GUARDED_BY(mutex_);
+  std::uint64_t class_hash_ GUARDED_BY(mutex_) = 0;
+  TemporalStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace flock

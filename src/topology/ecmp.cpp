@@ -40,7 +40,7 @@ std::vector<std::int32_t> EcmpRouter::bfs_from(NodeId dst_sw) const {
 }
 
 std::int32_t EcmpRouter::switch_distance(NodeId src_sw, NodeId dst_sw) {
-  std::lock_guard<std::mutex> lock(intern_mutex_);
+  MutexLock lock(intern_mutex_);
   auto it = dist_cache_.find(dst_sw);
   if (it == dist_cache_.end()) it = dist_cache_.emplace(dst_sw, bfs_from(dst_sw)).first;
   std::int32_t d = it->second[static_cast<std::size_t>(src_sw)];
@@ -76,7 +76,7 @@ PathSetId EcmpRouter::path_set_between(NodeId src_sw, NodeId dst_sw) {
   }
   read_retries_.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> lock(intern_mutex_);
+  MutexLock lock(intern_mutex_);
   {
     const std::int32_t id = cache_.find(key);  // re-check: another interner may have won
     if (id >= 0) return id;

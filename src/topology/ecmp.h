@@ -29,12 +29,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/mutex.h"
 #include "common/snapshot_store.h"
 #include "topology/topology.h"
 
@@ -67,7 +67,7 @@ class EcmpRouter {
   // sense that (a,b) and (b,a) are cached independently but have mirrored
   // paths). Throws if the switches are disconnected. Wait-free once the pair
   // is interned (snapshot mode).
-  PathSetId path_set_between(NodeId src_sw, NodeId dst_sw);
+  PathSetId path_set_between(NodeId src_sw, NodeId dst_sw) EXCLUDES(intern_mutex_);
 
   // Path set between the ToRs of two hosts. For hosts on the same ToR the
   // set is the single path [device(tor)].
@@ -89,7 +89,7 @@ class EcmpRouter {
 
   // Hop count (number of links) of the shortest switch path, mostly for
   // tests; throws if disconnected.
-  std::int32_t switch_distance(NodeId src_sw, NodeId dst_sw);
+  std::int32_t switch_distance(NodeId src_sw, NodeId dst_sw) EXCLUDES(intern_mutex_);
 
   // Times the writer published a new snapshot (== path sets interned).
   std::uint64_t index_publishes() const {
@@ -116,22 +116,27 @@ class EcmpRouter {
   // unreachable). Hosts never appear as intermediate nodes (degree 1).
   std::vector<std::int32_t> bfs_from(NodeId dst_sw) const;
 
-  // Requires intern_mutex_ held. Appends without publishing.
-  PathSetId enumerate_paths(NodeId src_sw, NodeId dst_sw);
+  // Appends without publishing; writer serialization is the caller's lock.
+  PathSetId enumerate_paths(NodeId src_sw, NodeId dst_sw) REQUIRES(intern_mutex_);
 
   const Topology* topo_;
   const RouterReadMode mode_;
   // Writer serialization for interning and the BFS distance cache. In
   // baseline mode, rw_mutex_ additionally wraps reads (shared) and snapshot
   // publication (exclusive), reproducing the old read-path contention.
-  mutable std::mutex intern_mutex_;
+  mutable Mutex intern_mutex_;
+  // Deliberately un-annotated: rw_mutex_ exists only for the
+  // kSharedMutexBaseline A/B mode, where it reproduces the old read-path
+  // contention; in snapshot mode it guards nothing. The state it covers in
+  // baseline mode (paths_/path_sets_/cache_) is protected by release/acquire
+  // publication, which the static analysis cannot express.
   mutable std::shared_mutex rw_mutex_;
   SnapshotStore<Path> paths_;
   SnapshotStore<PathSet> path_sets_;
   PairIndex cache_;
   // Per-destination BFS distance cache (dst -> distances); bounded reuse for
-  // build_all_tor_pairs. Guarded by intern_mutex_.
-  std::unordered_map<NodeId, std::vector<std::int32_t>> dist_cache_;
+  // build_all_tor_pairs. Looked up by key only, never iterated.
+  std::unordered_map<NodeId, std::vector<std::int32_t>> dist_cache_ GUARDED_BY(intern_mutex_);
   std::atomic<std::uint64_t> index_publishes_{0};
   std::atomic<std::uint64_t> read_retries_{0};
 };

@@ -1,0 +1,11 @@
+// Fixture: must NOT be flagged — every banned construct appears only inside
+// comments or string literals, which the linter strips before matching.
+//   std::chrono::steady_clock::now() in a comment
+//   int* leak = new int;  (also just a comment)
+#include <string>
+
+std::string prose() {
+  std::string s = "call std::chrono::system_clock::now() and new Widget()";
+  s += "then delete it; rand() too";  // none of this is code
+  return s;
+}

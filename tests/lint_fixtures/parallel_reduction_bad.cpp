@@ -1,0 +1,8 @@
+// Fixture: MUST be flagged [parallel-reduction] — std::reduce makes no
+// ordering promise, so float partials re-round differently run to run.
+#include <numeric>
+#include <vector>
+
+double total(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0);
+}

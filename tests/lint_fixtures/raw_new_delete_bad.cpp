@@ -1,0 +1,7 @@
+// Fixture: MUST be flagged [raw-new-delete] twice (the new and the delete).
+int churn() {
+  int* p = new int(7);
+  int v = *p;
+  delete p;
+  return v;
+}

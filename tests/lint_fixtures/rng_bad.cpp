@@ -1,0 +1,8 @@
+// Fixture: MUST be flagged [rng] — unseeded randomness cannot replay.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}

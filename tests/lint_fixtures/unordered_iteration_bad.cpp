@@ -1,0 +1,12 @@
+// Fixture: MUST be flagged [unordered-iteration] when placed under
+// src/pipeline/ — folding in hash order is the canonical determinism bug.
+#include <cstdint>
+#include <unordered_map>
+
+double fold() {
+  std::unordered_map<std::uint64_t, double> weights;
+  weights[1] = 0.5;
+  double sum = 0.0;
+  for (const auto& [k, v] : weights) sum += v;  // hash-order fold
+  return sum;
+}

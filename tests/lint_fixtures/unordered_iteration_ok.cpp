@@ -1,0 +1,13 @@
+// Fixture: must NOT be flagged — keyed lookup and erase never observe hash
+// order, which is exactly the usage the pipeline allows itself.
+#include <cstdint>
+#include <unordered_map>
+
+double lookup() {
+  std::unordered_map<std::uint64_t, double> weights;
+  weights[1] = 0.5;
+  auto it = weights.find(1);
+  double v = it == weights.end() ? 0.0 : it->second;
+  weights.erase(1);
+  return v;
+}

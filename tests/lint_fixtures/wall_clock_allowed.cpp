@@ -1,0 +1,9 @@
+// Fixture: must NOT be flagged — same clock read, but carrying a justified
+// allowance (here: a wait bound that never decides what is computed).
+#include <chrono>
+
+std::chrono::steady_clock::time_point deadline() {
+  // Wait bound only, never a result input.
+  return std::chrono::steady_clock::now() +  // flock-lint: allow(wall-clock)
+         std::chrono::milliseconds(5);
+}

@@ -1,0 +1,8 @@
+// Fixture: MUST be flagged [wall-clock] — a result-affecting clock read.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t stamp() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}

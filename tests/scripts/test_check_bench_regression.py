@@ -1,0 +1,106 @@
+"""Self-tests for scripts/check_bench_regression.py.
+
+The regression gate's own failure modes were untested, and one of them was a
+real bug: a missing or unparseable --baseline crashed with a traceback —
+technically non-zero, but indistinguishable in CI from the script itself
+being broken, and one refactor away from a swallowed exception silently
+passing the gate. These tests pin the contract: unreadable and vacuous
+baselines exit 2 with an actionable message; real comparisons still pass and
+fail exactly as before.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+GATE = os.path.join(REPO, "scripts", "check_bench_regression.py")
+
+
+def write_json(path, payload):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f)
+
+
+def bench_report(name, rate):
+    return {"bench": name, "rows": [{"shards": 4, "records_per_sec": rate}]}
+
+
+class BenchRegressionGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory(prefix="flock_bench_gate_")
+        self.addCleanup(self.tmp.cleanup)
+        self.input = os.path.join(self.tmp.name, "bench_a.json")
+        write_json(self.input, bench_report("bench_a", 1000.0))
+
+    def run_gate(self, baseline_arg):
+        return subprocess.run(
+            [
+                sys.executable,
+                GATE,
+                self.input,
+                "--baseline",
+                baseline_arg,
+                "--out",
+                os.path.join(self.tmp.name, "merged.json"),
+            ],
+            capture_output=True,
+            text=True,
+            check=False,
+            cwd=self.tmp.name,
+        )
+
+    def baseline_path(self, payload):
+        path = os.path.join(self.tmp.name, "baseline.json")
+        write_json(path, payload)
+        return path
+
+    # --- the fixed failure modes -------------------------------------------
+
+    def test_missing_baseline_exits_nonzero_without_traceback(self):
+        proc = self.run_gate(os.path.join(self.tmp.name, "does_not_exist.json"))
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("cannot read baseline", proc.stdout)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_unparseable_baseline_exits_nonzero_without_traceback(self):
+        path = os.path.join(self.tmp.name, "baseline.json")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("{not json at all")
+        proc = self.run_gate(path)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("not valid JSON", proc.stdout)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_vacuous_baseline_rejected(self):
+        # No rows to enforce — comparing against nothing must not "pass".
+        proc = self.run_gate(self.baseline_path({"benches": []}))
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("no enforceable rows", proc.stdout)
+
+    # --- unchanged comparison behavior -------------------------------------
+
+    def test_within_tolerance_passes(self):
+        baseline = {"benches": [bench_report("bench_a", 1100.0)]}
+        proc = self.run_gate(self.baseline_path(baseline))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("no throughput regressions", proc.stdout)
+
+    def test_regression_beyond_tolerance_fails(self):
+        baseline = {"benches": [bench_report("bench_a", 2000.0)]}
+        proc = self.run_gate(self.baseline_path(baseline))
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("FAIL", proc.stdout)
+
+    def test_missing_row_fails(self):
+        baseline = {"benches": [bench_report("bench_never_ran", 10.0)]}
+        proc = self.run_gate(self.baseline_path(baseline))
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("missing from current run", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

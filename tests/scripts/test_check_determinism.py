@@ -1,0 +1,136 @@
+"""Self-tests for scripts/check_determinism.py.
+
+The linter gates CI, so it needs the same treatment as any other gate: proof
+that each rule fires on its target construct, stays quiet on the sanctioned
+equivalents, honors the allowance escape hatch, and never matches prose in
+comments or string literals.
+
+Each test copies fixture snippets (tests/lint_fixtures/) into a temp tree at
+the relative location that puts them in the rule's scope — e.g. the
+unordered-iteration rule only applies under src/core and src/pipeline — and
+runs the linter as a subprocess from that tree, exactly as CI does.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+LINTER = os.path.join(REPO, "scripts", "check_determinism.py")
+FIXTURES = os.path.join(REPO, "tests", "lint_fixtures")
+
+
+def run_linter(cwd, *args):
+    return subprocess.run(
+        [sys.executable, LINTER, *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+class LinterFixtureTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.mkdtemp(prefix="flock_lint_")
+        self.addCleanup(shutil.rmtree, self.tmp)
+
+    def place(self, fixture, rel_dir="src/pipeline"):
+        """Copy a fixture into the temp tree at rel_dir; returns the relative
+        path the linter should be pointed at."""
+        dest_dir = os.path.join(self.tmp, rel_dir)
+        os.makedirs(dest_dir, exist_ok=True)
+        dest = os.path.join(dest_dir, fixture)
+        shutil.copyfile(os.path.join(FIXTURES, fixture), dest)
+        return os.path.join(rel_dir, fixture)
+
+    def assert_flagged(self, fixture, rule, rel_dir="src/pipeline", count=None):
+        rel = self.place(fixture, rel_dir)
+        proc = run_linter(self.tmp, rel)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn(f"[{rule}]", proc.stdout)
+        if count is not None:
+            self.assertEqual(proc.stdout.count(f"[{rule}]"), count, proc.stdout)
+
+    def assert_clean(self, fixture, rel_dir="src/pipeline"):
+        rel = self.place(fixture, rel_dir)
+        proc = run_linter(self.tmp, rel)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("clean", proc.stdout)
+
+    # --- one test per rule, firing direction --------------------------------
+
+    def test_unordered_iteration_flagged(self):
+        self.assert_flagged(
+            "unordered_iteration_bad.cpp", "unordered-iteration", count=1
+        )
+
+    def test_wall_clock_flagged(self):
+        self.assert_flagged("wall_clock_bad.cpp", "wall-clock")
+
+    def test_rng_flagged(self):
+        # Both std::random_device and rand() on one line: two findings max,
+        # at least one reported.
+        self.assert_flagged("rng_bad.cpp", "rng")
+
+    def test_raw_new_delete_flagged(self):
+        self.assert_flagged("raw_new_delete_bad.cpp", "raw-new-delete", count=2)
+
+    def test_parallel_reduction_flagged(self):
+        self.assert_flagged("parallel_reduction_bad.cpp", "parallel-reduction")
+
+    # --- quiet direction ----------------------------------------------------
+
+    def test_keyed_lookup_not_flagged(self):
+        self.assert_clean("unordered_iteration_ok.cpp")
+
+    def test_unordered_iteration_out_of_scope_dir_not_flagged(self):
+        # The same iterating fixture outside src/core|src/pipeline is fine:
+        # telemetry/topology code may iterate as long as nothing
+        # result-affecting folds in hash order.
+        self.assert_clean("unordered_iteration_bad.cpp", rel_dir="src/telemetry")
+
+    def test_allowance_suppresses(self):
+        self.assert_clean("wall_clock_allowed.cpp")
+
+    def test_comments_and_strings_ignored(self):
+        self.assert_clean("clean_ok.cpp")
+
+    # --- reporting contract -------------------------------------------------
+
+    def test_list_allows_reports_suppressions(self):
+        rel = self.place("wall_clock_allowed.cpp")
+        proc = run_linter(self.tmp, rel, "--list-allows")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("allowance used: wall-clock", proc.stdout)
+
+    def test_allowance_for_wrong_rule_does_not_suppress(self):
+        dest_dir = os.path.join(self.tmp, "src/pipeline")
+        os.makedirs(dest_dir, exist_ok=True)
+        path = os.path.join(dest_dir, "wrong_allow.cpp")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(
+                "#include <chrono>\n"
+                "auto t() {\n"
+                "  return std::chrono::steady_clock::now();"
+                "  // flock-lint: allow(rng)\n"
+                "}\n"
+            )
+        proc = run_linter(self.tmp, "src/pipeline/wrong_allow.cpp")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("[wall-clock]", proc.stdout)
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repo_src_is_clean(self):
+        """The committed tree must lint clean — the same invocation CI runs."""
+        proc = run_linter(REPO)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("clean", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,32 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety.
+//
+// The misuse: acquiring a non-reentrant mutex twice on one thread — with
+// std::mutex this is undefined behavior that usually presents as a
+// self-deadlock. The annotations catch it statically ("acquiring mutex ...
+// that is already held").
+#include <cstdint>
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) EXCLUDES(mutex_) {
+    flock::MutexLock outer(mutex_);
+    flock::MutexLock inner(mutex_);  // BUG: mutex_ is already held
+    value_ += n;
+  }
+
+ private:
+  mutable flock::Mutex mutex_;
+  std::uint64_t value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety.
+//
+// The misuse: writing a GUARDED_BY field without holding its mutex — the
+// exact bug class (a racy unguarded access) the annotation scheme exists to
+// turn into a build break. The harness asserts clang rejects this with a
+// thread-safety diagnostic ("writing variable ... requires holding mutex").
+#include <cstdint>
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) {
+    value_ += n;  // BUG: guarded field touched with mutex_ not held
+  }
+
+ private:
+  mutable flock::Mutex mutex_;
+  std::uint64_t value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

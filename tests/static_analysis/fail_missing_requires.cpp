@@ -1,0 +1,33 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety.
+//
+// The misuse: calling a REQUIRES(mutex_) helper without holding the lock —
+// the "call with lock held" doc-comment contract, now machine-checked
+// ("calling function ... requires holding mutex"). This is the misuse mode
+// EXCLUDES/REQUIRES pairs exist for: the helper itself touches guarded
+// state legally, so only the call-site check can catch the bug.
+#include <cstdint>
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) {
+    add_locked(n);  // BUG: REQUIRES(mutex_) helper called without the lock
+  }
+
+ private:
+  void add_locked(std::uint64_t n) REQUIRES(mutex_) { value_ += n; }
+
+  mutable flock::Mutex mutex_;
+  std::uint64_t value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Positive control for the negative-compile harness: the canonical locking
+// patterns this tree uses, all of which MUST compile cleanly under
+// -Wthread-safety -Werror=thread-safety. If this snippet ever fails, the
+// annotations have started rejecting correct code and every fail_* result
+// in this directory is meaningless.
+#include <cstdint>
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // EXCLUDES: public methods take the lock themselves.
+  void add(std::uint64_t n) EXCLUDES(mutex_) {
+    flock::MutexLock lock(mutex_);
+    add_locked(n);
+  }
+
+  std::uint64_t get() const EXCLUDES(mutex_) {
+    flock::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  // The explicit-loop condition-variable wait (predicate lambdas are
+  // invisible to the analysis; see common/mutex.h).
+  void wait_nonzero() EXCLUDES(mutex_) {
+    flock::MutexLock lock(mutex_);
+    while (value_ == 0) cv_.wait(lock);
+  }
+
+  // The "notify outside the lock" manual-unlock pattern.
+  void add_and_notify(std::uint64_t n) EXCLUDES(mutex_) {
+    flock::MutexLock lock(mutex_);
+    add_locked(n);
+    lock.unlock();
+    cv_.notify_all();
+  }
+
+ private:
+  // REQUIRES: helper documented (and now machine-checked) hold-the-lock.
+  void add_locked(std::uint64_t n) REQUIRES(mutex_) { value_ += n; }
+
+  mutable flock::Mutex mutex_;
+  flock::CondVar cv_;
+  std::uint64_t value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  c.add_and_notify(1);
+  c.wait_nonzero();
+  return static_cast<int>(c.get() - 2);
+}

@@ -1,0 +1,83 @@
+# Negative-compile harness for the thread-safety annotations.
+#
+# The GUARDED_BY/REQUIRES/EXCLUDES scheme (src/common/thread_annotations.h)
+# is only worth its ink if misuse actually breaks the build. This script
+# proves it, in both directions:
+#
+#   * every tests/static_analysis/pass_*.cpp MUST compile cleanly under
+#     -Wthread-safety -Werror=thread-safety (the annotations don't reject
+#     correct code), and
+#   * every tests/static_analysis/fail_*.cpp MUST FAIL to compile, with a
+#     diagnostic that mentions thread safety (the annotations reject the
+#     specific misuse the snippet commits — not some unrelated syntax error).
+#
+# Run via ctest (test name: static_analysis) or directly:
+#   cmake -DCXX=clang++ -DSRC_DIR=$PWD -P tests/static_analysis_test.cmake
+#
+# The analysis only exists in clang. On any other compiler the script prints
+# [SKIP-NOT-CLANG], which the ctest registration maps to a SKIPPED result
+# (SKIP_REGULAR_EXPRESSION — cmake 3.25's -P mode cannot return custom exit
+# codes).
+
+if(NOT DEFINED CXX OR NOT DEFINED SRC_DIR)
+  message(FATAL_ERROR "usage: cmake -DCXX=<compiler> -DSRC_DIR=<repo root> -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+execute_process(
+  COMMAND ${CXX} --version
+  OUTPUT_VARIABLE compiler_version
+  ERROR_VARIABLE compiler_version_err
+  RESULT_VARIABLE version_rc)
+if(NOT version_rc EQUAL 0 OR NOT compiler_version MATCHES "[Cc]lang")
+  message(STATUS "[SKIP-NOT-CLANG] ${CXX} is not clang; -Wthread-safety does not exist here")
+  return()
+endif()
+
+set(flags -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+    -I${SRC_DIR}/src)
+
+file(GLOB pass_snippets ${SRC_DIR}/tests/static_analysis/pass_*.cpp)
+file(GLOB fail_snippets ${SRC_DIR}/tests/static_analysis/fail_*.cpp)
+if(pass_snippets STREQUAL "" OR fail_snippets STREQUAL "")
+  message(FATAL_ERROR "static_analysis: snippet directory is empty — harness misconfigured")
+endif()
+
+foreach(snippet ${pass_snippets})
+  get_filename_component(name ${snippet} NAME)
+  execute_process(
+    COMMAND ${CXX} ${flags} ${snippet}
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "static_analysis: ${name} must compile cleanly but failed:\n${err}")
+  endif()
+  message(STATUS "static_analysis: ${name} compiled cleanly (as required)")
+endforeach()
+
+foreach(snippet ${fail_snippets})
+  get_filename_component(name ${snippet} NAME)
+  execute_process(
+    COMMAND ${CXX} ${flags} ${snippet}
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "static_analysis: ${name} compiled, but it commits a locking-discipline "
+      "violation the annotations are supposed to reject — the thread-safety "
+      "scheme has rotted into decoration")
+  endif()
+  # The failure must come from the analysis, not from an accidental syntax
+  # error that would hide annotation rot behind a broken snippet.
+  if(NOT err MATCHES "thread-safety|thread safety")
+    message(FATAL_ERROR
+      "static_analysis: ${name} failed for the wrong reason (no thread-safety "
+      "diagnostic in the output):\n${err}")
+  endif()
+  message(STATUS "static_analysis: ${name} rejected (as required)")
+endforeach()
+
+list(LENGTH pass_snippets num_pass)
+list(LENGTH fail_snippets num_fail)
+message(STATUS
+  "static_analysis: ${num_pass} pass + ${num_fail} fail snippets all behaved")
